@@ -1,0 +1,67 @@
+//===- bench/bench_ablation.cpp - Spurious-scheme ablation ----------------===//
+//
+// Section 2 offers two sound schemes for spurious type variables:
+//   (2) a fresh secondary effect variable per spurious variable,
+//   (3) identifying it with the function's arrow-effect variable
+//       (the MLKit choice; can enlarge region live ranges).
+// This harness compiles and runs the suite under both modes and reports
+// time and peak memory, plus the count of quantified effect variables
+// (scheme size) — the trade-off the paper describes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/Programs.h"
+#include "core/Pipeline.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace rml;
+
+namespace {
+
+void BM_SpuriousMode(benchmark::State &State, const std::string &Source,
+                     SpuriousMode Mode) {
+  Compiler C;
+  CompileOptions Opts;
+  Opts.Strat = Strategy::Rg;
+  Opts.Spurious = Mode;
+  auto Unit = C.compile(Source, Opts);
+  if (!Unit) {
+    State.SkipWithError("compile failed");
+    return;
+  }
+  uint64_t Peak = 0, Gc = 0;
+  for (auto _ : State) {
+    rt::RunResult R = C.run(*Unit);
+    if (R.Outcome != rt::RunOutcome::Ok) {
+      State.SkipWithError(R.Error.c_str());
+      return;
+    }
+    Peak = R.Heap.peakBytes();
+    Gc = R.Heap.GcCount;
+  }
+  State.counters["peak_kb"] = static_cast<double>(Peak) / 1024.0;
+  State.counters["gc"] = static_cast<double>(Gc);
+  State.counters["effect_vars"] =
+      static_cast<double>(Unit->Inferred.NumEffectVars);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  for (const bench::BenchProgram &P : bench::benchmarkSuite()) {
+    benchmark::RegisterBenchmark(
+        ("spurious_fresh/" + P.Name).c_str(),
+        [Src = P.Source](benchmark::State &S) {
+          BM_SpuriousMode(S, Src, SpuriousMode::FreshSecondary);
+        });
+    benchmark::RegisterBenchmark(
+        ("spurious_identify/" + P.Name).c_str(),
+        [Src = P.Source](benchmark::State &S) {
+          BM_SpuriousMode(S, Src, SpuriousMode::IdentifyWithFun);
+        });
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,62 @@
+//===- bench/bench_generational.cpp - Regions + generations ---------------===//
+//
+// The paper's introduction observes that "region-inference is
+// complementary to adding generations to a reference-tracing collector"
+// (developed in Elsman & Hallenberg, PADL'20 / JFP'21 — the paper's
+// [16, 17]). This harness compares the non-generational and generational
+// collectors across the suite: wall time, collection counts, and copied
+// words (the re-copy traffic generations are meant to save).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/Programs.h"
+#include "core/Pipeline.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace rml;
+
+namespace {
+
+void BM_GcMode(benchmark::State &State, const std::string &Source,
+               bool Generational) {
+  Compiler C;
+  auto Unit = C.compile(Source);
+  if (!Unit) {
+    State.SkipWithError("compile failed");
+    return;
+  }
+  uint64_t Copied = 0, Minor = 0, Major = 0;
+  for (auto _ : State) {
+    rt::EvalOptions E;
+    E.Generational = Generational;
+    E.GcThresholdWords = 8 * 1024;
+    rt::RunResult R = C.run(*Unit, E);
+    if (R.Outcome != rt::RunOutcome::Ok) {
+      State.SkipWithError(R.Error.c_str());
+      return;
+    }
+    Copied = R.Heap.CopiedWords;
+    Minor = R.Heap.MinorGcCount;
+    Major = R.Heap.MajorGcCount;
+  }
+  State.counters["copied_words"] = static_cast<double>(Copied);
+  State.counters["minor"] = static_cast<double>(Minor);
+  State.counters["major"] = static_cast<double>(Major);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  for (const bench::BenchProgram &P : bench::benchmarkSuite()) {
+    benchmark::RegisterBenchmark(
+        ("gc_nongen/" + P.Name).c_str(),
+        [Src = P.Source](benchmark::State &S) { BM_GcMode(S, Src, false); });
+    benchmark::RegisterBenchmark(
+        ("gc_gen/" + P.Name).c_str(),
+        [Src = P.Source](benchmark::State &S) { BM_GcMode(S, Src, true); });
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,84 @@
+//===- bench/bench_inference.cpp - Compile-time benchmarks ----------------===//
+//
+// Section 4.2 claims the MLKit's region-inference-based pipeline
+// recompiles quickly; this harness measures our pipeline's phases
+// (parse+typecheck, spurious analysis, region inference, region check)
+// per benchmark program and the scaling of inference with program size.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/Programs.h"
+#include "core/Pipeline.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace rml;
+
+namespace {
+
+void BM_FullCompile(benchmark::State &State, const std::string &Source,
+                    Strategy S) {
+  for (auto _ : State) {
+    Compiler C;
+    CompileOptions Opts;
+    Opts.Strat = S;
+    auto Unit = C.compile(Source, Opts);
+    if (!Unit)
+      State.SkipWithError("compile failed");
+    benchmark::DoNotOptimize(Unit);
+  }
+}
+
+/// Synthesises a program with N copies of a polymorphic HOF cluster, to
+/// measure inference scaling.
+std::string synthProgram(int N) {
+  std::string Out = bench::basisSource();
+  for (int I = 0; I < N; ++I) {
+    std::string Id = std::to_string(I);
+    // Each cluster: a polymorphic composition pipeline with a spurious
+    // variable, used at two distinct instances (int and string).
+    Out += "fun pipe" + Id + " f = compose (f, compose (id, id))\n";
+    Out += "val use" + Id + " = (pipe" + Id + " (fn x => x + " + Id +
+           ") 3, pipe" + Id + " (fn s => s ^ \"!\") \"a\")\n";
+  }
+  Out += ";0\n";
+  return Out;
+}
+
+void BM_InferenceScaling(benchmark::State &State) {
+  std::string Source = synthProgram(static_cast<int>(State.range(0)));
+  for (auto _ : State) {
+    Compiler C;
+    auto Unit = C.compile(Source);
+    if (!Unit)
+      State.SkipWithError("compile failed");
+    benchmark::DoNotOptimize(Unit);
+  }
+  State.SetComplexityN(State.range(0));
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  for (const bench::BenchProgram &P : bench::benchmarkSuite()) {
+    benchmark::RegisterBenchmark(("compile_rg/" + P.Name).c_str(),
+                                 [Src = P.Source](benchmark::State &S) {
+                                   BM_FullCompile(S, Src, Strategy::Rg);
+                                 });
+  }
+  benchmark::RegisterBenchmark("compile_rg/suite_rgminus",
+                               [](benchmark::State &S) {
+                                 BM_FullCompile(
+                                     S,
+                                     bench::benchmarkSuite().front().Source,
+                                     Strategy::RgMinus);
+                               });
+  benchmark::RegisterBenchmark("inference_scaling", BM_InferenceScaling)
+      ->Arg(2)
+      ->Arg(8)
+      ->Arg(32)
+      ->Complexity();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,64 @@
+//===- bench/bench_tagfree.cpp - Tag-free representation ablation ---------===//
+//
+// Section 6: the partly tag-free representation (headerless pairs, cons
+// cells and refs in uniform-kind regions) "leads to significant time and
+// memory savings, in particular because pairs and triples are used for
+// the implementation of many dynamic data structures". This harness runs
+// the list/pair-heavy benchmarks with the representation on and off.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/Programs.h"
+#include "core/Pipeline.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace rml;
+
+namespace {
+
+void BM_TagMode(benchmark::State &State, const std::string &Source,
+                bool TagFree) {
+  Compiler C;
+  auto Unit = C.compile(Source);
+  if (!Unit) {
+    State.SkipWithError("compile failed");
+    return;
+  }
+  uint64_t Alloc = 0, Peak = 0;
+  for (auto _ : State) {
+    rt::EvalOptions E;
+    E.TagFreePairs = TagFree;
+    rt::RunResult R = C.run(*Unit, E);
+    if (R.Outcome != rt::RunOutcome::Ok) {
+      State.SkipWithError(R.Error.c_str());
+      return;
+    }
+    Alloc = R.Heap.AllocWords;
+    Peak = R.Heap.peakBytes();
+  }
+  State.counters["alloc_words"] = static_cast<double>(Alloc);
+  State.counters["peak_kb"] = static_cast<double>(Peak) / 1024.0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  for (const char *Name : {"nrev", "msort", "qsort", "sieve", "life",
+                           "queens", "refs"}) {
+    const bench::BenchProgram *P = bench::findBenchmark(Name);
+    if (!P)
+      continue;
+    benchmark::RegisterBenchmark(
+        (std::string("tagfree_on/") + Name).c_str(),
+        [Src = P->Source](benchmark::State &S) { BM_TagMode(S, Src, true); });
+    benchmark::RegisterBenchmark(
+        (std::string("tagfree_off/") + Name).c_str(),
+        [Src = P->Source](benchmark::State &S) {
+          BM_TagMode(S, Src, false);
+        });
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,70 @@
+//===- examples/figure2.cpp - Regenerating Figure 2 -----------------------===//
+//
+// The paper's Figure 2 shows the Figure 1 program twice: (a) the unsound
+// region annotation, where the dead string's region rho is deallocated
+// inside the h binding, and (b) the sound annotation, where rho is bound
+// around h's whole live range and appears in h's arrow effect. This
+// example regenerates both from the same source: (a) is the rg-
+// strategy's output, (b) is rg's.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+
+#include <cstdio>
+
+using namespace rml;
+
+namespace {
+
+/// Trims the output to the "run" function (where Figure 2 lives).
+std::string focusOnRun(const std::string &Program) {
+  size_t Pos = Program.find("let val run");
+  if (Pos == std::string::npos)
+    return Program;
+  return Program.substr(Pos);
+}
+
+} // namespace
+
+int main() {
+  // Figure 1's program, with the basis composition function.
+  const char *Source =
+      "fun compose fg = fn x => #1 fg (#2 fg x)\n"
+      "fun run u =\n"
+      "  let val h = compose (let val x = \"oh\" ^ \"no\"\n"
+      "                       in (fn _ => (), fn v => x) end)\n"
+      "      val w = work 20000\n"
+      "  in h () end\n"
+      ";run ()\n";
+
+  struct Variant {
+    const char *Title;
+    Strategy S;
+  } Variants[] = {
+      {"(a) the unsound annotation (rg-): the string's region is bound "
+       "inside the h binding",
+       Strategy::RgMinus},
+      {"(b) the sound annotation (rg): the region is bound around h's "
+       "whole live range,\n    visible in h's arrow effect",
+       Strategy::Rg},
+  };
+
+  for (const Variant &V : Variants) {
+    Compiler C;
+    CompileOptions Opts;
+    Opts.Strat = V.S;
+    auto Unit = C.compile(Source, Opts);
+    if (!Unit) {
+      std::printf("compile failed:\n%s\n", C.diagnostics().str().c_str());
+      return 1;
+    }
+    std::printf("== Figure 2%s ==\n\n%s\n\n", V.Title,
+                focusOnRun(C.printProgram(*Unit)).c_str());
+  }
+  std::printf("Spot the difference: under rg, h's latent arrow effect "
+              "mentions the string's\nregion (kept alive); under rg- it "
+              "does not, and the region's letregion sits\ninside the h "
+              "binding — the dangling pointer of Figure 1.\n");
+  return 0;
+}

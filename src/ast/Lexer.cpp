@@ -1,0 +1,391 @@
+//===- ast/Lexer.cpp ------------------------------------------------------===//
+
+#include "ast/Lexer.h"
+
+#include <cassert>
+#include <cctype>
+#include <unordered_map>
+
+using namespace rml;
+
+const char *rml::tokKindName(TokKind K) {
+  switch (K) {
+  case TokKind::Eof:
+    return "end of input";
+  case TokKind::IntLit:
+    return "integer literal";
+  case TokKind::StringLit:
+    return "string literal";
+  case TokKind::Ident:
+    return "identifier";
+  case TokKind::TyVar:
+    return "type variable";
+  case TokKind::KwVal:
+    return "'val'";
+  case TokKind::KwFun:
+    return "'fun'";
+  case TokKind::KwFn:
+    return "'fn'";
+  case TokKind::KwLet:
+    return "'let'";
+  case TokKind::KwIn:
+    return "'in'";
+  case TokKind::KwEnd:
+    return "'end'";
+  case TokKind::KwIf:
+    return "'if'";
+  case TokKind::KwThen:
+    return "'then'";
+  case TokKind::KwElse:
+    return "'else'";
+  case TokKind::KwCase:
+    return "'case'";
+  case TokKind::KwOf:
+    return "'of'";
+  case TokKind::KwNil:
+    return "'nil'";
+  case TokKind::KwTrue:
+    return "'true'";
+  case TokKind::KwFalse:
+    return "'false'";
+  case TokKind::KwAndalso:
+    return "'andalso'";
+  case TokKind::KwOrelse:
+    return "'orelse'";
+  case TokKind::KwDiv:
+    return "'div'";
+  case TokKind::KwMod:
+    return "'mod'";
+  case TokKind::KwRef:
+    return "'ref'";
+  case TokKind::KwException:
+    return "'exception'";
+  case TokKind::KwRaise:
+    return "'raise'";
+  case TokKind::KwHandle:
+    return "'handle'";
+  case TokKind::KwInt:
+    return "'int'";
+  case TokKind::KwBool:
+    return "'bool'";
+  case TokKind::KwString:
+    return "'string'";
+  case TokKind::KwUnit:
+    return "'unit'";
+  case TokKind::KwList:
+    return "'list'";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::LBracket:
+    return "'['";
+  case TokKind::RBracket:
+    return "']'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Semi:
+    return "';'";
+  case TokKind::Arrow:
+    return "'->'";
+  case TokKind::DArrow:
+    return "'=>'";
+  case TokKind::Bar:
+    return "'|'";
+  case TokKind::Eq:
+    return "'='";
+  case TokKind::NotEq:
+    return "'<>'";
+  case TokKind::Less:
+    return "'<'";
+  case TokKind::LessEq:
+    return "'<='";
+  case TokKind::Greater:
+    return "'>'";
+  case TokKind::GreaterEq:
+    return "'>='";
+  case TokKind::Plus:
+    return "'+'";
+  case TokKind::Minus:
+    return "'-'";
+  case TokKind::Star:
+    return "'*'";
+  case TokKind::Caret:
+    return "'^'";
+  case TokKind::Cons:
+    return "'::'";
+  case TokKind::Bang:
+    return "'!'";
+  case TokKind::Assign:
+    return "':='";
+  case TokKind::Colon:
+    return "':'";
+  case TokKind::Hash1:
+    return "'#1'";
+  case TokKind::Hash2:
+    return "'#2'";
+  case TokKind::Tilde:
+    return "'~'";
+  case TokKind::Wild:
+    return "'_'";
+  }
+  return "<token>";
+}
+
+char Lexer::advance() {
+  assert(!atEnd() && "advance past end of input");
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+void Lexer::skipTrivia() {
+  while (!atEnd()) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    // SML comments nest.
+    if (C == '(' && peek(1) == '*') {
+      SrcLoc Start = loc();
+      advance();
+      advance();
+      unsigned Depth = 1;
+      while (Depth != 0) {
+        if (atEnd()) {
+          Diags.error(Start, "unterminated comment");
+          return;
+        }
+        if (peek() == '(' && peek(1) == '*') {
+          advance();
+          advance();
+          ++Depth;
+        } else if (peek() == '*' && peek(1) == ')') {
+          advance();
+          advance();
+          --Depth;
+        } else {
+          advance();
+        }
+      }
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::lexNumber() {
+  Token T = make(TokKind::IntLit, loc());
+  int64_t Value = 0;
+  while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+    Value = Value * 10 + (advance() - '0');
+  T.IntValue = Value;
+  return T;
+}
+
+Token Lexer::lexString() {
+  Token T = make(TokKind::StringLit, loc());
+  advance(); // opening quote
+  std::string Out;
+  while (true) {
+    if (atEnd() || peek() == '\n') {
+      Diags.error(T.Loc, "unterminated string literal");
+      break;
+    }
+    char C = advance();
+    if (C == '"')
+      break;
+    if (C != '\\') {
+      Out += C;
+      continue;
+    }
+    if (atEnd()) {
+      Diags.error(T.Loc, "unterminated string literal");
+      break;
+    }
+    char E = advance();
+    switch (E) {
+    case 'n':
+      Out += '\n';
+      break;
+    case 't':
+      Out += '\t';
+      break;
+    case '\\':
+      Out += '\\';
+      break;
+    case '"':
+      Out += '"';
+      break;
+    default:
+      Diags.error(loc(), std::string("unknown string escape '\\") + E + "'");
+      break;
+    }
+  }
+  T.Text = std::move(Out);
+  return T;
+}
+
+static bool isWordChar(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_' || C == '\'' ||
+         C == '.';
+}
+
+Token Lexer::lexWord() {
+  static const std::unordered_map<std::string_view, TokKind> Keywords = {
+      {"val", TokKind::KwVal},         {"fun", TokKind::KwFun},
+      {"fn", TokKind::KwFn},           {"let", TokKind::KwLet},
+      {"in", TokKind::KwIn},           {"end", TokKind::KwEnd},
+      {"if", TokKind::KwIf},           {"then", TokKind::KwThen},
+      {"else", TokKind::KwElse},       {"case", TokKind::KwCase},
+      {"of", TokKind::KwOf},           {"nil", TokKind::KwNil},
+      {"true", TokKind::KwTrue},       {"false", TokKind::KwFalse},
+      {"andalso", TokKind::KwAndalso}, {"orelse", TokKind::KwOrelse},
+      {"div", TokKind::KwDiv},         {"mod", TokKind::KwMod},
+      {"ref", TokKind::KwRef},         {"exception", TokKind::KwException},
+      {"raise", TokKind::KwRaise},     {"handle", TokKind::KwHandle},
+      {"int", TokKind::KwInt},         {"bool", TokKind::KwBool},
+      {"string", TokKind::KwString},   {"unit", TokKind::KwUnit},
+      {"list", TokKind::KwList},
+  };
+
+  SrcLoc Start = loc();
+  std::string Word;
+  while (!atEnd() && isWordChar(peek()))
+    Word += advance();
+  if (Word == "_")
+    return make(TokKind::Wild, Start);
+  auto It = Keywords.find(Word);
+  if (It != Keywords.end())
+    return make(It->second, Start);
+  Token T = make(TokKind::Ident, Start);
+  T.Text = std::move(Word);
+  return T;
+}
+
+Token Lexer::lexTyVar() {
+  SrcLoc Start = loc();
+  advance(); // leading quote
+  std::string Name = "'";
+  while (!atEnd() && isWordChar(peek()))
+    Name += advance();
+  if (Name.size() == 1)
+    Diags.error(Start, "expected type variable name after \"'\"");
+  Token T = make(TokKind::TyVar, Start);
+  T.Text = std::move(Name);
+  return T;
+}
+
+Token Lexer::lexSymbol() {
+  SrcLoc Start = loc();
+  char C = advance();
+  switch (C) {
+  case '(':
+    return make(TokKind::LParen, Start);
+  case ')':
+    return make(TokKind::RParen, Start);
+  case '[':
+    return make(TokKind::LBracket, Start);
+  case ']':
+    return make(TokKind::RBracket, Start);
+  case ',':
+    return make(TokKind::Comma, Start);
+  case ';':
+    return make(TokKind::Semi, Start);
+  case '|':
+    return make(TokKind::Bar, Start);
+  case '+':
+    return make(TokKind::Plus, Start);
+  case '*':
+    return make(TokKind::Star, Start);
+  case '^':
+    return make(TokKind::Caret, Start);
+  case '!':
+    return make(TokKind::Bang, Start);
+  case '~':
+    return make(TokKind::Tilde, Start);
+  case '#':
+    if (peek() == '1') {
+      advance();
+      return make(TokKind::Hash1, Start);
+    }
+    if (peek() == '2') {
+      advance();
+      return make(TokKind::Hash2, Start);
+    }
+    Diags.error(Start, "expected '#1' or '#2'");
+    return make(TokKind::Hash1, Start);
+  case '-':
+    if (peek() == '>') {
+      advance();
+      return make(TokKind::Arrow, Start);
+    }
+    return make(TokKind::Minus, Start);
+  case '=':
+    if (peek() == '>') {
+      advance();
+      return make(TokKind::DArrow, Start);
+    }
+    return make(TokKind::Eq, Start);
+  case '<':
+    if (peek() == '>') {
+      advance();
+      return make(TokKind::NotEq, Start);
+    }
+    if (peek() == '=') {
+      advance();
+      return make(TokKind::LessEq, Start);
+    }
+    return make(TokKind::Less, Start);
+  case '>':
+    if (peek() == '=') {
+      advance();
+      return make(TokKind::GreaterEq, Start);
+    }
+    return make(TokKind::Greater, Start);
+  case ':':
+    if (peek() == ':') {
+      advance();
+      return make(TokKind::Cons, Start);
+    }
+    if (peek() == '=') {
+      advance();
+      return make(TokKind::Assign, Start);
+    }
+    return make(TokKind::Colon, Start);
+  default:
+    Diags.error(Start, std::string("unexpected character '") + C + "'");
+    return make(TokKind::Eof, Start);
+  }
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Out;
+  while (true) {
+    skipTrivia();
+    if (atEnd())
+      break;
+    char C = peek();
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      Out.push_back(lexNumber());
+    } else if (C == '"') {
+      Out.push_back(lexString());
+    } else if (C == '\'') {
+      Out.push_back(lexTyVar());
+    } else if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      Out.push_back(lexWord());
+    } else {
+      Token T = lexSymbol();
+      if (T.Kind != TokKind::Eof || !atEnd())
+        Out.push_back(T);
+    }
+  }
+  Out.push_back(make(TokKind::Eof, loc()));
+  return Out;
+}

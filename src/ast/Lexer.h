@@ -1,0 +1,68 @@
+//===- ast/Lexer.h - MiniML lexer -------------------------------*- C++ -*-===//
+//
+// Part of RegionML, a reproduction of "Garbage-Collection Safety for
+// Region-Based Type-Polymorphic Programs" (Elsman, PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for MiniML. Supports SML-style `(* ... *)` nested
+/// comments, decimal integers with `~` negation handled by the parser,
+/// string literals with the common escapes, and alphanumeric/symbolic
+/// tokens.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RML_AST_LEXER_H
+#define RML_AST_LEXER_H
+
+#include "ast/Token.h"
+#include "support/Diagnostics.h"
+
+#include <string_view>
+#include <vector>
+
+namespace rml {
+
+class Lexer {
+public:
+  Lexer(std::string_view Source, DiagnosticEngine &Diags)
+      : Source(Source), Diags(Diags) {}
+
+  /// Tokenises the whole input; the result always ends with an Eof token.
+  /// On a lexical error a diagnostic is emitted and the offending character
+  /// is skipped, so the token stream stays usable for recovery.
+  std::vector<Token> lexAll();
+
+private:
+  bool atEnd() const { return Pos >= Source.size(); }
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+  }
+  char advance();
+  SrcLoc loc() const { return {Line, Col}; }
+
+  void skipTrivia();
+  Token lexNumber();
+  Token lexString();
+  Token lexWord();
+  Token lexTyVar();
+  Token lexSymbol();
+
+  Token make(TokKind Kind, SrcLoc Loc) const {
+    Token T;
+    T.Kind = Kind;
+    T.Loc = Loc;
+    return T;
+  }
+
+  std::string_view Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+};
+
+} // namespace rml
+
+#endif // RML_AST_LEXER_H

@@ -1,0 +1,102 @@
+//===- ast/Token.h - MiniML tokens ------------------------------*- C++ -*-===//
+//
+// Part of RegionML, a reproduction of "Garbage-Collection Safety for
+// Region-Based Type-Polymorphic Programs" (Elsman, PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds for the MiniML frontend — an SML-flavoured subset that covers
+/// everything the paper's programs exercise: higher-order functions,
+/// let-polymorphism, pairs, lists, strings, references and exceptions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RML_AST_TOKEN_H
+#define RML_AST_TOKEN_H
+
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <string>
+
+namespace rml {
+
+enum class TokKind : uint8_t {
+  Eof,
+  // Literals and identifiers.
+  IntLit,    // 42
+  StringLit, // "oh"
+  Ident,     // x, foo'
+  TyVar,     // 'a
+  // Keywords.
+  KwVal,
+  KwFun,
+  KwFn,
+  KwLet,
+  KwIn,
+  KwEnd,
+  KwIf,
+  KwThen,
+  KwElse,
+  KwCase,
+  KwOf,
+  KwNil,
+  KwTrue,
+  KwFalse,
+  KwAndalso,
+  KwOrelse,
+  KwDiv,
+  KwMod,
+  KwRef,
+  KwException,
+  KwRaise,
+  KwHandle,
+  KwInt,
+  KwBool,
+  KwString,
+  KwUnit,
+  KwList,
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Comma,
+  Semi,
+  Arrow,     // ->
+  DArrow,    // =>
+  Bar,       // |
+  Eq,        // =
+  NotEq,     // <>
+  Less,      // <
+  LessEq,    // <=
+  Greater,   // >
+  GreaterEq, // >=
+  Plus,      // +
+  Minus,     // -
+  Star,      // *
+  Caret,     // ^
+  Cons,      // ::
+  Bang,      // !
+  Assign,    // :=
+  Colon,     // :
+  Hash1,     // #1
+  Hash2,     // #2
+  Tilde,     // ~ (unary negation)
+  Wild,      // _
+};
+
+/// Returns a printable spelling for \p K (for diagnostics).
+const char *tokKindName(TokKind K);
+
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  SrcLoc Loc;
+  std::string Text; // Ident / TyVar spelling, or decoded string literal.
+  int64_t IntValue = 0;
+};
+
+} // namespace rml
+
+#endif // RML_AST_TOKEN_H

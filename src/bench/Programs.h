@@ -1,0 +1,50 @@
+//===- bench/Programs.h - The benchmark suite -------------------*- C++ -*-===//
+//
+// Part of RegionML, a reproduction of "Garbage-Collection Safety for
+// Region-Based Type-Polymorphic Programs" (Elsman, PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MiniML sources for the Figure 9 benchmark suite. The paper's programs
+/// are Standard ML (fib37, tak, msort, life, mandelbrot, ...); these are
+/// the same program *shapes* rewritten in MiniML and scaled to interpreter
+/// speed, each prefixed with a small basis library (compose, map, app,
+/// foldl, filter, append, length) that — like the SML Basis Library in
+/// Section 4.1 — contributes the suite's spurious functions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RML_BENCH_PROGRAMS_H
+#define RML_BENCH_PROGRAMS_H
+
+#include <string>
+#include <vector>
+
+namespace rml::bench {
+
+struct BenchProgram {
+  std::string Name;
+  std::string Source;
+  /// Lines of code excluding the shared basis (the paper's loc column
+  /// excludes the Basis Library).
+  unsigned Loc = 0;
+};
+
+/// The shared mini-basis prepended to every program.
+const std::string &basisSource();
+
+/// The full suite (basis already prepended to every Source).
+const std::vector<BenchProgram> &benchmarkSuite();
+
+/// A single program by name (null if unknown).
+const BenchProgram *findBenchmark(const std::string &Name);
+
+/// The Figure 1 / Figure 8 programs that crash the rg- collector.
+const std::string &danglingPointerProgram(); // Figure 1 (composition)
+const std::string &spuriousChainProgram();   // Figure 8 (g / o chain)
+const std::string &exnDanglingProgram();     // Section 4.4 (exception)
+
+} // namespace rml::bench
+
+#endif // RML_BENCH_PROGRAMS_H

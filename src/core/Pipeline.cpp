@@ -1,0 +1,94 @@
+//===- core/Pipeline.cpp --------------------------------------------------===//
+
+#include "core/Pipeline.h"
+
+using namespace rml;
+
+std::unique_ptr<CompiledUnit> Compiler::compile(std::string_view Source,
+                                                const CompileOptions &Opts) {
+  Diags.clear();
+  auto Unit = std::make_unique<CompiledUnit>();
+  Unit->Options = Opts;
+
+  std::optional<Program> P = parseString(Source, Ast, Names, Diags);
+  if (!P)
+    return nullptr;
+  Unit->Ast = std::move(*P);
+
+  if (!checkProgram(Unit->Ast, Types, Names, Diags, Unit->Types))
+    return nullptr;
+
+  Unit->Spurious = analyzeSpurious(Unit->Ast, Unit->Types);
+
+  InferOptions IOpts;
+  IOpts.Strat = Opts.Strat;
+  IOpts.Spurious = Opts.Spurious;
+  std::optional<InferResult> Inf =
+      inferRegions(Unit->Ast, Unit->Types, Unit->Spurious, IOpts, RTypes,
+                   RExprs, Names, Diags);
+  if (!Inf)
+    return nullptr;
+  Unit->Inferred = std::move(*Inf);
+
+  if (Opts.Check) {
+    // The GC-safety side conditions are exactly what rg guarantees; the
+    // rg- and r strategies produce Tofte-Talpin-correct programs that may
+    // harbour dangling pointers, so they are checked with safety off.
+    GcSafety Safety =
+        Opts.Strat == Strategy::Rg ? GcSafety::On : GcSafety::Off;
+    Unit->Checked = checkRProgram(Unit->Inferred.Prog, RTypes, Names, Diags,
+                                  Safety);
+    if (!Unit->Checked)
+      return nullptr;
+  }
+
+  Unit->Mult = analyzeMultiplicity(Unit->Inferred.Prog);
+  Unit->Kinds = analyzeRegionKinds(Unit->Inferred.Prog);
+  Unit->Drops = analyzeDropRegions(Unit->Inferred.Prog);
+  return Unit;
+}
+
+rt::RunResult Compiler::run(const CompiledUnit &Unit,
+                            rt::EvalOptions EvalOpts) {
+  if (Unit.Options.Strat == Strategy::R)
+    EvalOpts.GcEnabled = false;
+  return rt::runProgram(Unit.program(), Unit.rootMu(), Unit.Mult, Unit.Kinds,
+                        Unit.Drops, Names, EvalOpts);
+}
+
+std::string Compiler::printProgram(const CompiledUnit &Unit) const {
+  return printRExpr(Unit.program().Root, Names);
+}
+
+namespace {
+
+/// Finds the FunBind bound under \p Name along the top-level let chain.
+const RExpr *findTopLevelFun(const RExpr *Root, Symbol Name) {
+  const RExpr *E = Root;
+  while (E) {
+    if (E->K == RExpr::Kind::LetRegion) {
+      E = E->A;
+      continue;
+    }
+    if (E->K == RExpr::Kind::Let) {
+      if (E->Name == Name && E->A && E->A->K == RExpr::Kind::FunBind)
+        return E->A;
+      E = E->B;
+      continue;
+    }
+    return nullptr;
+  }
+  return nullptr;
+}
+
+} // namespace
+
+std::string Compiler::schemeOf(const CompiledUnit &Unit,
+                               std::string_view Name) const {
+  // The interner is logically const here; intern() only reads or adds.
+  Symbol S = const_cast<Interner &>(Names).intern(Name);
+  const RExpr *Fun = findTopLevelFun(Unit.program().Root, S);
+  if (!Fun)
+    return "";
+  return printScheme(Fun->Sigma);
+}

@@ -1,0 +1,115 @@
+//===- core/Pipeline.h - The RegionML public API ----------------*- C++ -*-===//
+//
+// Part of RegionML, a reproduction of "Garbage-Collection Safety for
+// Region-Based Type-Polymorphic Programs" (Elsman, PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The library's front door. A Compiler owns all arenas and runs the full
+/// pipeline over a MiniML source string:
+///
+///   parse -> Hindley-Milner typing -> spurious-type-variable analysis
+///         -> region inference (strategy rg / rg- / r)
+///         -> region type check (GC-safe rules of Figure 4)
+///         -> region-representation analyses (multiplicity, drop, kinds)
+///         -> execution on the region runtime with reference-tracing GC
+///
+/// Typical use:
+/// \code
+///   rml::Compiler C;
+///   auto Unit = C.compile(Source, {rml::Strategy::Rg});
+///   if (!Unit) { /* C.diagnostics() */ }
+///   auto Run = C.run(*Unit);
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RML_CORE_PIPELINE_H
+#define RML_CORE_PIPELINE_H
+
+#include "ast/Ast.h"
+#include "ast/Parser.h"
+#include "rcheck/Check.h"
+#include "region/RExpr.h"
+#include "rinfer/DropRegions.h"
+#include "rinfer/Infer.h"
+#include "rinfer/Multiplicity.h"
+#include "rinfer/RegionKinds.h"
+#include "rinfer/Spurious.h"
+#include "rinfer/Strategy.h"
+#include "rt/Eval.h"
+#include "support/Diagnostics.h"
+#include "support/Interner.h"
+#include "types/Type.h"
+#include "types/TypeCheck.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace rml {
+
+/// Options for one compilation.
+struct CompileOptions {
+  Strategy Strat = Strategy::Rg;
+  SpuriousMode Spurious = SpuriousMode::FreshSecondary;
+  /// Validate the region-annotated program with the Figure 4 checker
+  /// (GC-safety conditions enabled iff the strategy is rg).
+  bool Check = true;
+};
+
+/// Everything produced by a successful compilation.
+struct CompiledUnit {
+  CompileOptions Options;
+  Program Ast;
+  TypeInfo Types;
+  SpuriousInfo Spurious;
+  InferResult Inferred;
+  MultiplicityInfo Mult;
+  RegionKindInfo Kinds;
+  DropInfo Drops;
+  /// Region type and effect of the whole program (from the checker; only
+  /// set when Options.Check).
+  std::optional<CheckResult> Checked;
+
+  const RProgram &program() const { return Inferred.Prog; }
+  const Mu *rootMu() const { return Inferred.RootMu; }
+};
+
+/// The pipeline owner. Not thread-safe; one Compiler per thread.
+class Compiler {
+public:
+  Compiler() = default;
+
+  /// Runs the static pipeline. Returns nullptr after recording
+  /// diagnostics (see diagnostics()).
+  std::unique_ptr<CompiledUnit> compile(std::string_view Source,
+                                        const CompileOptions &Opts = {});
+
+  /// Executes a compiled unit on the region runtime. GC is enabled
+  /// unless the unit was compiled with Strategy::R.
+  rt::RunResult run(const CompiledUnit &Unit, rt::EvalOptions EvalOpts = {});
+
+  /// Renders the region-annotated program (Figure 2 style).
+  std::string printProgram(const CompiledUnit &Unit) const;
+
+  /// The region type scheme a top-level declaration received, rendered in
+  /// the paper's notation; empty if the name is unknown or monomorphic.
+  std::string schemeOf(const CompiledUnit &Unit, std::string_view Name) const;
+
+  DiagnosticEngine &diagnostics() { return Diags; }
+  Interner &names() { return Names; }
+
+private:
+  Interner Names;
+  DiagnosticEngine Diags;
+  AstArena Ast;
+  TypeArena Types;
+  RTypeArena RTypes;
+  RExprArena RExprs;
+};
+
+} // namespace rml
+
+#endif // RML_CORE_PIPELINE_H

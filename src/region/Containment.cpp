@@ -1,0 +1,89 @@
+//===- region/Containment.cpp ---------------------------------------------===//
+
+#include "region/Containment.h"
+
+#include <algorithm>
+
+using namespace rml;
+
+bool rml::tauContained(const TyVarCtx &Omega, const Tau *T, RegionVar Rho,
+                       const Effect &Phi,
+                       const std::vector<TyVarId> *PlainOk) {
+  if (!Phi.contains(Rho))
+    return false;
+  switch (T->K) {
+  case Tau::Kind::Pair:
+    return typeContained(Omega, T->A, Phi, PlainOk) &&
+           typeContained(Omega, T->B, Phi, PlainOk);
+  case Tau::Kind::Arrow:
+    // phi0 subset phi and {rho, eps} subset phi.
+    return typeContained(Omega, T->A, Phi, PlainOk) &&
+           typeContained(Omega, T->B, Phi, PlainOk) &&
+           T->Nu.Phi.subsetOf(Phi) && Phi.contains(T->Nu.Handle);
+  case Tau::Kind::String:
+    return true;
+  case Tau::Kind::Exn:
+    // Exception payloads live in global regions by construction
+    // (Section 4.4), so the box itself is the only constraint.
+    return true;
+  case Tau::Kind::List:
+  case Tau::Kind::Ref:
+    return typeContained(Omega, T->A, Phi, PlainOk);
+  }
+  return false;
+}
+
+bool rml::typeContained(const TyVarCtx &Omega, const Mu *M,
+                        const Effect &Phi,
+                        const std::vector<TyVarId> *PlainOk) {
+  switch (M->K) {
+  case Mu::Kind::Int:
+  case Mu::Kind::Bool:
+  case Mu::Kind::Unit:
+    return true;
+  case Mu::Kind::TyVar: {
+    const ArrowEff *Nu = Omega.lookup(M->Alpha);
+    if (Nu)
+      return Nu->frev().subsetOf(Phi);
+    // Plain entry (or unbound): contained only when explicitly allowed.
+    return PlainOk && std::find(PlainOk->begin(), PlainOk->end(),
+                                M->Alpha) != PlainOk->end();
+  }
+  case Mu::Kind::Boxed:
+    return tauContained(Omega, M->T, M->Rho, Phi, PlainOk);
+  }
+  return false;
+}
+
+bool rml::piContained(const TyVarCtx &Omega, const Pi &P, const Effect &Phi,
+                      const std::vector<TyVarId> *PlainOk) {
+  if (P.isMu())
+    return typeContained(Omega, P.AsMu, Phi, PlainOk);
+
+  const RScheme &S = P.Sigma;
+  // Bound region/effect variables must not collide with the context or
+  // the place (the paper assumes schemes renamed apart; we check).
+  Effect Bound = S.boundVars();
+  Effect CtxFrev = Omega.frev();
+  CtxFrev.insert(AtomicEffect(P.Place));
+  if (!Bound.disjointFrom(CtxFrev))
+    return false;
+  if (!Omega.domainDisjoint(S.Delta))
+    return false;
+  if (!Phi.contains(P.Place))
+    return false;
+  // By effect extensibility it suffices to check against the largest
+  // premise effect phi union bound. The scheme's own *bound* plain type
+  // variables are admissible inside the body — they are binders, exactly
+  // like the quantified region/effect variables unioned into the premise
+  // effect; a value of the scheme type cannot leak their instances.
+  Effect Inner = Phi.unionWith(Bound);
+  std::vector<TyVarId> InnerPlainOk;
+  if (PlainOk)
+    InnerPlainOk = *PlainOk;
+  for (const auto &[Alpha, Nu] : S.Delta)
+    if (!Nu)
+      InnerPlainOk.push_back(Alpha);
+  return tauContained(Omega.plus(S.Delta), S.Body, P.Place, Inner,
+                      &InnerPlainOk);
+}

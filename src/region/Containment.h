@@ -1,0 +1,54 @@
+//===- region/Containment.h - Type containment ------------------*- C++ -*-===//
+//
+// Part of RegionML, a reproduction of "Garbage-Collection Safety for
+// Region-Based Type-Polymorphic Programs" (Elsman, PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Type containment (Section 3.2): Omega |- mu : phi states that every
+/// region and effect variable a value of type mu may reference is in phi.
+/// For a bound type variable alpha, containment delegates to the arrow
+/// effect Omega(alpha) — frev(Omega(alpha)) subset phi — which is the
+/// mechanism that lets the type system "see" the regions hidden behind a
+/// polymorphic instantiation. The scheme-level extension and the key
+/// consequence frev(o) subset phi (Proposition 2) are also provided.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RML_REGION_CONTAINMENT_H
+#define RML_REGION_CONTAINMENT_H
+
+#include "region/Effect.h"
+#include "region/RegionType.h"
+
+#include <vector>
+
+namespace rml {
+
+/// Omega |- mu : phi.
+///
+/// A type variable is contained when the frev of its arrow effect in
+/// Omega is included in phi. *Plain* entries (Section 4.1's non-spurious
+/// variables, which carry no arrow effect) are only contained when listed
+/// in \p PlainOk — the GC-safety relation passes the type variables of
+/// the function's own type there, since an occurrence in the function
+/// type keeps the (substituted) regions reachable; everywhere else plain
+/// variables are not containable, which is exactly why a variable hidden
+/// from the function type must be spurious.
+bool typeContained(const TyVarCtx &Omega, const Mu *M, const Effect &Phi,
+                   const std::vector<TyVarId> *PlainOk = nullptr);
+
+/// Omega |- tau : phi at a given place rho (internal form of the boxed
+/// rules; exposed for the checker).
+bool tauContained(const TyVarCtx &Omega, const Tau *T, RegionVar Rho,
+                  const Effect &Phi,
+                  const std::vector<TyVarId> *PlainOk = nullptr);
+
+/// Omega |- pi : phi (type scheme containment).
+bool piContained(const TyVarCtx &Omega, const Pi &P, const Effect &Phi,
+                 const std::vector<TyVarId> *PlainOk = nullptr);
+
+} // namespace rml
+
+#endif // RML_REGION_CONTAINMENT_H

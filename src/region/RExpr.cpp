@@ -1,0 +1,429 @@
+//===- region/RExpr.cpp ---------------------------------------------------===//
+
+#include "region/RExpr.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace rml;
+
+namespace {
+
+void collectFree(const RExpr *E, std::vector<Symbol> &Bound,
+                 std::vector<Symbol> &Out) {
+  if (!E)
+    return;
+  auto IsBound = [&](Symbol S) {
+    return std::find(Bound.begin(), Bound.end(), S) != Bound.end();
+  };
+  auto Add = [&](Symbol S) {
+    if (!IsBound(S) && std::find(Out.begin(), Out.end(), S) == Out.end())
+      Out.push_back(S);
+  };
+
+  switch (E->K) {
+  case RExpr::Kind::Var:
+    Add(E->Name);
+    return;
+  case RExpr::Kind::Lam:
+  case RExpr::Kind::ClosVal: {
+    Bound.push_back(E->Param);
+    collectFree(E->A, Bound, Out);
+    Bound.pop_back();
+    return;
+  }
+  case RExpr::Kind::FunBind:
+  case RExpr::Kind::FunVal: {
+    Bound.push_back(E->Name);
+    Bound.push_back(E->Param);
+    collectFree(E->A, Bound, Out);
+    Bound.pop_back();
+    Bound.pop_back();
+    return;
+  }
+  case RExpr::Kind::Let: {
+    collectFree(E->A, Bound, Out);
+    Bound.push_back(E->Name);
+    collectFree(E->B, Bound, Out);
+    Bound.pop_back();
+    return;
+  }
+  case RExpr::Kind::ListCase: {
+    collectFree(E->A, Bound, Out);
+    collectFree(E->B, Bound, Out);
+    Bound.push_back(E->HeadName);
+    Bound.push_back(E->TailName);
+    collectFree(E->C, Bound, Out);
+    Bound.pop_back();
+    Bound.pop_back();
+    return;
+  }
+  case RExpr::Kind::Handle: {
+    collectFree(E->A, Bound, Out);
+    if (E->BindName.isValid())
+      Bound.push_back(E->BindName);
+    collectFree(E->B, Bound, Out);
+    if (E->BindName.isValid())
+      Bound.pop_back();
+    return;
+  }
+  default:
+    collectFree(E->A, Bound, Out);
+    collectFree(E->B, Bound, Out);
+    collectFree(E->C, Bound, Out);
+    for (const RExpr *Item : E->Items)
+      collectFree(Item, Bound, Out);
+    return;
+  }
+}
+
+} // namespace
+
+std::vector<Symbol> rml::freeVars(const RExpr *E) {
+  std::vector<Symbol> Bound, Out;
+  collectFree(E, Bound, Out);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Printing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class RPrinter {
+public:
+  explicit RPrinter(const Interner &Names) : Names(Names) {}
+
+  std::string run(const RExpr *E) {
+    print(E, 0);
+    return std::move(Out);
+  }
+
+private:
+  void indent(unsigned Depth) {
+    Out += '\n';
+    Out.append(2 * Depth, ' ');
+  }
+
+  void printQuantifiers(const RScheme &S) {
+    Out += '[';
+    bool First = true;
+    for (RegionVar R : S.QRegions) {
+      if (!First)
+        Out += ',';
+      First = false;
+      Out += printRegionVar(R);
+    }
+    for (EffectVar E : S.QEffects) {
+      if (!First)
+        Out += ',';
+      First = false;
+      Out += printEffectVar(E);
+    }
+    for (const auto &[A, Nu] : S.Delta) {
+      if (!First)
+        Out += ',';
+      First = false;
+      Out += printTyVar(A);
+      if (Nu)
+        Out += ":" + printArrowEff(*Nu);
+    }
+    Out += ']';
+  }
+
+  void print(const RExpr *E, unsigned Depth) {
+    if (!E) {
+      Out += "<null>";
+      return;
+    }
+    switch (E->K) {
+    case RExpr::Kind::IntLit:
+      Out += std::to_string(E->IntValue);
+      return;
+    case RExpr::Kind::BoolLit:
+      Out += E->BoolValue ? "true" : "false";
+      return;
+    case RExpr::Kind::UnitLit:
+      Out += "()";
+      return;
+    case RExpr::Kind::Var:
+      Out += Names.text(E->Name);
+      return;
+    case RExpr::Kind::Lam:
+      Out += "(fn ";
+      Out += Names.text(E->Param);
+      Out += " => ";
+      print(E->A, Depth);
+      Out += ") at ";
+      Out += printRegionVar(E->AtRho);
+      return;
+    case RExpr::Kind::ClosVal:
+      Out += "<fn ";
+      Out += Names.text(E->Param);
+      Out += " => ";
+      print(E->A, Depth);
+      Out += ">^";
+      Out += printRegionVar(E->AtRho);
+      return;
+    case RExpr::Kind::FunBind:
+    case RExpr::Kind::FunVal: {
+      bool IsVal = E->K == RExpr::Kind::FunVal;
+      Out += IsVal ? "<fun " : "fun ";
+      Out += Names.text(E->Name);
+      printQuantifiers(E->Sigma);
+      Out += ' ';
+      Out += Names.text(E->Param);
+      Out += " = ";
+      print(E->A, Depth + 1);
+      if (IsVal) {
+        Out += ">^";
+      } else {
+        Out += " at ";
+      }
+      Out += printRegionVar(E->AtRho);
+      return;
+    }
+    case RExpr::Kind::PairE:
+      Out += '(';
+      print(E->A, Depth);
+      Out += ", ";
+      print(E->B, Depth);
+      Out += ") at ";
+      Out += printRegionVar(E->AtRho);
+      return;
+    case RExpr::Kind::PairVal:
+      Out += '<';
+      print(E->A, Depth);
+      Out += ", ";
+      print(E->B, Depth);
+      Out += ">^";
+      Out += printRegionVar(E->AtRho);
+      return;
+    case RExpr::Kind::StrE:
+      Out += '"';
+      Out += E->StrValue;
+      Out += "\" at ";
+      Out += printRegionVar(E->AtRho);
+      return;
+    case RExpr::Kind::StrVal:
+      Out += "<\"";
+      Out += E->StrValue;
+      Out += "\">^";
+      Out += printRegionVar(E->AtRho);
+      return;
+    case RExpr::Kind::ConsE:
+      Out += '(';
+      print(E->A, Depth);
+      Out += " :: ";
+      print(E->B, Depth);
+      Out += ") at ";
+      Out += printRegionVar(E->AtRho);
+      return;
+    case RExpr::Kind::ConsVal:
+      Out += '<';
+      print(E->A, Depth);
+      Out += " :: ";
+      print(E->B, Depth);
+      Out += ">^";
+      Out += printRegionVar(E->AtRho);
+      return;
+    case RExpr::Kind::NilVal:
+      Out += "nil";
+      return;
+    case RExpr::Kind::RefE:
+      Out += "(ref ";
+      print(E->A, Depth);
+      Out += ") at ";
+      Out += printRegionVar(E->AtRho);
+      return;
+    case RExpr::Kind::RApp:
+      print(E->A, Depth);
+      Out += ' ';
+      Out += E->Inst.str();
+      Out += " at ";
+      Out += printRegionVar(E->AtRho);
+      return;
+    case RExpr::Kind::ExnConE:
+      Out += Names.text(E->ExnName);
+      if (E->A) {
+        Out += ' ';
+        print(E->A, Depth);
+      }
+      Out += " at ";
+      Out += printRegionVar(E->AtRho);
+      return;
+    case RExpr::Kind::Let:
+      Out += "let val ";
+      Out += Names.text(E->Name);
+      if (E->A && E->A->MuOf) {
+        Out += " : ";
+        Out += printMu(E->A->MuOf);
+      }
+      Out += " =";
+      indent(Depth + 1);
+      print(E->A, Depth + 1);
+      indent(Depth);
+      Out += "in ";
+      print(E->B, Depth + 1);
+      Out += " end";
+      return;
+    case RExpr::Kind::App:
+      Out += '(';
+      print(E->A, Depth);
+      Out += ' ';
+      print(E->B, Depth);
+      Out += ')';
+      return;
+    case RExpr::Kind::LetRegion: {
+      // Coalesce nested binders into the paper's "letregion r1,r2,r3 in"
+      // notation (Figure 2).
+      Out += "letregion ";
+      const RExpr *Cur = E;
+      bool First = true;
+      while (true) {
+        if (!First)
+          Out += ',';
+        First = false;
+        Out += printRegionVar(Cur->BoundRho);
+        for (EffectVar Ev : Cur->BoundEffs) {
+          Out += ',';
+          Out += printEffectVar(Ev);
+        }
+        if (Cur->A->K != RExpr::Kind::LetRegion)
+          break;
+        Cur = Cur->A;
+      }
+      Out += " in";
+      indent(Depth + 1);
+      print(Cur->A, Depth + 1);
+      indent(Depth);
+      Out += "end";
+      return;
+    }
+    case RExpr::Kind::Sel:
+      Out += '#';
+      Out += std::to_string(E->SelIndex);
+      Out += ' ';
+      print(E->A, Depth);
+      return;
+    case RExpr::Kind::If:
+      Out += "(if ";
+      print(E->A, Depth);
+      Out += " then ";
+      print(E->B, Depth);
+      Out += " else ";
+      print(E->C, Depth);
+      Out += ')';
+      return;
+    case RExpr::Kind::BinOp:
+      Out += '(';
+      print(E->A, Depth);
+      Out += ' ';
+      Out += binOpName(E->Op);
+      if (E->AtRho.isValid()) {
+        Out += '[';
+        Out += printRegionVar(E->AtRho);
+        Out += ']';
+      }
+      Out += ' ';
+      print(E->B, Depth);
+      Out += ')';
+      return;
+    case RExpr::Kind::ListCase:
+      Out += "(case ";
+      print(E->A, Depth);
+      Out += " of nil => ";
+      print(E->B, Depth);
+      Out += " | ";
+      Out += Names.text(E->HeadName);
+      Out += "::";
+      Out += Names.text(E->TailName);
+      Out += " => ";
+      print(E->C, Depth);
+      Out += ')';
+      return;
+    case RExpr::Kind::Deref:
+      Out += '!';
+      print(E->A, Depth);
+      return;
+    case RExpr::Kind::Assign:
+      Out += '(';
+      print(E->A, Depth);
+      Out += " := ";
+      print(E->B, Depth);
+      Out += ')';
+      return;
+    case RExpr::Kind::Seq: {
+      Out += '(';
+      bool First = true;
+      for (const RExpr *Item : E->Items) {
+        if (!First)
+          Out += "; ";
+        First = false;
+        print(Item, Depth);
+      }
+      Out += ')';
+      return;
+    }
+    case RExpr::Kind::Raise:
+      Out += "(raise ";
+      print(E->A, Depth);
+      Out += ')';
+      return;
+    case RExpr::Kind::Handle:
+      Out += '(';
+      print(E->A, Depth);
+      Out += " handle ";
+      Out += E->ExnName.isValid() ? Names.text(E->ExnName) : "_";
+      if (E->BindName.isValid()) {
+        Out += ' ';
+        Out += Names.text(E->BindName);
+      }
+      Out += " => ";
+      print(E->B, Depth);
+      Out += ')';
+      return;
+    case RExpr::Kind::Prim: {
+      const char *Name = "?";
+      switch (E->PrimK) {
+      case Expr::PrimKind::Print:
+        Name = "print";
+        break;
+      case Expr::PrimKind::Itos:
+        Name = "itos";
+        break;
+      case Expr::PrimKind::Size:
+        Name = "size";
+        break;
+      case Expr::PrimKind::Work:
+        Name = "work";
+        break;
+      case Expr::PrimKind::Global:
+        Name = "global";
+        break;
+      }
+      Out += '(';
+      Out += Name;
+      if (E->AtRho.isValid()) {
+        Out += '[';
+        Out += printRegionVar(E->AtRho);
+        Out += ']';
+      }
+      Out += ' ';
+      print(E->A, Depth);
+      Out += ')';
+      return;
+    }
+    }
+  }
+
+  const Interner &Names;
+  std::string Out;
+};
+
+} // namespace
+
+std::string rml::printRExpr(const RExpr *E, const Interner &Names) {
+  return RPrinter(Names).run(E);
+}

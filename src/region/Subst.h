@@ -1,0 +1,108 @@
+//===- region/Subst.h - Substitutions and instantiation ---------*- C++ -*-===//
+//
+// Part of RegionML, a reproduction of "Garbage-Collection Safety for
+// Region-Based Type-Polymorphic Programs" (Elsman, PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Substitutions S = (St, Sr, Se) over the region calculus (Section 3.3):
+///
+///   * St maps type variables to region-annotated types (mu),
+///   * Sr maps region variables to region variables,
+///   * Se maps effect variables to arrow effects.
+///
+/// Substitution on effects follows the paper exactly:
+///
+///   S(phi)     = { Sr(rho) | rho in phi }
+///                union { eta | exists eps in phi, eta in frev(Se(eps)) }
+///   S(eps.phi) = eps'.(phi' union S(phi))   where Se(eps) = eps'.phi'
+///
+/// so applying a substitution can only grow arrow effects — the property
+/// (Proposition 3) that makes unification-based region inference work.
+///
+/// The file also implements *substitution coverage* (Omega |- St : Delta)
+/// and the *instance-of* relation (Omega |- sigma >= tau via S) from
+/// Section 3.4. Coverage is the paper's fix: the arrow effect a scheme
+/// associates with a bound (spurious) type variable must contain the free
+/// region/effect variables of any type instantiated for it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RML_REGION_SUBST_H
+#define RML_REGION_SUBST_H
+
+#include "region/Effect.h"
+#include "region/RegionType.h"
+
+#include <map>
+#include <string>
+
+namespace rml {
+
+/// A substitution triple (St, Sr, Se). Identity outside its domain.
+struct Subst {
+  std::map<TyVarId, const Mu *> St;
+  std::map<RegionVar, RegionVar> Sr;
+  std::map<EffectVar, ArrowEff> Se;
+
+  bool isRegionEffect() const { return St.empty(); }
+  bool isIdentity() const {
+    return St.empty() && Sr.empty() && Se.empty();
+  }
+
+  RegionVar apply(RegionVar R) const {
+    auto It = Sr.find(R);
+    return It == Sr.end() ? R : It->second;
+  }
+
+  /// Se(eps) with identity default eps.{}.
+  ArrowEff applyEffectVar(EffectVar E) const {
+    auto It = Se.find(E);
+    return It == Se.end() ? ArrowEff(E, Effect::empty()) : It->second;
+  }
+
+  /// S(phi) per the paper definition above.
+  Effect apply(const Effect &Phi) const;
+
+  /// S(eps.phi) = eps'.(phi' union S(phi)).
+  ArrowEff apply(const ArrowEff &Nu) const;
+
+  const Mu *apply(const Mu *M, RTypeArena &Arena) const;
+  const Tau *apply(const Tau *T, RTypeArena &Arena) const;
+
+  /// S(Delta): defined only when dom(S) is disjoint from dom(Delta);
+  /// asserts that precondition.
+  TyVarCtx apply(const TyVarCtx &Delta) const;
+
+  /// S(sigma): bound variables must already be renamed apart from the
+  /// domain and range of S; asserts that precondition.
+  RScheme apply(const RScheme &S, RTypeArena &Arena) const;
+
+  Pi apply(const Pi &P, RTypeArena &Arena) const;
+
+  std::string str() const;
+};
+
+/// Composition helper used by Propositions 6/7: (Outer o Inner)
+/// restricted to dom(Inner).
+Subst composeRestricted(const Subst &Outer, const Subst &Inner,
+                        RTypeArena &Arena);
+
+/// Substitution coverage (Section 3.4): Omega |- St : Delta iff
+/// dom(St) = dom(Delta) and, for each alpha, Omega |- St(alpha) :
+/// frev(Delta(alpha)). Uses type containment (region/Containment.h).
+bool covers(const TyVarCtx &Omega, const Subst &S, const TyVarCtx &Delta);
+
+/// The instance-of relation Omega |- sigma >= tau via S: S's region and
+/// effect components must exactly cover sigma's quantified variables, the
+/// type component must be covered through the (substituted) Delta, and
+/// applying S to the scheme body must yield \p Expected. Returns false
+/// with \p Why describing the first failed condition.
+bool instanceOf(const TyVarCtx &Omega, const RScheme &Sigma,
+                const Subst &S, const Tau *Expected, RTypeArena &Arena,
+                std::string *Why = nullptr);
+
+} // namespace rml
+
+#endif // RML_REGION_SUBST_H

@@ -1,0 +1,61 @@
+//===- rinfer/DropRegions.cpp ---------------------------------------------===//
+
+#include "rinfer/DropRegions.h"
+
+using namespace rml;
+
+namespace {
+
+/// Collects every region that the subtree may store into: allocation
+/// destinations plus any region used as the target of an instantiation
+/// (which the callee may store into — conservative without a call graph).
+void collectPuts(const RExpr *E, std::set<uint32_t> &Puts) {
+  if (!E)
+    return;
+  if (E->AtRho.isValid())
+    Puts.insert(E->AtRho.Id);
+  if (E->K == RExpr::Kind::RApp)
+    for (const auto &[From, To] : E->Inst.Sr) {
+      // Identity pairs are region-monomorphic self-calls: the formal is
+      // a put target only if the body itself stores into it, which the
+      // AtRho walk already records.
+      if (From != To)
+        Puts.insert(To.Id);
+    }
+  collectPuts(E->A, Puts);
+  collectPuts(E->B, Puts);
+  collectPuts(E->C, Puts);
+  for (const RExpr *Item : E->Items)
+    collectPuts(Item, Puts);
+}
+
+void walk(const RExpr *E, DropInfo &Out) {
+  if (!E)
+    return;
+  if (E->K == RExpr::Kind::FunBind) {
+    std::set<uint32_t> Puts;
+    collectPuts(E->A, Puts);
+    std::set<uint32_t> Dropped;
+    for (RegionVar R : E->Sigma.QRegions) {
+      ++Out.TotalFormals;
+      if (!Puts.count(R.Id)) {
+        Dropped.insert(R.Id);
+        ++Out.DroppedFormals;
+      }
+    }
+    Out.Dropped.emplace(E, std::move(Dropped));
+  }
+  walk(E->A, Out);
+  walk(E->B, Out);
+  walk(E->C, Out);
+  for (const RExpr *Item : E->Items)
+    walk(Item, Out);
+}
+
+} // namespace
+
+DropInfo rml::analyzeDropRegions(const RProgram &P) {
+  DropInfo Out;
+  walk(P.Root, Out);
+  return Out;
+}

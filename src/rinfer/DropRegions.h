@@ -1,0 +1,45 @@
+//===- rinfer/DropRegions.h - Dropping pure get-regions ---------*- C++ -*-===//
+//
+// Part of RegionML, a reproduction of "Garbage-Collection Safety for
+// Region-Based Type-Polymorphic Programs" (Elsman, PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// "Dropping of quantified parameter regions that are not stored into by a
+/// function" (Section 4.2): a quantified region is *droppable* when the
+/// function never allocates into it and never forwards it as an
+/// instantiation target to another function (conservative). Droppable
+/// formals need no runtime region argument — values in them are only read,
+/// and reading needs no region descriptor.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RML_RINFER_DROPREGIONS_H
+#define RML_RINFER_DROPREGIONS_H
+
+#include "region/RExpr.h"
+
+#include <set>
+#include <unordered_map>
+
+namespace rml {
+
+struct DropInfo {
+  /// Per fun-binding: the quantified regions that need no runtime
+  /// argument.
+  std::unordered_map<const RExpr *, std::set<uint32_t>> Dropped;
+  unsigned TotalFormals = 0;
+  unsigned DroppedFormals = 0;
+
+  bool isDropped(const RExpr *Fun, RegionVar R) const {
+    auto It = Dropped.find(Fun);
+    return It != Dropped.end() && It->second.count(R.Id);
+  }
+};
+
+DropInfo analyzeDropRegions(const RProgram &P);
+
+} // namespace rml
+
+#endif // RML_RINFER_DROPREGIONS_H

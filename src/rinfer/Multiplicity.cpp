@@ -1,0 +1,107 @@
+//===- rinfer/Multiplicity.cpp --------------------------------------------===//
+
+#include "rinfer/Multiplicity.h"
+
+#include <set>
+
+using namespace rml;
+
+namespace {
+
+/// Conservative per-word size classes of the allocation performed by a
+/// node (header included; strings depend on length).
+unsigned allocWords(const RExpr *E) {
+  switch (E->K) {
+  case RExpr::Kind::PairE:
+  case RExpr::Kind::ConsE:
+    return 3;
+  case RExpr::Kind::RefE:
+    return 2;
+  case RExpr::Kind::StrE:
+    return 2 + static_cast<unsigned>((E->StrValue.size() + 7) / 8);
+  case RExpr::Kind::ExnConE:
+    return 3;
+  case RExpr::Kind::Lam:
+  case RExpr::Kind::FunBind:
+  case RExpr::Kind::RApp:
+    return 16; // closures: captures unknown here; conservative bound
+  case RExpr::Kind::Prim:
+    return E->PrimK == Expr::PrimKind::Itos ? 6 : 0;
+  case RExpr::Kind::BinOp:
+    return E->Op == BinOpKind::Concat ? 0 /*length unknown*/ : 0;
+  default:
+    return 0;
+  }
+}
+
+class Walker {
+public:
+  explicit Walker(MultiplicityInfo &Out) : Out(Out) {}
+
+  void walk(const RExpr *E, unsigned LambdaDepth) {
+    if (!E)
+      return;
+    if (E->K == RExpr::Kind::LetRegion) {
+      Birth[E->BoundRho.Id] = LambdaDepth;
+      Sites[E->BoundRho.Id] = 0;
+      Words[E->BoundRho.Id] = 0;
+      Escaped.erase(E->BoundRho.Id);
+      walk(E->A, LambdaDepth);
+      // Classify at scope exit.
+      auto It = Sites.find(E->BoundRho.Id);
+      bool Finite = It != Sites.end() && It->second == 1 &&
+                    !Escaped.count(E->BoundRho.Id) &&
+                    Words[E->BoundRho.Id] != 0;
+      Out.Mult[E->BoundRho.Id] =
+          Finite ? RegionMult::Finite : RegionMult::Infinite;
+      if (Finite)
+        Out.FiniteWords[E->BoundRho.Id] = Words[E->BoundRho.Id];
+      return;
+    }
+
+    unsigned ChildDepth = LambdaDepth;
+    if (E->K == RExpr::Kind::Lam || E->K == RExpr::Kind::FunBind)
+      ChildDepth = LambdaDepth + 1;
+
+    if (E->AtRho.isValid())
+      recordAlloc(E, LambdaDepth);
+
+    walk(E->A, ChildDepth);
+    walk(E->B, ChildDepth);
+    walk(E->C, ChildDepth);
+    for (const RExpr *Item : E->Items)
+      walk(Item, ChildDepth);
+  }
+
+private:
+  void recordAlloc(const RExpr *E, unsigned LambdaDepth) {
+    uint32_t R = E->AtRho.Id;
+    auto BirthIt = Birth.find(R);
+    if (BirthIt == Birth.end())
+      return; // not letregion-bound here (global/formal): infinite
+    ++Sites[R];
+    unsigned W = allocWords(E);
+    if (W == 0)
+      Escaped.insert(R); // unknown size: cannot bound
+    Words[R] += W;
+    // Allocation under a lambda entered after the region's birth may run
+    // any number of times per activation.
+    if (LambdaDepth > BirthIt->second)
+      Escaped.insert(R);
+  }
+
+  MultiplicityInfo &Out;
+  std::map<uint32_t, unsigned> Birth;
+  std::map<uint32_t, unsigned> Sites;
+  std::map<uint32_t, unsigned> Words;
+  std::set<uint32_t> Escaped;
+};
+
+} // namespace
+
+MultiplicityInfo rml::analyzeMultiplicity(const RProgram &P) {
+  MultiplicityInfo Out;
+  Walker W(Out);
+  W.walk(P.Root, 0);
+  return Out;
+}

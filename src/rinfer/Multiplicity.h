@@ -1,0 +1,58 @@
+//===- rinfer/Multiplicity.h - Finite vs infinite regions -------*- C++ -*-===//
+//
+// Part of RegionML, a reproduction of "Garbage-Collection Safety for
+// Region-Based Type-Polymorphic Programs" (Elsman, PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The multiplicity analysis of the MLKit's region-representation phases
+/// (Birkedal/Tofte/Vejlstrup, POPL'96; Section 4.2 of the paper): a
+/// letregion-bound region is *finite* (bounded, stack-allocatable) when at
+/// most one allocation is executed into it per activation — approximated
+/// here as "exactly one static allocation site, not under a lambda or
+/// recursive function entered after the region's creation". All other
+/// regions (including the global region and quantified formals) are
+/// *infinite* and are the ones the reference-tracing collector manages.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RML_RINFER_MULTIPLICITY_H
+#define RML_RINFER_MULTIPLICITY_H
+
+#include "region/RExpr.h"
+
+#include <map>
+
+namespace rml {
+
+enum class RegionMult : uint8_t { Finite, Infinite };
+
+struct MultiplicityInfo {
+  /// Multiplicity per letregion-bound region id; regions not in the map
+  /// (global, quantified formals, instance regions) are infinite.
+  std::map<uint32_t, RegionMult> Mult;
+  /// Exact byte bound for finite regions (the single allocation's size
+  /// class in words, 0 = unknown/not finite).
+  std::map<uint32_t, unsigned> FiniteWords;
+
+  unsigned finiteCount() const {
+    unsigned N = 0;
+    for (const auto &[R, M] : Mult)
+      if (M == RegionMult::Finite)
+        ++N;
+    return N;
+  }
+
+  bool isFinite(RegionVar R) const {
+    auto It = Mult.find(R.Id);
+    return It != Mult.end() && It->second == RegionMult::Finite;
+  }
+};
+
+/// Runs the analysis over a materialised region-annotated program.
+MultiplicityInfo analyzeMultiplicity(const RProgram &P);
+
+} // namespace rml
+
+#endif // RML_RINFER_MULTIPLICITY_H

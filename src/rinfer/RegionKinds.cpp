@@ -1,0 +1,110 @@
+//===- rinfer/RegionKinds.cpp ---------------------------------------------===//
+
+#include "rinfer/RegionKinds.h"
+
+using namespace rml;
+
+const char *rml::regionKindName(RegionKind K) {
+  switch (K) {
+  case RegionKind::Empty:
+    return "empty";
+  case RegionKind::Pair:
+    return "pair";
+  case RegionKind::Cons:
+    return "cons";
+  case RegionKind::Ref:
+    return "ref";
+  case RegionKind::String:
+    return "string";
+  case RegionKind::Closure:
+    return "closure";
+  case RegionKind::Exn:
+    return "exn";
+  case RegionKind::Mixed:
+    return "mixed";
+  }
+  return "?";
+}
+
+namespace {
+
+RegionKind kindOfSite(const RExpr *E) {
+  switch (E->K) {
+  case RExpr::Kind::PairE:
+    return RegionKind::Pair;
+  case RExpr::Kind::ConsE:
+    return RegionKind::Cons;
+  case RExpr::Kind::RefE:
+    return RegionKind::Ref;
+  case RExpr::Kind::StrE:
+    return RegionKind::String;
+  case RExpr::Kind::ExnConE:
+    return RegionKind::Exn;
+  case RExpr::Kind::Lam:
+  case RExpr::Kind::FunBind:
+  case RExpr::Kind::RApp:
+    return RegionKind::Closure;
+  case RExpr::Kind::BinOp:
+    return E->Op == BinOpKind::Concat ? RegionKind::String
+                                      : RegionKind::Empty;
+  case RExpr::Kind::Prim:
+    return E->PrimK == Expr::PrimKind::Itos ? RegionKind::String
+                                            : RegionKind::Empty;
+  default:
+    return RegionKind::Empty;
+  }
+}
+
+RegionKind join(RegionKind A, RegionKind B) {
+  if (A == RegionKind::Empty)
+    return B;
+  if (B == RegionKind::Empty || A == B)
+    return A;
+  return RegionKind::Mixed;
+}
+
+void walk(const RExpr *E, RegionKindInfo &Out) {
+  if (!E)
+    return;
+  if (E->AtRho.isValid()) {
+    RegionKind K = kindOfSite(E);
+    if (K != RegionKind::Empty) {
+      auto [It, New] = Out.Kinds.emplace(E->AtRho.Id, K);
+      if (!New)
+        It->second = join(It->second, K);
+    }
+  }
+  // Quantified formal regions of fun bindings can be instantiated with
+  // any region, so their own allocation sites join into the *actual*
+  // regions at instantiation: conservatively treat a formal's sites as
+  // applying to every instantiation target.
+  if (E->K == RExpr::Kind::RApp) {
+    for (const auto &[From, To] : E->Inst.Sr) {
+      auto FromIt = Out.Kinds.find(From.Id);
+      if (FromIt == Out.Kinds.end())
+        continue;
+      auto [It, New] = Out.Kinds.emplace(To.Id, FromIt->second);
+      if (!New)
+        It->second = join(It->second, FromIt->second);
+    }
+  }
+  walk(E->A, Out);
+  walk(E->B, Out);
+  walk(E->C, Out);
+  for (const RExpr *Item : E->Items)
+    walk(Item, Out);
+}
+
+} // namespace
+
+RegionKindInfo rml::analyzeRegionKinds(const RProgram &P) {
+  RegionKindInfo Out;
+  // Iterate to a fixpoint so formal-to-actual propagation chains settle
+  // regardless of program order.
+  std::map<uint32_t, RegionKind> Prev;
+  do {
+    Prev = Out.Kinds;
+    walk(P.Root, Out);
+  } while (Prev != Out.Kinds);
+  return Out;
+}

@@ -1,0 +1,60 @@
+//===- rinfer/RegionKinds.h - Region kinds for tag-free GC ------*- C++ -*-===//
+//
+// Part of RegionML, a reproduction of "Garbage-Collection Safety for
+// Region-Based Type-Polymorphic Programs" (Elsman, PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Region-kind analysis for the partly tag-free representation (Sections
+/// 4.2 and 6): regions that hold only pairs (or only cons cells, or only
+/// refs) store their objects without header words, BIBOP-style — the
+/// collector derives the layout from the region's kind. Mixed regions and
+/// closure/string regions keep headers. The paper credits this
+/// representation with "dramatic savings on allocated memory".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RML_RINFER_REGIONKINDS_H
+#define RML_RINFER_REGIONKINDS_H
+
+#include "region/RExpr.h"
+
+#include <map>
+
+namespace rml {
+
+enum class RegionKind : uint8_t {
+  Empty,   // no allocation sites observed
+  Pair,    // tag-free: 2 scanned words
+  Cons,    // tag-free: 2 scanned words
+  Ref,     // tag-free: 1 scanned word
+  String,  // byte data with a length word
+  Closure, // header required (variable size)
+  Exn,     // header required
+  Mixed,   // header required
+};
+
+struct RegionKindInfo {
+  std::map<uint32_t, RegionKind> Kinds;
+  unsigned tagFreeCount() const {
+    unsigned N = 0;
+    for (const auto &[R, K] : Kinds)
+      if (K == RegionKind::Pair || K == RegionKind::Cons ||
+          K == RegionKind::Ref)
+        ++N;
+    return N;
+  }
+  RegionKind kindOf(RegionVar R) const {
+    auto It = Kinds.find(R.Id);
+    return It == Kinds.end() ? RegionKind::Empty : It->second;
+  }
+};
+
+RegionKindInfo analyzeRegionKinds(const RProgram &P);
+
+const char *regionKindName(RegionKind K);
+
+} // namespace rml
+
+#endif // RML_RINFER_REGIONKINDS_H

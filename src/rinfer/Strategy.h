@@ -1,0 +1,52 @@
+//===- rinfer/Strategy.h - Compilation strategies ---------------*- C++ -*-===//
+//
+// Part of RegionML, a reproduction of "Garbage-Collection Safety for
+// Region-Based Type-Polymorphic Programs" (Elsman, PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The three compilation strategies benchmarked in Section 5, plus the
+/// spurious-scheme ablation knob of Section 2 (type scheme (2) vs (3)).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RML_RINFER_STRATEGY_H
+#define RML_RINFER_STRATEGY_H
+
+#include <cstdint>
+
+namespace rml {
+
+/// How region inference treats GC safety.
+enum class Strategy : uint8_t {
+  /// The paper's contribution: GC-safe region inference with spurious
+  /// type variables carrying arrow effects; reference-tracing GC enabled.
+  Rg,
+  /// The pre-paper (unsound) system: captured variables' regions are kept
+  /// alive, but spurious type variables are ignored, so polymorphic
+  /// instantiations can hide dangling pointers from the GC. GC enabled.
+  RgMinus,
+  /// Pure Tofte-Talpin region inference: dangling pointers permitted
+  /// (functions do not keep captured regions alive beyond their uses);
+  /// GC disabled.
+  R,
+};
+
+/// How a spurious type variable's arrow effect is chosen (Section 2).
+enum class SpuriousMode : uint8_t {
+  /// Type scheme (2): a fresh secondary effect variable eps'.{} per
+  /// spurious variable, added to the function's latent effect on capture.
+  FreshSecondary,
+  /// Type scheme (3): identify the spurious variable's effect variable
+  /// with the function's latent arrow-effect variable (the MLKit choice;
+  /// avoids secondary effect variables at the cost of possibly larger
+  /// region live ranges).
+  IdentifyWithFun,
+};
+
+const char *strategyName(Strategy S);
+
+} // namespace rml
+
+#endif // RML_RINFER_STRATEGY_H

@@ -1,0 +1,213 @@
+//===- rt/Region.cpp ------------------------------------------------------===//
+
+#include "rt/Region.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace rml;
+using namespace rml::rt;
+
+RegionHeap::RegionHeap() {
+  // Handle 0 is the global region, always live.
+  Regions.push_back(Region{0, RegionKind::Mixed, false, true, {}});
+  Stats.RegionsCreated = 1;
+}
+
+RegionHeap::Page RegionHeap::newPage(size_t CapWords) {
+  if (CapWords == PageWords && !Pool.empty()) {
+    Page P = std::move(Pool.back());
+    Pool.pop_back();
+    P.Used = 0;
+    P.Old = false;
+    Stats.CurrentHeapWords += P.Cap;
+    Stats.PeakHeapWords = std::max(Stats.PeakHeapWords,
+                                   Stats.CurrentHeapWords);
+    return P;
+  }
+  Page P;
+  P.Words = std::make_unique<uint64_t[]>(CapWords);
+  P.Cap = CapWords;
+  P.Used = 0;
+  ++Stats.PagesAllocated;
+  Stats.CurrentHeapWords += CapWords;
+  Stats.PeakHeapWords = std::max(Stats.PeakHeapWords,
+                                 Stats.CurrentHeapWords);
+  return P;
+}
+
+void RegionHeap::retirePage(Page P) {
+  assert(Stats.CurrentHeapWords >= P.Cap && "heap accounting underflow");
+  Stats.CurrentHeapWords -= P.Cap;
+  if (!RetainReleasedPages && P.Cap == PageWords) {
+    Pool.push_back(std::move(P));
+    return;
+  }
+  if (RetainReleasedPages)
+    GraveyardPages.push_back(std::move(P));
+  // Non-standard (finite) pages are simply freed.
+}
+
+void RegionHeap::mapPage(const Page &P, uint32_t Handle) {
+  uintptr_t Start = reinterpret_cast<uintptr_t>(P.Words.get());
+  AddrMap[Start] = {Start + P.Cap * 8, Handle, P.Old};
+}
+
+void RegionHeap::unmapPage(const Page &P) {
+  AddrMap.erase(reinterpret_cast<uintptr_t>(P.Words.get()));
+}
+
+uint32_t RegionHeap::create(uint32_t StaticId, RegionKind Kind,
+                            unsigned FiniteWords) {
+  Region R;
+  R.StaticId = StaticId;
+  R.Kind = Kind;
+  R.Finite = FiniteWords != 0;
+  R.Live = true;
+  uint32_t Handle = static_cast<uint32_t>(Regions.size());
+  Regions.push_back(std::move(R));
+  ++Stats.RegionsCreated;
+  RegionProfile &Prof = Profiles[StaticId];
+  Prof.StaticId = StaticId;
+  Prof.Kind = Kind;
+  Prof.Finite = FiniteWords != 0;
+  ++Prof.Instances;
+  if (FiniteWords != 0) {
+    ++Stats.FiniteRegionsCreated;
+    Page P = newPage(FiniteWords);
+    mapPage(P, Handle);
+    Regions[Handle].Pages.push_back(std::move(P));
+  }
+  return Handle;
+}
+
+void RegionHeap::release(uint32_t Handle) {
+  Region &R = Regions[Handle];
+  assert(R.Live && "double release of a region");
+  R.Live = false;
+  for (Page &P : R.Pages) {
+    if (RetainReleasedPages) {
+      uintptr_t Start = reinterpret_cast<uintptr_t>(P.Words.get());
+      Graveyard[Start] = {Start + P.Cap * 8, R.StaticId};
+    }
+    unmapPage(P);
+    retirePage(std::move(P));
+  }
+  R.Pages.clear();
+}
+
+uint64_t *RegionHeap::alloc(uint32_t Handle, size_t Words) {
+  assert(Words > 0 && "empty allocation");
+  Region &R = Regions[Handle];
+  assert(R.Live && "allocation into a dead region");
+  Stats.AllocWords += Words;
+  AllocSinceGc += Words;
+  Profiles[R.StaticId].AllocWords += Words;
+  if (R.Pages.empty() || R.Pages.back().Old ||
+      R.Pages.back().Used + Words > R.Pages.back().Cap) {
+    size_t Cap = std::max(Words, PageWords);
+    Page P = newPage(Cap);
+    mapPage(P, Handle);
+    R.Pages.push_back(std::move(P));
+  }
+  Page &P = R.Pages.back();
+  uint64_t *Out = P.Words.get() + P.Used;
+  P.Used += Words;
+  return Out;
+}
+
+std::optional<uint32_t> RegionHeap::ownerOf(const uint64_t *Ptr) const {
+  uintptr_t Addr = reinterpret_cast<uintptr_t>(Ptr);
+  auto It = AddrMap.upper_bound(Addr);
+  if (It == AddrMap.begin())
+    return std::nullopt;
+  --It;
+  if (Addr >= It->first && Addr < It->second.End)
+    return It->second.Region;
+  return std::nullopt;
+}
+
+bool RegionHeap::isOldAddr(const uint64_t *Ptr) const {
+  uintptr_t Addr = reinterpret_cast<uintptr_t>(Ptr);
+  auto It = AddrMap.upper_bound(Addr);
+  if (It == AddrMap.begin())
+    return false;
+  --It;
+  return Addr >= It->first && Addr < It->second.End && It->second.Old;
+}
+
+std::optional<uint32_t>
+RegionHeap::graveyardOwnerOf(const uint64_t *Ptr) const {
+  uintptr_t Addr = reinterpret_cast<uintptr_t>(Ptr);
+  auto It = Graveyard.upper_bound(Addr);
+  if (It == Graveyard.begin())
+    return std::nullopt;
+  --It;
+  if (Addr >= It->first && Addr < It->second.first)
+    return It->second.second;
+  return std::nullopt;
+}
+
+std::vector<uint32_t> RegionHeap::liveRegions() const {
+  std::vector<uint32_t> Out;
+  for (uint32_t I = 0; I < Regions.size(); ++I)
+    if (Regions[I].Live)
+      Out.push_back(I);
+  return Out;
+}
+
+std::vector<RegionHeap::Page> RegionHeap::detachPages(uint32_t Handle,
+                                                      bool YoungOnly) {
+  Region &R = Regions[Handle];
+  // Pages stay in the address map so the collector can resolve from-space
+  // pointers; dropFromSpace removes them.
+  if (!YoungOnly) {
+    std::vector<Page> Out = std::move(R.Pages);
+    R.Pages.clear();
+    return Out;
+  }
+  std::vector<Page> Young, Kept;
+  for (Page &P : R.Pages) {
+    if (P.Old)
+      Kept.push_back(std::move(P));
+    else
+      Young.push_back(std::move(P));
+  }
+  R.Pages = std::move(Kept);
+  return Young;
+}
+
+void RegionHeap::sealLivePages() {
+  for (Region &R : Regions) {
+    if (!R.Live)
+      continue;
+    for (Page &P : R.Pages) {
+      if (P.Old)
+        continue;
+      P.Old = true;
+      uintptr_t Start = reinterpret_cast<uintptr_t>(P.Words.get());
+      auto It = AddrMap.find(Start);
+      if (It != AddrMap.end())
+        It->second.Old = true;
+    }
+  }
+}
+
+std::vector<RegionProfile> RegionHeap::profiles() const {
+  std::vector<RegionProfile> Out;
+  Out.reserve(Profiles.size());
+  for (const auto &[Id, P] : Profiles)
+    Out.push_back(P);
+  std::sort(Out.begin(), Out.end(),
+            [](const RegionProfile &A, const RegionProfile &B) {
+              return A.AllocWords > B.AllocWords;
+            });
+  return Out;
+}
+
+void RegionHeap::dropFromSpace(std::vector<Page> Pages) {
+  for (Page &P : Pages) {
+    unmapPage(P);
+    retirePage(std::move(P));
+  }
+}

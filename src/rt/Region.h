@@ -1,0 +1,168 @@
+//===- rt/Region.h - Region heap --------------------------------*- C++ -*-===//
+//
+// Part of RegionML, a reproduction of "Garbage-Collection Safety for
+// Region-Based Type-Polymorphic Programs" (Elsman, PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MLKit-style region heap: a region is a growable list of fixed-size
+/// pages; letregion pushes a region, its closing pops and releases the
+/// pages. *Finite* regions (multiplicity analysis) hold one exact-size
+/// block instead of a page. The heap tracks which pages belong to which
+/// region so that the collector can (a) preserve region identity while
+/// copying and (b) detect pointers into deallocated regions — the
+/// dangling pointers whose absence the paper's type system guarantees.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RML_RT_REGION_H
+#define RML_RT_REGION_H
+
+#include "rinfer/RegionKinds.h"
+#include "rt/Value.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rml::rt {
+
+/// Per-static-region runtime profile (the MLKit region profiler's
+/// per-region view): how many times the letregion executed and how many
+/// words were allocated into its instances.
+struct RegionProfile {
+  uint32_t StaticId = 0;
+  RegionKind Kind = RegionKind::Empty;
+  uint64_t Instances = 0;
+  uint64_t AllocWords = 0;
+  bool Finite = false;
+};
+
+/// Runtime heap statistics (the "rss" and "gc #" columns of Figure 9).
+struct HeapStats {
+  uint64_t AllocWords = 0;       // total words ever allocated
+  uint64_t CurrentHeapWords = 0; // words in pages currently held
+  uint64_t PeakHeapWords = 0;    // high-water mark (the rss analogue)
+  uint64_t GcCount = 0;    // all collections
+  uint64_t MinorGcCount = 0;
+  uint64_t MajorGcCount = 0;
+  uint64_t CopiedWords = 0;      // evacuated by the collector
+  uint64_t RegionsCreated = 0;
+  uint64_t FiniteRegionsCreated = 0;
+  uint64_t PagesAllocated = 0;
+
+  uint64_t peakBytes() const { return PeakHeapWords * 8; }
+};
+
+class RegionHeap {
+public:
+  static constexpr size_t PageWords = 256; // 2 KiB pages
+
+  struct Page {
+    std::unique_ptr<uint64_t[]> Words;
+    size_t Used = 0;
+    size_t Cap = 0;
+    /// Generational extension: pages that survived a collection are
+    /// *old*; minor collections evacuate young pages only (Elsman &
+    /// Hallenberg's region+generation integration, the paper's [16,17]).
+    bool Old = false;
+  };
+
+  struct Region {
+    uint32_t StaticId = 0; // region variable id (diagnostics)
+    RegionKind Kind = RegionKind::Mixed;
+    bool Finite = false;
+    bool Live = false;
+    std::vector<Page> Pages;
+  };
+
+  /// When set, released pages are never reused, so every dangling pointer
+  /// is detected exactly (used by the rg- demonstrations; benchmarks run
+  /// with reuse on).
+  bool RetainReleasedPages = false;
+
+  explicit RegionHeap();
+
+  /// Creates a region; returns its runtime handle. \p FiniteWords != 0
+  /// requests a finite region with an exact-size block.
+  uint32_t create(uint32_t StaticId, RegionKind Kind,
+                  unsigned FiniteWords = 0);
+
+  /// Releases a region: its pages go back to the pool (or the graveyard
+  /// when RetainReleasedPages).
+  void release(uint32_t Handle);
+
+  /// Bump-allocates \p Words words in \p Handle. Never GCs — the
+  /// evaluator polices collection points.
+  uint64_t *alloc(uint32_t Handle, size_t Words);
+
+  /// The region owning \p P, if P points into a live region's pages.
+  /// Returns std::nullopt for unknown addresses (released-and-unreused
+  /// pages, foreign memory).
+  std::optional<uint32_t> ownerOf(const uint64_t *P) const;
+
+  /// For dangling-pointer diagnostics: the static region id a released
+  /// page belonged to (graveyard mode only).
+  std::optional<uint32_t> graveyardOwnerOf(const uint64_t *P) const;
+
+  Region &region(uint32_t Handle) { return Regions[Handle]; }
+  const Region &region(uint32_t Handle) const { return Regions[Handle]; }
+  size_t numRegions() const { return Regions.size(); }
+
+  /// Live regions' handles (for the collector).
+  std::vector<uint32_t> liveRegions() const;
+
+  /// Collector support: detaches a region's pages (from-space) and leaves
+  /// it empty for evacuation; with \p YoungOnly, old pages stay in place
+  /// (minor collection). The detached pages stay in the address map
+  /// (marked from-space) until dropFromSpace.
+  std::vector<Page> detachPages(uint32_t Handle, bool YoungOnly = false);
+  void dropFromSpace(std::vector<Page> Pages);
+
+  /// Marks every live page old (after a collection, survivors only) and
+  /// forces the next allocation in each region onto a fresh young page.
+  void sealLivePages();
+
+  /// True when \p P points into an old page (the write-barrier test).
+  bool isOldAddr(const uint64_t *P) const;
+
+  /// Words allocated since the last collection (GC trigger input).
+  uint64_t allocSinceGc() const { return AllocSinceGc; }
+  void resetAllocSinceGc() { AllocSinceGc = 0; }
+
+  HeapStats Stats;
+
+  /// The per-static-region profiles, sorted by allocated words
+  /// (descending).
+  std::vector<RegionProfile> profiles() const;
+
+private:
+  Page newPage(size_t CapWords);
+  void retirePage(Page P);
+  void mapPage(const Page &P, uint32_t Handle);
+  void unmapPage(const Page &P);
+
+  std::vector<Region> Regions;
+  /// Address map: page start -> (page end, region handle, old?).
+  struct PageInfo {
+    uintptr_t End;
+    uint32_t Region;
+    bool Old;
+  };
+  std::map<uintptr_t, PageInfo> AddrMap;
+  /// Released page memory kept alive for exact dangling detection:
+  /// page start -> (page end, static region id).
+  std::map<uintptr_t, std::pair<uintptr_t, uint32_t>> Graveyard;
+  std::vector<Page> GraveyardPages;
+  std::vector<Page> Pool; // reusable standard pages
+  uint64_t AllocSinceGc = 0;
+  std::map<uint32_t, RegionProfile> Profiles; // keyed by static id
+};
+
+} // namespace rml::rt
+
+#endif // RML_RT_REGION_H

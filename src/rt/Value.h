@@ -1,0 +1,85 @@
+//===- rt/Value.h - Runtime value representation ----------------*- C++ -*-===//
+//
+// Part of RegionML, a reproduction of "Garbage-Collection Safety for
+// Region-Based Type-Polymorphic Programs" (Elsman, PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MLKit-style value representation:
+///
+///  * unboxed scalars (int, bool, unit) are tagged words: (v << 1) | 1 —
+///    the paper notes that "unboxed objects are tagged in our system,
+///    which makes it possible to distinguish pointers from unboxed
+///    objects at runtime";
+///  * boxed objects are 8-byte-aligned pointers into region pages; nil is
+///    the null pointer;
+///  * boxed objects carry a one-word header [kind | payload] *except* in
+///    regions whose kind analysis proves a uniform layout (pairs, cons
+///    cells, refs) — those are stored tag-free, and the collector derives
+///    the layout from the region kind (the partly tag-free scheme of
+///    Section 6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RML_RT_VALUE_H
+#define RML_RT_VALUE_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace rml::rt {
+
+/// A runtime value word.
+using Value = uint64_t;
+
+constexpr Value NilValue = 0;
+
+inline bool isScalar(Value V) { return (V & 1) != 0; }
+inline bool isPointer(Value V) { return (V & 1) == 0 && V != NilValue; }
+
+inline Value boxScalar(int64_t I) {
+  return (static_cast<uint64_t>(I) << 1) | 1;
+}
+inline int64_t unboxScalar(Value V) {
+  assert(isScalar(V) && "not a scalar");
+  return static_cast<int64_t>(V) >> 1;
+}
+
+inline Value boxBool(bool B) { return boxScalar(B ? 1 : 0); }
+inline bool unboxBool(Value V) { return unboxScalar(V) != 0; }
+inline Value unitValue() { return boxScalar(0); }
+
+inline uint64_t *asPtr(Value V) {
+  assert(isPointer(V) && "not a pointer");
+  return reinterpret_cast<uint64_t *>(V);
+}
+inline Value fromPtr(const uint64_t *P) {
+  return reinterpret_cast<Value>(P);
+}
+
+/// Header kinds for tagged objects. Headers are odd words (low bit set)
+/// so they can never be confused with a pointer field.
+enum class ObjKind : uint8_t {
+  Pair = 1,    // 2 value fields
+  Cons = 2,    // 2 value fields (head, tail)
+  Ref = 3,     // 1 value field
+  String = 4,  // payload = byte length; data words follow
+  Closure = 5, // payload = word count; [fnIdx][nRegions][regions...]
+               // [captures...]
+  Exn = 6,     // [exnId][argCount(0/1)][arg]
+};
+
+/// Builds a header word: [payload:48 | kind:8 | 1].
+inline uint64_t makeHeader(ObjKind K, uint64_t Payload) {
+  return (Payload << 16) | (static_cast<uint64_t>(K) << 1) | 1;
+}
+inline bool isHeader(uint64_t W) { return (W & 1) != 0; }
+inline ObjKind headerKind(uint64_t W) {
+  return static_cast<ObjKind>((W >> 1) & 0x7F);
+}
+inline uint64_t headerPayload(uint64_t W) { return W >> 16; }
+
+} // namespace rml::rt
+
+#endif // RML_RT_VALUE_H

@@ -1,0 +1,657 @@
+//===- smallstep/Step.cpp -------------------------------------------------===//
+
+#include "smallstep/Step.h"
+
+#include "rcheck/Check.h"
+
+#include <cassert>
+
+using namespace rml;
+
+//===----------------------------------------------------------------------===//
+// Substitution of values for program variables
+//===----------------------------------------------------------------------===//
+
+const RExpr *SmallStep::substVar(const RExpr *E, Symbol X, const RExpr *V) {
+  if (!E)
+    return nullptr;
+  switch (E->K) {
+  case RExpr::Kind::Var:
+    return E->Name == X ? V : E;
+  case RExpr::Kind::IntLit:
+  case RExpr::Kind::BoolLit:
+  case RExpr::Kind::UnitLit:
+  case RExpr::Kind::NilVal:
+  case RExpr::Kind::StrVal:
+  case RExpr::Kind::StrE:
+    return E;
+  case RExpr::Kind::Lam:
+  case RExpr::Kind::ClosVal: {
+    if (E->Param == X)
+      return E;
+    const RExpr *Body = substVar(E->A, X, V);
+    if (Body == E->A)
+      return E;
+    RExpr *N = Arena.clone(E);
+    N->A = Body;
+    return N;
+  }
+  case RExpr::Kind::FunBind:
+  case RExpr::Kind::FunVal: {
+    if (E->Param == X || E->Name == X)
+      return E;
+    const RExpr *Body = substVar(E->A, X, V);
+    if (Body == E->A)
+      return E;
+    RExpr *N = Arena.clone(E);
+    N->A = Body;
+    return N;
+  }
+  case RExpr::Kind::Let: {
+    const RExpr *A = substVar(E->A, X, V);
+    const RExpr *B = E->Name == X ? E->B : substVar(E->B, X, V);
+    if (A == E->A && B == E->B)
+      return E;
+    RExpr *N = Arena.clone(E);
+    N->A = A;
+    N->B = B;
+    return N;
+  }
+  case RExpr::Kind::ListCase: {
+    const RExpr *A = substVar(E->A, X, V);
+    const RExpr *B = substVar(E->B, X, V);
+    const RExpr *C = (E->HeadName == X || E->TailName == X)
+                         ? E->C
+                         : substVar(E->C, X, V);
+    if (A == E->A && B == E->B && C == E->C)
+      return E;
+    RExpr *N = Arena.clone(E);
+    N->A = A;
+    N->B = B;
+    N->C = C;
+    return N;
+  }
+  case RExpr::Kind::Handle: {
+    const RExpr *A = substVar(E->A, X, V);
+    const RExpr *B = E->BindName == X ? E->B : substVar(E->B, X, V);
+    if (A == E->A && B == E->B)
+      return E;
+    RExpr *N = Arena.clone(E);
+    N->A = A;
+    N->B = B;
+    return N;
+  }
+  default: {
+    const RExpr *A = substVar(E->A, X, V);
+    const RExpr *B = substVar(E->B, X, V);
+    const RExpr *C = substVar(E->C, X, V);
+    bool Changed = A != E->A || B != E->B || C != E->C;
+    std::vector<const RExpr *> Items;
+    Items.reserve(E->Items.size());
+    for (const RExpr *Item : E->Items) {
+      const RExpr *NI = substVar(Item, X, V);
+      Changed |= NI != Item;
+      Items.push_back(NI);
+    }
+    if (!Changed)
+      return E;
+    RExpr *N = Arena.clone(E);
+    N->A = A;
+    N->B = B;
+    N->C = C;
+    N->Items = std::move(Items);
+    return N;
+  }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Substitution of regions/effects/types over term annotations
+//===----------------------------------------------------------------------===//
+
+const RExpr *SmallStep::substTerm(const RExpr *E, const Subst &S,
+                                  RTypeArena &Types) {
+  if (!E || S.isIdentity())
+    return E;
+  // Respect binders: a fun value binds its quantified regions, effect
+  // variables and Delta type variables, a letregion its region — the
+  // substitution is restricted on entry (the paper assumes bound names
+  // renamed apart; inference emits globally fresh ids, so restriction is
+  // exact, not approximate).
+  if (E->K == RExpr::Kind::FunBind || E->K == RExpr::Kind::FunVal) {
+    Subst Restricted = S;
+    for (RegionVar R : E->Sigma.QRegions)
+      Restricted.Sr.erase(R);
+    for (EffectVar Ev : E->Sigma.QEffects)
+      Restricted.Se.erase(Ev);
+    for (const auto &[Alpha, Nu] : E->Sigma.Delta)
+      Restricted.St.erase(Alpha);
+    if (Restricted.isIdentity())
+      return E;
+    RExpr *N = Arena.clone(E);
+    N->A = substTerm(E->A, Restricted, Types);
+    // The fun value's own allocation region is *free* (only the
+    // quantifiers are bound).
+    if (N->AtRho.isValid())
+      N->AtRho = Restricted.apply(N->AtRho);
+    if (N->MuOf)
+      N->MuOf = Restricted.apply(N->MuOf, Types);
+    if (N->ParamMu)
+      N->ParamMu = Restricted.apply(N->ParamMu, Types);
+    N->Sigma = Restricted.apply(E->Sigma, Types);
+    return N;
+  }
+  Subst Local = S;
+  if (E->K == RExpr::Kind::LetRegion)
+    Local.Sr.erase(E->BoundRho);
+  const Subst &SS = Local.Sr.size() != S.Sr.size() ? Local : S;
+  RExpr *N = Arena.clone(E);
+  N->A = substTerm(E->A, SS, Types);
+  N->B = substTerm(E->B, SS, Types);
+  N->C = substTerm(E->C, SS, Types);
+  for (size_t I = 0; I < N->Items.size(); ++I)
+    N->Items[I] = substTerm(E->Items[I], SS, Types);
+  if (N->AtRho.isValid())
+    N->AtRho = SS.apply(N->AtRho);
+  if (N->MuOf)
+    N->MuOf = SS.apply(N->MuOf, Types);
+  if (N->ParamMu)
+    N->ParamMu = SS.apply(N->ParamMu, Types);
+  if (E->K == RExpr::Kind::Lam || E->K == RExpr::Kind::ClosVal)
+    N->LatentNu = SS.apply(N->LatentNu);
+  if (E->K == RExpr::Kind::RApp)
+    N->Inst = composeRestricted(SS, E->Inst, Types);
+  return N;
+}
+
+//===----------------------------------------------------------------------===//
+// One step
+//===----------------------------------------------------------------------===//
+
+namespace {
+bool bothValues(const RExpr *A, const RExpr *B) {
+  return A->isValue() && B->isValue();
+}
+} // namespace
+
+/// Attempts to reduce the *redex at the root* of E (allocation and
+/// reduction rules of Figure 6). Returns null if E's root is not a redex
+/// of the supported fragment, setting Stuck/Why accordingly.
+const RExpr *SmallStep::reduce(const RExpr *E, const Effect &Phi,
+                               bool &Stuck, std::string &Why) {
+  auto Dangling = [&](RegionVar R) {
+    Stuck = true;
+    Why = "region " + printRegionVar(R) +
+          " is not allocated (deallocated or never introduced)";
+    return nullptr;
+  };
+
+  switch (E->K) {
+  case RExpr::Kind::Lam: { // [Lam]
+    if (!Phi.contains(E->AtRho))
+      return Dangling(E->AtRho);
+    RExpr *V = Arena.clone(E);
+    V->K = RExpr::Kind::ClosVal;
+    return V;
+  }
+  case RExpr::Kind::FunBind: { // [Fun]
+    if (!Phi.contains(E->AtRho))
+      return Dangling(E->AtRho);
+    RExpr *V = Arena.clone(E);
+    V->K = RExpr::Kind::FunVal;
+    return V;
+  }
+  case RExpr::Kind::PairE: { // [Pair]
+    if (!bothValues(E->A, E->B))
+      return nullptr;
+    if (!Phi.contains(E->AtRho))
+      return Dangling(E->AtRho);
+    RExpr *V = Arena.clone(E);
+    V->K = RExpr::Kind::PairVal;
+    return V;
+  }
+  case RExpr::Kind::StrE: { // string allocation
+    if (!Phi.contains(E->AtRho))
+      return Dangling(E->AtRho);
+    RExpr *V = Arena.clone(E);
+    V->K = RExpr::Kind::StrVal;
+    return V;
+  }
+  case RExpr::Kind::ConsE: { // cons-cell allocation
+    if (!bothValues(E->A, E->B))
+      return nullptr;
+    if (!Phi.contains(E->AtRho))
+      return Dangling(E->AtRho);
+    RExpr *V = Arena.clone(E);
+    V->K = RExpr::Kind::ConsVal;
+    return V;
+  }
+  case RExpr::Kind::LetRegion: // [Reg]
+    if (E->A->isValue())
+      return E->A;
+    return nullptr;
+  case RExpr::Kind::App: { // [App]
+    if (!bothValues(E->A, E->B))
+      return nullptr;
+    const RExpr *F = E->A;
+    if (F->K != RExpr::Kind::ClosVal) {
+      Stuck = true;
+      Why = "application of a non-closure value";
+      return nullptr;
+    }
+    if (!Phi.contains(F->AtRho))
+      return Dangling(F->AtRho);
+    return substVar(F->A, F->Param, E->B);
+  }
+  case RExpr::Kind::Let: // [Let]
+    if (!E->A->isValue())
+      return nullptr;
+    return substVar(E->B, E->Name, E->A);
+  case RExpr::Kind::RApp: { // [Rapp]
+    if (!E->A->isValue())
+      return nullptr;
+    const RExpr *F = E->A;
+    if (F->K != RExpr::Kind::FunVal) {
+      Stuck = true;
+      Why = "region application of a non-fun value";
+      return nullptr;
+    }
+    if (!Phi.contains(F->AtRho))
+      return Dangling(F->AtRho);
+    // \x.e[S][<fun>/f] at rho'.
+    const RExpr *Body = substTerm(F->A, E->Inst, TyArena);
+    Body = substVar(Body, F->Name, F);
+    RExpr *L = Arena.make(RExpr::Kind::Lam);
+    L->Loc = E->Loc;
+    L->Param = F->Param;
+    L->A = Body;
+    L->AtRho = E->AtRho;
+    const Mu *MuInst = E->MuOf;
+    if (MuInst && MuInst->K == Mu::Kind::Boxed &&
+        MuInst->T->K == Tau::Kind::Arrow) {
+      L->ParamMu = MuInst->T->A;
+      L->LatentNu = MuInst->T->Nu;
+      L->MuOf = MuInst;
+    }
+    return L;
+  }
+  case RExpr::Kind::Sel: { // [Sel1]/[Sel2]
+    if (!E->A->isValue())
+      return nullptr;
+    const RExpr *P = E->A;
+    if (P->K != RExpr::Kind::PairVal) {
+      Stuck = true;
+      Why = "projection from a non-pair value";
+      return nullptr;
+    }
+    if (!Phi.contains(P->AtRho))
+      return Dangling(P->AtRho);
+    return E->SelIndex == 1 ? P->A : P->B;
+  }
+  case RExpr::Kind::If: {
+    if (!E->A->isValue())
+      return nullptr;
+    if (E->A->K != RExpr::Kind::BoolLit) {
+      Stuck = true;
+      Why = "if condition is not a boolean value";
+      return nullptr;
+    }
+    return E->A->BoolValue ? E->B : E->C;
+  }
+  case RExpr::Kind::BinOp: {
+    // andalso/orelse are lazy in the left operand.
+    if (E->Op == BinOpKind::AndAlso || E->Op == BinOpKind::OrElse) {
+      if (!E->A->isValue())
+        return nullptr;
+      if (E->A->K != RExpr::Kind::BoolLit) {
+        Stuck = true;
+        Why = "boolean operator on a non-boolean";
+        return nullptr;
+      }
+      bool L = E->A->BoolValue;
+      if (E->Op == BinOpKind::AndAlso) {
+        if (!L) {
+          RExpr *V = Arena.make(RExpr::Kind::BoolLit);
+          V->BoolValue = false;
+          return V;
+        }
+        return E->B;
+      }
+      if (L) {
+        RExpr *V = Arena.make(RExpr::Kind::BoolLit);
+        V->BoolValue = true;
+        return V;
+      }
+      return E->B;
+    }
+    if (!bothValues(E->A, E->B))
+      return nullptr;
+    const RExpr *A = E->A, *B = E->B;
+    auto IntResult = [&](int64_t X) {
+      RExpr *V = Arena.make(RExpr::Kind::IntLit);
+      V->IntValue = X;
+      return V;
+    };
+    auto BoolResult = [&](bool X) {
+      RExpr *V = Arena.make(RExpr::Kind::BoolLit);
+      V->BoolValue = X;
+      return V;
+    };
+    switch (E->Op) {
+    case BinOpKind::Add:
+      return IntResult(A->IntValue + B->IntValue);
+    case BinOpKind::Sub:
+      return IntResult(A->IntValue - B->IntValue);
+    case BinOpKind::Mul:
+      return IntResult(A->IntValue * B->IntValue);
+    case BinOpKind::Div:
+      if (B->IntValue == 0) {
+        Stuck = true;
+        Why = "division by zero (the formal fragment has no exceptions)";
+        return nullptr;
+      }
+      return IntResult(A->IntValue / B->IntValue);
+    case BinOpKind::Mod:
+      if (B->IntValue == 0) {
+        Stuck = true;
+        Why = "modulo by zero";
+        return nullptr;
+      }
+      return IntResult(A->IntValue % B->IntValue);
+    case BinOpKind::Less:
+      return BoolResult(A->IntValue < B->IntValue);
+    case BinOpKind::LessEq:
+      return BoolResult(A->IntValue <= B->IntValue);
+    case BinOpKind::Greater:
+      return BoolResult(A->IntValue > B->IntValue);
+    case BinOpKind::GreaterEq:
+      return BoolResult(A->IntValue >= B->IntValue);
+    case BinOpKind::Eq:
+    case BinOpKind::NotEq: {
+      bool Equal;
+      if (A->K == RExpr::Kind::StrVal && B->K == RExpr::Kind::StrVal) {
+        if (!Phi.contains(A->AtRho))
+          return Dangling(A->AtRho);
+        if (!Phi.contains(B->AtRho))
+          return Dangling(B->AtRho);
+        Equal = A->StrValue == B->StrValue;
+      } else if (A->K == RExpr::Kind::IntLit) {
+        Equal = A->IntValue == B->IntValue;
+      } else if (A->K == RExpr::Kind::BoolLit) {
+        Equal = A->BoolValue == B->BoolValue;
+      } else if (A->K == RExpr::Kind::UnitLit) {
+        Equal = true;
+      } else {
+        Stuck = true;
+        Why = "equality on unsupported value kind";
+        return nullptr;
+      }
+      return BoolResult(E->Op == BinOpKind::Eq ? Equal : !Equal);
+    }
+    case BinOpKind::StrEq:
+    case BinOpKind::Concat: {
+      if (A->K != RExpr::Kind::StrVal || B->K != RExpr::Kind::StrVal) {
+        Stuck = true;
+        Why = "string operation on non-string values";
+        return nullptr;
+      }
+      if (!Phi.contains(A->AtRho))
+        return Dangling(A->AtRho);
+      if (!Phi.contains(B->AtRho))
+        return Dangling(B->AtRho);
+      if (E->Op == BinOpKind::StrEq)
+        return BoolResult(A->StrValue == B->StrValue);
+      if (!Phi.contains(E->AtRho))
+        return Dangling(E->AtRho);
+      RExpr *V = Arena.make(RExpr::Kind::StrVal);
+      V->StrValue = A->StrValue + B->StrValue;
+      V->AtRho = E->AtRho;
+      return V;
+    }
+    default:
+      Stuck = true;
+      Why = "unsupported operator in the formal fragment";
+      return nullptr;
+    }
+  }
+  case RExpr::Kind::ListCase: {
+    if (!E->A->isValue())
+      return nullptr;
+    const RExpr *S = E->A;
+    if (S->K == RExpr::Kind::NilVal)
+      return E->B;
+    if (S->K != RExpr::Kind::ConsVal) {
+      Stuck = true;
+      Why = "case on a non-list value";
+      return nullptr;
+    }
+    if (!Phi.contains(S->AtRho))
+      return Dangling(S->AtRho);
+    const RExpr *Body = substVar(E->C, E->HeadName, S->A);
+    return substVar(Body, E->TailName, S->B);
+  }
+  case RExpr::Kind::Seq: {
+    for (const RExpr *Item : E->Items)
+      if (!Item->isValue())
+        return nullptr;
+    return E->Items.back();
+  }
+  default:
+    Stuck = true;
+    Why = "construct outside the formal fragment (references, exceptions "
+          "and primitives run on the realistic runtime instead)";
+    return nullptr;
+  }
+}
+
+StepOutcome SmallStep::step(const RExpr *E, const Effect &Phi) {
+  StepOutcome Out;
+  if (E->isValue()) {
+    Out.K = StepOutcome::Kind::IsValue;
+    return Out;
+  }
+  if (E->K == RExpr::Kind::Var) {
+    Out.K = StepOutcome::Kind::Stuck;
+    Out.Why = "free variable '" + Names.text(E->Name) + "'";
+    return Out;
+  }
+
+  // [Ctx]: descend into the leftmost non-value child along the evaluation
+  // context grammar of Figure 5, extending Phi under letregion.
+  auto Descend = [&](const RExpr *Child, const Effect &ChildPhi,
+                     auto Rebuild) -> std::optional<StepOutcome> {
+    if (Child->isValue())
+      return std::nullopt;
+    StepOutcome Inner = step(Child, ChildPhi);
+    if (Inner.K == StepOutcome::Kind::Stepped)
+      Inner.Next = Rebuild(Inner.Next);
+    return Inner;
+  };
+
+  switch (E->K) {
+  case RExpr::Kind::Lam:
+  case RExpr::Kind::FunBind:
+  case RExpr::Kind::StrE:
+    // Abstraction bodies are not evaluation positions: the node itself
+    // is the allocation redex ([Lam]/[Fun]); string literals likewise.
+    break;
+  case RExpr::Kind::LetRegion: {
+    Effect Inner = Phi;
+    Inner.insert(AtomicEffect(E->BoundRho));
+    if (auto R = Descend(E->A, Inner, [&](const RExpr *N) {
+          RExpr *C = Arena.clone(E);
+          C->A = N;
+          return C;
+        }))
+      return *R;
+    break;
+  }
+  case RExpr::Kind::Seq: {
+    for (size_t I = 0; I < E->Items.size(); ++I) {
+      if (E->Items[I]->isValue())
+        continue;
+      if (auto R = Descend(E->Items[I], Phi, [&](const RExpr *N) {
+            RExpr *C = Arena.clone(E);
+            C->Items[I] = N;
+            return C;
+          }))
+        return *R;
+      break;
+    }
+    break;
+  }
+  case RExpr::Kind::If:
+  case RExpr::Kind::ListCase: {
+    if (auto R = Descend(E->A, Phi, [&](const RExpr *N) {
+          RExpr *C = Arena.clone(E);
+          C->A = N;
+          return C;
+        }))
+      return *R;
+    break;
+  }
+  case RExpr::Kind::BinOp: {
+    if (auto R = Descend(E->A, Phi, [&](const RExpr *N) {
+          RExpr *C = Arena.clone(E);
+          C->A = N;
+          return C;
+        }))
+      return *R;
+    if (E->Op != BinOpKind::AndAlso && E->Op != BinOpKind::OrElse) {
+      if (auto R = Descend(E->B, Phi, [&](const RExpr *N) {
+            RExpr *C = Arena.clone(E);
+            C->B = N;
+            return C;
+          }))
+        return *R;
+    }
+    break;
+  }
+  default: {
+    if (E->A) {
+      if (auto R = Descend(E->A, Phi, [&](const RExpr *N) {
+            RExpr *C = Arena.clone(E);
+            C->A = N;
+            return C;
+          }))
+        return *R;
+    }
+    if (E->B && E->K != RExpr::Kind::Let && E->K != RExpr::Kind::If &&
+        E->K != RExpr::Kind::ListCase && E->K != RExpr::Kind::Handle) {
+      if (auto R = Descend(E->B, Phi, [&](const RExpr *N) {
+            RExpr *C = Arena.clone(E);
+            C->B = N;
+            return C;
+          }))
+        return *R;
+    }
+    break;
+  }
+  }
+
+  // All evaluated positions are values: the root is the redex.
+  bool Stuck = false;
+  std::string Why;
+  const RExpr *Next = reduce(E, Phi, Stuck, Why);
+  if (Next) {
+    Out.K = StepOutcome::Kind::Stepped;
+    Out.Next = Next;
+    return Out;
+  }
+  Out.K = StepOutcome::Kind::Stuck;
+  Out.Why = Stuck ? Why : "no applicable rule";
+  return Out;
+}
+
+SmallStep::RunResult SmallStep::run(const RExpr *E, const Effect &Phi,
+                                    uint64_t FuelLimit) {
+  RunResult R;
+  const RExpr *Cur = E;
+  for (uint64_t I = 0; I < FuelLimit; ++I) {
+    StepOutcome O = step(Cur, Phi);
+    if (O.K == StepOutcome::Kind::IsValue) {
+      R.Final = Cur;
+      R.Steps = I;
+      R.Finished = true;
+      return R;
+    }
+    if (O.K == StepOutcome::Kind::Stuck) {
+      R.Final = Cur;
+      R.Steps = I;
+      R.Why = O.Why;
+      return R;
+    }
+    Cur = O.Next;
+  }
+  R.Final = Cur;
+  R.Steps = FuelLimit;
+  R.Why = "out of fuel";
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Context containment (Figure 7)
+//===----------------------------------------------------------------------===//
+
+bool rml::contextContained(const Effect &Phi, const RExpr *E) {
+  if (!E)
+    return true;
+  if (E->K == RExpr::Kind::Var)
+    return true;
+  if (E->isValue())
+    return valueContained(Phi, E);
+  switch (E->K) {
+  case RExpr::Kind::LetRegion: {
+    if (Phi.contains(E->BoundRho))
+      return false;
+    Effect Inner = Phi;
+    Inner.insert(AtomicEffect(E->BoundRho));
+    return contextContained(Inner, E->A);
+  }
+  case RExpr::Kind::Let:
+    return contextContained(Phi, E->A) && exprValuesContained(Phi, E->B);
+  case RExpr::Kind::App:
+  case RExpr::Kind::PairE:
+  case RExpr::Kind::ConsE:
+  case RExpr::Kind::BinOp:
+  case RExpr::Kind::Assign:
+    // Left-to-right: if the left is a value it must be contained (|=),
+    // and the evaluation spine moves to the right child.
+    if (E->A->isValue())
+      return valueContained(Phi, E->A) && contextContained(Phi, E->B);
+    return contextContained(Phi, E->A) && exprValuesContained(Phi, E->B);
+  case RExpr::Kind::Sel:
+  case RExpr::Kind::RApp:
+  case RExpr::Kind::Deref:
+  case RExpr::Kind::Raise:
+  case RExpr::Kind::Prim:
+    return contextContained(Phi, E->A);
+  case RExpr::Kind::If:
+  case RExpr::Kind::ListCase:
+    return contextContained(Phi, E->A) && exprValuesContained(Phi, E->B) &&
+           exprValuesContained(Phi, E->C);
+  case RExpr::Kind::Handle:
+    return contextContained(Phi, E->A) && exprValuesContained(Phi, E->B);
+  case RExpr::Kind::Seq: {
+    bool OnSpine = true;
+    for (const RExpr *Item : E->Items) {
+      if (OnSpine && Item->isValue()) {
+        if (!valueContained(Phi, Item))
+          return false;
+        continue;
+      }
+      if (OnSpine) {
+        if (!contextContained(Phi, Item))
+          return false;
+        OnSpine = false;
+        continue;
+      }
+      if (!exprValuesContained(Phi, Item))
+        return false;
+    }
+    return true;
+  }
+  default:
+    return exprValuesContained(Phi, E);
+  }
+}

@@ -1,0 +1,96 @@
+//===- smallstep/Step.h - Small-step dynamic semantics ----------*- C++ -*-===//
+//
+// Part of RegionML, a reproduction of "Garbage-Collection Safety for
+// Region-Based Type-Polymorphic Programs" (Elsman, PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The contextual small-step dynamic semantics of Section 3.10 (Figures 5
+/// and 6) and the context-containment judgement of Figure 7. The machine
+/// keeps track of the set of currently allocated regions and *disallows*
+/// access to regions outside that set — exactly the paper's model of why
+/// dangling pointers are fatal. It drives the executable versions of the
+/// metatheory:
+///
+///   * Proposition 17 (unique decomposition) — step either finds a redex
+///     or reports a value/stuck verdict,
+///   * Proposition 18/19 + Theorem 1 (preservation, progress, soundness)
+///     — tests re-check every intermediate term,
+///   * Theorem 2 (containment) — contextContained is checked after every
+///     step.
+///
+/// The machine covers the paper's term language plus the *pure*
+/// extensions (conditionals, integer/boolean/string operators, lists,
+/// sequencing). References, exceptions and primitives are executed by the
+/// realistic runtime (src/rt), which the formal fragment does not model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RML_SMALLSTEP_STEP_H
+#define RML_SMALLSTEP_STEP_H
+
+#include "region/RExpr.h"
+#include "support/Interner.h"
+
+#include <optional>
+#include <string>
+
+namespace rml {
+
+/// Outcome of one small-step attempt.
+struct StepOutcome {
+  enum class Kind : uint8_t {
+    Stepped, // e --phi--> Next
+    IsValue, // e is already a value
+    Stuck,   // no rule applies (type soundness says: never for well-typed
+             // terms) — Why explains, e.g. "allocation into a deallocated
+             // region"
+  };
+  Kind K = Kind::Stuck;
+  const RExpr *Next = nullptr;
+  std::string Why;
+};
+
+class SmallStep {
+public:
+  SmallStep(RExprArena &Arena, const Interner &Names)
+      : Arena(Arena), Names(Names) {}
+
+  /// One step of e under allocated-region set \p Phi (regions only).
+  StepOutcome step(const RExpr *E, const Effect &Phi);
+
+  /// Runs to a value or failure; \p FuelLimit bounds the step count.
+  /// Returns the final term (a value on success) and the steps taken.
+  struct RunResult {
+    const RExpr *Final = nullptr;
+    uint64_t Steps = 0;
+    bool Finished = false; // reached a value
+    std::string Why;       // failure reason when !Finished
+  };
+  RunResult run(const RExpr *E, const Effect &Phi, uint64_t FuelLimit);
+
+  /// Capture-free substitution e[v/x]; \p V must be closed
+  /// (Proposition 15 guarantees this for typed values).
+  const RExpr *substVar(const RExpr *E, Symbol X, const RExpr *V);
+
+  /// Applies a region/effect/type substitution to every annotation in a
+  /// term — the e[rho'/rho] of rule [Rapp], generalised to the recorded
+  /// full substitutions.
+  const RExpr *substTerm(const RExpr *E, const Subst &S, RTypeArena &TyArena);
+
+private:
+  const RExpr *reduce(const RExpr *E, const Effect &Phi, bool &Stuck,
+                      std::string &Why);
+
+  RExprArena &Arena;
+  const Interner &Names;
+  RTypeArena TyArena;
+};
+
+/// Context containment phi |=c e (Figure 7).
+bool contextContained(const Effect &Phi, const RExpr *E);
+
+} // namespace rml
+
+#endif // RML_SMALLSTEP_STEP_H

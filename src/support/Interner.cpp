@@ -1,0 +1,30 @@
+//===- support/Interner.cpp -----------------------------------------------===//
+
+#include "support/Interner.h"
+
+#include <cassert>
+
+using namespace rml;
+
+Symbol Interner::intern(std::string_view Text) {
+  auto It = Map.find(std::string(Text));
+  if (It != Map.end())
+    return It->second;
+  Symbol S(static_cast<uint32_t>(Texts.size()));
+  Texts.emplace_back(Text);
+  Map.emplace(Texts.back(), S);
+  return S;
+}
+
+const std::string &Interner::text(Symbol S) const {
+  assert(S.isValid() && S.Id < Texts.size() && "symbol from another interner");
+  return Texts[S.Id];
+}
+
+Symbol Interner::fresh(std::string_view Base) {
+  std::string Name;
+  do {
+    Name = std::string(Base) + "$" + std::to_string(FreshCounter++);
+  } while (Map.count(Name));
+  return intern(Name);
+}

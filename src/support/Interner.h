@@ -1,0 +1,73 @@
+//===- support/Interner.h - String interning --------------------*- C++ -*-===//
+//
+// Part of RegionML, a reproduction of "Garbage-Collection Safety for
+// Region-Based Type-Polymorphic Programs" (Elsman, PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simple string interner mapping identifier spellings to dense integer
+/// symbols. Symbols compare and hash in O(1) and are stable for the lifetime
+/// of the interner. All frontend identifiers (program variables, exception
+/// constructors) are interned; region and effect variables use their own
+/// dense ID spaces (see region/Effect.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RML_SUPPORT_INTERNER_H
+#define RML_SUPPORT_INTERNER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace rml {
+
+/// A dense handle for an interned identifier spelling.
+struct Symbol {
+  uint32_t Id = UINT32_MAX;
+
+  constexpr Symbol() = default;
+  constexpr explicit Symbol(uint32_t Id) : Id(Id) {}
+
+  bool isValid() const { return Id != UINT32_MAX; }
+  friend bool operator==(Symbol A, Symbol B) { return A.Id == B.Id; }
+  friend bool operator!=(Symbol A, Symbol B) { return A.Id != B.Id; }
+  friend bool operator<(Symbol A, Symbol B) { return A.Id < B.Id; }
+};
+
+/// Interns identifier spellings into Symbols and recovers the spelling.
+class Interner {
+public:
+  /// Returns the symbol for \p Text, creating it on first use.
+  Symbol intern(std::string_view Text);
+
+  /// Returns the spelling of \p S. \p S must have been produced by this
+  /// interner.
+  const std::string &text(Symbol S) const;
+
+  /// Creates a fresh symbol guaranteed distinct from all interned
+  /// spellings, rendered as "<base>$<n>". Used for generated variables.
+  Symbol fresh(std::string_view Base);
+
+  size_t size() const { return Texts.size(); }
+
+private:
+  std::unordered_map<std::string, Symbol> Map;
+  std::vector<std::string> Texts;
+  uint64_t FreshCounter = 0;
+};
+
+} // namespace rml
+
+namespace std {
+template <> struct hash<rml::Symbol> {
+  size_t operator()(rml::Symbol S) const noexcept {
+    return std::hash<uint32_t>{}(S.Id);
+  }
+};
+} // namespace std
+
+#endif // RML_SUPPORT_INTERNER_H

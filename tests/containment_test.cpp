@@ -1,0 +1,221 @@
+//===- tests/containment_test.cpp - Type/value containment tests ----------===//
+//
+// The containment judgements of Sections 3.2 and 3.7: Omega |- mu : phi,
+// scheme containment, and the value containment of Figure 3 — including
+// the type-variable case that distinguishes the paper's system from its
+// predecessors.
+//
+//===----------------------------------------------------------------------===//
+
+#include "region/Containment.h"
+
+#include "rcheck/Check.h"
+
+#include <gtest/gtest.h>
+
+using namespace rml;
+
+namespace {
+
+class ContainmentTest : public ::testing::Test {
+protected:
+  RegionVar r(uint32_t I) { return RegionVar(I); }
+  EffectVar e(uint32_t I) { return EffectVar(I); }
+  TyVarId a(uint32_t I) { return TyVarId(I); }
+  Effect phi(std::initializer_list<AtomicEffect> L) { return Effect(L); }
+
+  RTypeArena A;
+  RExprArena EA;
+  TyVarCtx Empty;
+};
+
+TEST_F(ContainmentTest, ScalarsAlwaysContained) {
+  EXPECT_TRUE(typeContained(Empty, A.intTy(), Effect()));
+  EXPECT_TRUE(typeContained(Empty, A.boolTy(), Effect()));
+  EXPECT_TRUE(typeContained(Empty, A.unitTy(), Effect()));
+}
+
+TEST_F(ContainmentTest, BoxedRequiresRegion) {
+  const Mu *S = A.boxed(A.stringTy(), r(1));
+  EXPECT_TRUE(typeContained(Empty, S, phi({AtomicEffect(r(1))})));
+  EXPECT_FALSE(typeContained(Empty, S, Effect()));
+  EXPECT_FALSE(typeContained(Empty, S, phi({AtomicEffect(r(2))})));
+}
+
+TEST_F(ContainmentTest, PairRequiresComponentsAndRegion) {
+  const Mu *P = A.boxed(
+      A.pairTy(A.boxed(A.stringTy(), r(2)), A.intTy()), r(1));
+  EXPECT_TRUE(typeContained(
+      Empty, P, phi({AtomicEffect(r(1)), AtomicEffect(r(2))})));
+  EXPECT_FALSE(typeContained(Empty, P, phi({AtomicEffect(r(1))})));
+}
+
+TEST_F(ContainmentTest, ArrowRequiresLatentEffectAndHandle) {
+  // (int -e1.{r2}-> int, r1) : phi needs {r1, e1} u {r2} in phi.
+  ArrowEff Nu(e(1), Effect{AtomicEffect(r(2))});
+  const Mu *F = A.boxed(A.arrowTy(A.intTy(), Nu, A.intTy()), r(1));
+  Effect Full =
+      phi({AtomicEffect(r(1)), AtomicEffect(r(2)), AtomicEffect(e(1))});
+  EXPECT_TRUE(typeContained(Empty, F, Full));
+  EXPECT_FALSE(typeContained(
+      Empty, F, phi({AtomicEffect(r(1)), AtomicEffect(r(2))}))); // no e1
+  EXPECT_FALSE(typeContained(
+      Empty, F, phi({AtomicEffect(r(1)), AtomicEffect(e(1))}))); // no r2
+}
+
+TEST_F(ContainmentTest, TyVarDelegatesToItsArrowEffect) {
+  // Omega |- alpha : phi iff frev(Omega(alpha)) subset phi — the device
+  // that makes instantiated regions visible (Section 3.2).
+  TyVarCtx Omega;
+  Omega.bind(a(0), ArrowEff(e(1), Effect{AtomicEffect(r(5))}));
+  const Mu *V = A.tyVar(a(0));
+  EXPECT_TRUE(typeContained(
+      Omega, V, phi({AtomicEffect(e(1)), AtomicEffect(r(5))})));
+  EXPECT_FALSE(typeContained(Omega, V, phi({AtomicEffect(e(1))})));
+  EXPECT_FALSE(typeContained(Omega, V, phi({AtomicEffect(r(5))})));
+}
+
+TEST_F(ContainmentTest, PlainTyVarOnlyContainedWhenAllowed) {
+  TyVarCtx Omega;
+  Omega.bindPlain(a(0));
+  const Mu *V = A.tyVar(a(0));
+  EXPECT_FALSE(typeContained(Omega, V, Effect()));
+  std::vector<TyVarId> Ok{a(0)};
+  EXPECT_TRUE(typeContained(Omega, V, Effect(), &Ok));
+  std::vector<TyVarId> Other{a(1)};
+  EXPECT_FALSE(typeContained(Omega, V, Effect(), &Other));
+}
+
+TEST_F(ContainmentTest, UnboundTyVarNeverContained) {
+  EXPECT_FALSE(typeContained(Empty, A.tyVar(a(7)), Effect()));
+}
+
+TEST_F(ContainmentTest, EffectExtensibility) {
+  // If Omega |- mu : phi and phi subset phi' then Omega |- mu : phi'.
+  const Mu *P = A.boxed(A.pairTy(A.intTy(), A.intTy()), r(1));
+  Effect Small = phi({AtomicEffect(r(1))});
+  Effect Big = Small.unionWith(phi({AtomicEffect(r(9)), AtomicEffect(e(3))}));
+  EXPECT_TRUE(typeContained(Empty, P, Small));
+  EXPECT_TRUE(typeContained(Empty, P, Big));
+}
+
+TEST_F(ContainmentTest, ContainmentImpliesFrevSubset) {
+  // Proposition 2: Omega |- o : phi implies frev(o) subset phi.
+  ArrowEff Nu(e(1), Effect{AtomicEffect(r(2))});
+  const Mu *F = A.boxed(A.arrowTy(A.boxed(A.stringTy(), r(3)), Nu,
+                                  A.intTy()),
+                        r(1));
+  Effect Phi = phi({AtomicEffect(r(1)), AtomicEffect(r(2)),
+                    AtomicEffect(r(3)), AtomicEffect(e(1))});
+  ASSERT_TRUE(typeContained(Empty, F, Phi));
+  EXPECT_TRUE(frevOf(F).subsetOf(Phi));
+}
+
+TEST_F(ContainmentTest, SchemeContainmentMasksBoundVars) {
+  // (forall r2 e1. int -e1.{r2}-> int, r0) : {r0} holds: the bound
+  // variables are unioned into the premise effect.
+  RScheme S;
+  S.QRegions = {r(2)};
+  S.QEffects = {e(1)};
+  S.Body = A.arrowTy(A.intTy(), ArrowEff(e(1), Effect{AtomicEffect(r(2))}),
+                     A.intTy());
+  EXPECT_TRUE(piContained(Empty, Pi(S, r(0)), phi({AtomicEffect(r(0))})));
+  EXPECT_FALSE(piContained(Empty, Pi(S, r(0)), Effect())); // place missing
+}
+
+TEST_F(ContainmentTest, SchemeContainmentRequiresFreeAtoms) {
+  // A free region in the scheme body must be in phi.
+  RScheme S;
+  S.QEffects = {e(1)};
+  S.Body = A.arrowTy(A.intTy(), ArrowEff(e(1), Effect{AtomicEffect(r(9))}),
+                     A.intTy());
+  EXPECT_FALSE(piContained(Empty, Pi(S, r(0)), phi({AtomicEffect(r(0))})));
+  EXPECT_TRUE(piContained(
+      Empty, Pi(S, r(0)), phi({AtomicEffect(r(0)), AtomicEffect(r(9))})));
+}
+
+TEST_F(ContainmentTest, SchemeBoundPlainTyVarsAdmissible) {
+  // Scheme-bound plain variables are binders: a captured polymorphic
+  // binding whose scheme quantifies them is containable.
+  RScheme S;
+  S.Delta.bindPlain(a(0));
+  S.QEffects = {e(1)};
+  S.Body = A.arrowTy(A.tyVar(a(0)), ArrowEff(e(1), Effect{}), A.tyVar(a(0)));
+  EXPECT_TRUE(piContained(Empty, Pi(S, r(0)), phi({AtomicEffect(r(0))})));
+}
+
+//===----------------------------------------------------------------------===//
+// Value containment (Figure 3)
+//===----------------------------------------------------------------------===//
+
+class ValueContainmentTest : public ContainmentTest {
+protected:
+  RExpr *intVal(int64_t V) {
+    RExpr *E = EA.make(RExpr::Kind::IntLit);
+    E->IntValue = V;
+    return E;
+  }
+  RExpr *strVal(const char *S, RegionVar Rho) {
+    RExpr *E = EA.make(RExpr::Kind::StrVal);
+    E->StrValue = S;
+    E->AtRho = Rho;
+    return E;
+  }
+  RExpr *pairVal(const RExpr *X, const RExpr *Y, RegionVar Rho) {
+    RExpr *E = EA.make(RExpr::Kind::PairVal);
+    E->A = X;
+    E->B = Y;
+    E->AtRho = Rho;
+    return E;
+  }
+};
+
+TEST_F(ValueContainmentTest, UnboxedValuesAlwaysContained) {
+  EXPECT_TRUE(valueContained(Effect(), intVal(7)));
+  EXPECT_TRUE(valueContained(Effect(), EA.make(RExpr::Kind::NilVal)));
+}
+
+TEST_F(ValueContainmentTest, BoxedValuesNeedTheirRegion) {
+  EXPECT_TRUE(valueContained(phi({AtomicEffect(r(1))}), strVal("x", r(1))));
+  EXPECT_FALSE(valueContained(Effect(), strVal("x", r(1))));
+}
+
+TEST_F(ValueContainmentTest, PairsRecurse) {
+  const RExpr *P = pairVal(strVal("a", r(2)), intVal(1), r(1));
+  EXPECT_TRUE(valueContained(
+      phi({AtomicEffect(r(1)), AtomicEffect(r(2))}), P));
+  EXPECT_FALSE(valueContained(phi({AtomicEffect(r(1))}), P));
+}
+
+TEST_F(ValueContainmentTest, ClosuresContainTheirBodyValues) {
+  // <fn x => <"s">^r2>^r1 : the embedded string value must be contained.
+  RExpr *Clos = EA.make(RExpr::Kind::ClosVal);
+  Clos->Param = Symbol(0);
+  Clos->A = strVal("s", r(2));
+  Clos->AtRho = r(1);
+  EXPECT_TRUE(valueContained(
+      phi({AtomicEffect(r(1)), AtomicEffect(r(2))}), Clos));
+  EXPECT_FALSE(valueContained(phi({AtomicEffect(r(1))}), Clos));
+}
+
+TEST_F(ValueContainmentTest, LetregionBindersMustBeFresh) {
+  // phi |=v letregion rho in e requires rho not in phi.
+  RExpr *Inner = EA.make(RExpr::Kind::LetRegion);
+  Inner->BoundRho = r(1);
+  Inner->A = intVal(0);
+  EXPECT_TRUE(exprValuesContained(Effect(), Inner));
+  EXPECT_FALSE(exprValuesContained(phi({AtomicEffect(r(1))}), Inner));
+}
+
+TEST_F(ValueContainmentTest, FunValQuantifiedRegionsDisjoint) {
+  // phi |= <fun f [rhos] x = e>^rho requires {rhos} cap phi = {}.
+  RExpr *Fun = EA.make(RExpr::Kind::FunVal);
+  Fun->AtRho = r(1);
+  Fun->Sigma.QRegions = {r(2)};
+  Fun->A = intVal(0);
+  EXPECT_TRUE(valueContained(phi({AtomicEffect(r(1))}), Fun));
+  EXPECT_FALSE(valueContained(
+      phi({AtomicEffect(r(1)), AtomicEffect(r(2))}), Fun));
+}
+
+} // namespace

@@ -1,0 +1,103 @@
+//===- tests/effect_test.cpp - Effect algebra unit tests ------------------===//
+
+#include "region/Effect.h"
+
+#include <gtest/gtest.h>
+
+using namespace rml;
+
+namespace {
+
+RegionVar r(uint32_t I) { return RegionVar(I); }
+EffectVar e(uint32_t I) { return EffectVar(I); }
+
+TEST(Effect, EmptyAndInsert) {
+  Effect Phi;
+  EXPECT_TRUE(Phi.isEmpty());
+  Phi.insert(AtomicEffect(r(1)));
+  Phi.insert(AtomicEffect(r(1))); // duplicate
+  Phi.insert(AtomicEffect(e(1)));
+  EXPECT_EQ(Phi.size(), 2u);
+  EXPECT_TRUE(Phi.contains(r(1)));
+  EXPECT_TRUE(Phi.contains(e(1)));
+  EXPECT_FALSE(Phi.contains(r(2)));
+}
+
+TEST(Effect, RegionAndEffectVarsAreDistinctAtoms) {
+  // r1 and e1 share the numeric id but are different atomic effects.
+  Effect Phi{AtomicEffect(r(1))};
+  EXPECT_TRUE(Phi.contains(r(1)));
+  EXPECT_FALSE(Phi.contains(e(1)));
+}
+
+TEST(Effect, SetOperations) {
+  Effect A{AtomicEffect(r(1)), AtomicEffect(r(2)), AtomicEffect(e(1))};
+  Effect B{AtomicEffect(r(2)), AtomicEffect(e(2))};
+  Effect U = A.unionWith(B);
+  EXPECT_EQ(U.size(), 4u);
+  Effect D = A.minus(B);
+  EXPECT_EQ(D.size(), 2u);
+  EXPECT_TRUE(D.contains(r(1)));
+  EXPECT_FALSE(D.contains(r(2)));
+  Effect I = A.intersect(B);
+  EXPECT_EQ(I.size(), 1u);
+  EXPECT_TRUE(I.contains(r(2)));
+  EXPECT_FALSE(A.disjointFrom(B));
+  EXPECT_TRUE(D.disjointFrom(B));
+}
+
+TEST(Effect, SubsetOf) {
+  Effect A{AtomicEffect(r(1))};
+  Effect B{AtomicEffect(r(1)), AtomicEffect(r(2))};
+  EXPECT_TRUE(A.subsetOf(B));
+  EXPECT_FALSE(B.subsetOf(A));
+  EXPECT_TRUE(Effect().subsetOf(A));
+  EXPECT_TRUE(A.subsetOf(A));
+}
+
+TEST(Effect, RegionsAndEffectVarsSplit) {
+  Effect Phi{AtomicEffect(r(3)), AtomicEffect(e(1)), AtomicEffect(r(1))};
+  std::vector<RegionVar> Rs = Phi.regions();
+  std::vector<EffectVar> Es = Phi.effectVars();
+  ASSERT_EQ(Rs.size(), 2u);
+  ASSERT_EQ(Es.size(), 1u);
+  EXPECT_EQ(Rs[0], r(1)); // sorted
+  EXPECT_EQ(Rs[1], r(3));
+  EXPECT_EQ(Es[0], e(1));
+}
+
+TEST(ArrowEff, Frev) {
+  ArrowEff Nu(e(1), Effect{AtomicEffect(r(1)), AtomicEffect(e(2))});
+  Effect F = Nu.frev();
+  EXPECT_EQ(F.size(), 3u);
+  EXPECT_TRUE(F.contains(e(1)));
+  EXPECT_TRUE(F.contains(e(2)));
+  EXPECT_TRUE(F.contains(r(1)));
+}
+
+TEST(ArrowEff, Equality) {
+  ArrowEff A(e(1), Effect{AtomicEffect(r(1))});
+  ArrowEff B(e(1), Effect{AtomicEffect(r(1))});
+  ArrowEff C(e(1), Effect{});
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+}
+
+TEST(Effect, Printing) {
+  EXPECT_EQ(printEffect(Effect()), "{}");
+  Effect Phi{AtomicEffect(r(2)), AtomicEffect(e(1))};
+  EXPECT_EQ(printEffect(Phi), "{r2,e1}");
+  EXPECT_EQ(printRegionVar(RegionVar::global()), "rG");
+  EXPECT_EQ(printEffectVar(EffectVar::global()), "eG");
+  EXPECT_EQ(printArrowEff(ArrowEff(e(3), Effect{AtomicEffect(r(1))})),
+            "e3.{r1}");
+}
+
+TEST(Effect, GlobalMarkers) {
+  EXPECT_TRUE(RegionVar::global().isGlobal());
+  EXPECT_FALSE(r(1).isGlobal());
+  EXPECT_FALSE(RegionVar().isValid());
+  EXPECT_TRUE(r(0).isValid());
+}
+
+} // namespace

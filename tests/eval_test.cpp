@@ -1,0 +1,172 @@
+//===- tests/eval_test.cpp - Evaluator option and robustness tests --------===//
+//
+// Runtime knobs: results are invariant under the tag-free representation,
+// finite-region sizing, GC thresholds and page retention; resource limits
+// behave; the runtime statistics respond the way the paper's columns do.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+
+#include "bench/Programs.h"
+
+#include <gtest/gtest.h>
+
+using namespace rml;
+
+namespace {
+
+class EvalTest : public ::testing::Test {
+protected:
+  std::unique_ptr<CompiledUnit> compile(std::string_view Src) {
+    auto Unit = C.compile(Src);
+    EXPECT_NE(Unit, nullptr) << C.diagnostics().str();
+    return Unit;
+  }
+
+  Compiler C;
+};
+
+TEST_F(EvalTest, ResultInvariantUnderRepresentationKnobs) {
+  const char *Src =
+      "fun rv xs = let fun go acc ys = case ys of nil => acc "
+      "| h :: t => go (h :: acc) t in go nil xs end\n"
+      "val r = ref 5\n"
+      "val l = rv [(1, \"a\"), (2, \"b\")]\n"
+      ";(#2 (case l of nil => (0, \"\") | h :: _ => h), !r)";
+  auto Unit = compile(Src);
+  ASSERT_NE(Unit, nullptr);
+  std::string Expected = "(\"b\", 5)";
+  for (bool TagFree : {true, false}) {
+    for (bool Finite : {true, false}) {
+      for (uint64_t Threshold : {256u, 4096u, 1u << 20}) {
+        rt::EvalOptions E;
+        E.TagFreePairs = TagFree;
+        E.UseFiniteRegions = Finite;
+        E.GcThresholdWords = Threshold;
+        rt::RunResult R = C.run(*Unit, E);
+        ASSERT_EQ(R.Outcome, rt::RunOutcome::Ok)
+            << "tagfree=" << TagFree << " finite=" << Finite
+            << " threshold=" << Threshold << ": " << R.Error;
+        EXPECT_EQ(R.ResultText, Expected);
+      }
+    }
+  }
+}
+
+TEST_F(EvalTest, TagFreeSavesAllocatedWords) {
+  // Headerless pairs/cons cells: strictly fewer allocated words — the
+  // Section 6 "dramatic savings" claim, qualitatively.
+  auto Unit = compile(bench::findBenchmark("nrev")->Source);
+  ASSERT_NE(Unit, nullptr);
+  rt::EvalOptions On, Off;
+  On.TagFreePairs = true;
+  Off.TagFreePairs = false;
+  rt::RunResult ROn = C.run(*Unit, On);
+  rt::RunResult ROff = C.run(*Unit, Off);
+  ASSERT_EQ(ROn.Outcome, rt::RunOutcome::Ok) << ROn.Error;
+  ASSERT_EQ(ROff.Outcome, rt::RunOutcome::Ok) << ROff.Error;
+  EXPECT_EQ(ROn.ResultText, ROff.ResultText);
+  EXPECT_LT(ROn.Heap.AllocWords, ROff.Heap.AllocWords);
+}
+
+TEST_F(EvalTest, StepLimitStopsRunawayPrograms) {
+  auto Unit = compile("fun loop n = loop (n + 1)\n;loop 0");
+  ASSERT_NE(Unit, nullptr);
+  rt::EvalOptions E;
+  E.StepLimit = 10000;
+  rt::RunResult R = C.run(*Unit, E);
+  EXPECT_EQ(R.Outcome, rt::RunOutcome::RuntimeError);
+  EXPECT_NE(R.Error.find("step limit"), std::string::npos);
+}
+
+TEST_F(EvalTest, LowThresholdMeansMoreCollections) {
+  auto Unit = compile(bench::findBenchmark("nrev")->Source);
+  ASSERT_NE(Unit, nullptr);
+  rt::EvalOptions Low, High;
+  Low.GcThresholdWords = 1024;
+  High.GcThresholdWords = 1 << 22;
+  rt::RunResult RLow = C.run(*Unit, Low);
+  rt::RunResult RHigh = C.run(*Unit, High);
+  ASSERT_EQ(RLow.Outcome, rt::RunOutcome::Ok) << RLow.Error;
+  ASSERT_EQ(RHigh.Outcome, rt::RunOutcome::Ok) << RHigh.Error;
+  EXPECT_GT(RLow.Heap.GcCount, RHigh.Heap.GcCount);
+  EXPECT_EQ(RLow.ResultText, RHigh.ResultText);
+}
+
+TEST_F(EvalTest, RegionsAreCreatedAndReleased) {
+  auto Unit = compile(bench::findBenchmark("msort")->Source);
+  ASSERT_NE(Unit, nullptr);
+  rt::RunResult R = C.run(*Unit);
+  ASSERT_EQ(R.Outcome, rt::RunOutcome::Ok) << R.Error;
+  EXPECT_GT(R.Heap.RegionsCreated, 100u);
+  // The stack discipline keeps live memory bounded far below the total.
+  EXPECT_LT(R.Heap.PeakHeapWords, R.Heap.AllocWords);
+}
+
+TEST_F(EvalTest, FiniteRegionsAreExercised) {
+  auto Unit = compile(bench::findBenchmark("msort")->Source);
+  ASSERT_NE(Unit, nullptr);
+  rt::EvalOptions E;
+  E.UseFiniteRegions = true;
+  rt::RunResult R = C.run(*Unit, E);
+  ASSERT_EQ(R.Outcome, rt::RunOutcome::Ok) << R.Error;
+  EXPECT_GT(R.Heap.FiniteRegionsCreated, 0u);
+  rt::EvalOptions E2;
+  E2.UseFiniteRegions = false;
+  rt::RunResult R2 = C.run(*Unit, E2);
+  ASSERT_EQ(R2.Outcome, rt::RunOutcome::Ok) << R2.Error;
+  EXPECT_EQ(R2.Heap.FiniteRegionsCreated, 0u);
+  EXPECT_EQ(R.ResultText, R2.ResultText);
+}
+
+TEST_F(EvalTest, OutputIsCollected) {
+  auto Unit = compile("fun p s = print s\n"
+                      ";(p \"a\"; p (\"b\" ^ \"c\"); p (itos 42))");
+  ASSERT_NE(Unit, nullptr);
+  rt::RunResult R = C.run(*Unit);
+  ASSERT_EQ(R.Outcome, rt::RunOutcome::Ok) << R.Error;
+  EXPECT_EQ(R.Output, "abc42");
+}
+
+TEST_F(EvalTest, DeepDataStructuresRender) {
+  auto Unit = compile("fun build n = if n = 0 then nil else n :: build (n-1)\n"
+                      ";build 30");
+  ASSERT_NE(Unit, nullptr);
+  rt::RunResult R = C.run(*Unit);
+  ASSERT_EQ(R.Outcome, rt::RunOutcome::Ok) << R.Error;
+  // The renderer truncates long lists rather than flooding.
+  EXPECT_NE(R.ResultText.find("..."), std::string::npos);
+}
+
+TEST_F(EvalTest, DeepRecursionFailsGracefully) {
+  // No tail-call optimisation: very deep recursion must produce a
+  // diagnostic, not a C++ stack overflow — in every build mode, because
+  // the guard measures native stack consumption, not call counts.
+  auto Unit = compile(
+      "fun count n = if n = 0 then 0 else 1 + count (n - 1)\n;count 100000");
+  ASSERT_NE(Unit, nullptr);
+  rt::RunResult R = C.run(*Unit);
+  EXPECT_EQ(R.Outcome, rt::RunOutcome::RuntimeError);
+  EXPECT_NE(R.Error.find("stack"), std::string::npos);
+  // Moderate depth is fine.
+  auto Unit2 = compile(
+      "fun count n = if n = 0 then 0 else 1 + count (n - 1)\n;count 1500");
+  ASSERT_NE(Unit2, nullptr);
+  rt::RunResult R2 = C.run(*Unit2);
+  EXPECT_EQ(R2.Outcome, rt::RunOutcome::Ok) << R2.Error;
+  EXPECT_EQ(R2.ResultText, "1500");
+}
+
+TEST_F(EvalTest, GcDisabledMeansNoCollections) {
+  Compiler C2;
+  CompileOptions Opts;
+  Opts.Strat = Strategy::R;
+  auto Unit = C2.compile(bench::findBenchmark("nrev")->Source, Opts);
+  ASSERT_NE(Unit, nullptr) << C2.diagnostics().str();
+  rt::RunResult R = C2.run(*Unit);
+  ASSERT_EQ(R.Outcome, rt::RunOutcome::Ok) << R.Error;
+  EXPECT_EQ(R.Heap.GcCount, 0u);
+}
+
+} // namespace

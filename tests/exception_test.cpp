@@ -1,0 +1,136 @@
+//===- tests/exception_test.cpp - Exception semantics tests ---------------===//
+//
+// Exceptions in the region runtime (Section 4.4): values live in the
+// global region, unwinding releases letregion-bound regions on the way
+// out, handlers match by constructor, and polymorphic payloads are
+// pinned to global regions under rg.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace rml;
+
+namespace {
+
+class ExceptionTest : public ::testing::Test {
+protected:
+  rt::RunResult run(std::string_view Src, Strategy S = Strategy::Rg) {
+    Compiler C;
+    CompileOptions Opts;
+    Opts.Strat = S;
+    auto Unit = C.compile(Src, Opts);
+    if (!Unit) {
+      rt::RunResult R;
+      R.Outcome = rt::RunOutcome::RuntimeError;
+      R.Error = "compile failed: " + C.diagnostics().str();
+      return R;
+    }
+    rt::EvalOptions E;
+    E.GcThresholdWords = 1024;
+    return C.run(*Unit, E);
+  }
+
+  std::string result(std::string_view Src) {
+    rt::RunResult R = run(Src);
+    EXPECT_EQ(R.Outcome, rt::RunOutcome::Ok) << R.Error;
+    return R.ResultText;
+  }
+};
+
+TEST_F(ExceptionTest, RaiseAndHandle) {
+  EXPECT_EQ(result("exception E of int\n(raise E 41) handle E v => v + 1"),
+            "42");
+}
+
+TEST_F(ExceptionTest, NullaryExceptions) {
+  EXPECT_EQ(result("exception Stop\n(raise Stop) handle Stop => 9"), "9");
+}
+
+TEST_F(ExceptionTest, WildcardCatchesEverything) {
+  EXPECT_EQ(result("exception A\nexception B of int\n"
+                   "(raise B 5) handle _ => 1"),
+            "1");
+}
+
+TEST_F(ExceptionTest, NonMatchingHandlerKeepsUnwinding) {
+  EXPECT_EQ(result("exception A\nexception B\n"
+                   "(((raise B) handle A => 1) handle B => 2)"),
+            "2");
+}
+
+TEST_F(ExceptionTest, UncaughtExceptionReported) {
+  rt::RunResult R = run("exception Boom of int\nraise Boom 3");
+  EXPECT_EQ(R.Outcome, rt::RunOutcome::UncaughtException);
+  EXPECT_NE(R.Error.find("Boom"), std::string::npos);
+}
+
+TEST_F(ExceptionTest, UnwindingReleasesRegions) {
+  // The handler runs after the raising call's local regions are gone;
+  // the live payload is global and GC keeps working afterwards.
+  EXPECT_EQ(result("exception E of int\n"
+                   "fun f u = let val p = (1, 2) in raise E (#1 p) end\n"
+                   "val r = (f ()) handle E v => v\n"
+                   "val w = work 50000\n"
+                   ";r"),
+            "1");
+}
+
+TEST_F(ExceptionTest, PayloadSurvivesCollectionAfterEscape) {
+  // A string payload raised out of the allocating scope: Section 4.4
+  // pins it to the global region, so a later collection is safe.
+  EXPECT_EQ(result("exception Msg of string\n"
+                   "fun f u = raise Msg (\"a\" ^ \"b\")\n"
+                   "val s = (f ()) handle Msg m => m\n"
+                   "val w = work 50000\n"
+                   ";size s"),
+            "2");
+}
+
+TEST_F(ExceptionTest, HandlersInsideRecursion) {
+  EXPECT_EQ(result(
+                "exception Found of int\n"
+                "fun find p xs = case xs of nil => raise Found (0 - 1) "
+                "| h :: t => if p h then h else find p t\n"
+                "val hit = (find (fn x => x > 3) [1, 2, 3, 4, 5])\n"
+                "val miss = (find (fn x => x > 9) [1, 2]) "
+                "handle Found d => d\n"
+                ";(hit, miss)"),
+            "(4, -1)");
+}
+
+TEST_F(ExceptionTest, RaiseInsideHandlerPropagates) {
+  EXPECT_EQ(result("exception A\nexception B\n"
+                   "(((raise A) handle A => raise B) handle B => 7)"),
+            "7");
+}
+
+TEST_F(ExceptionTest, ExceptionValuesAreFirstClass) {
+  EXPECT_EQ(result("exception E of int\n"
+                   "val v = E 5\n"
+                   ";((raise v) handle E n => n * 2)"),
+            "10");
+}
+
+TEST_F(ExceptionTest, ShadowedHandlersUseInnermostBinding) {
+  EXPECT_EQ(result("exception E of int\n"
+                   "((raise E 1) handle E v => v + 10)"),
+            "11");
+}
+
+TEST_F(ExceptionTest, PolymorphicPayloadUnderAllSafeStrategies) {
+  const char *Src = "fun wrap (x : 'a) = let exception Box of 'a in "
+                    "(Box x, fn e => (raise e) handle Box v => v) end\n"
+                    "val p = wrap (\"x\" ^ \"y\")\n"
+                    "val w = work 30000\n"
+                    ";size (#2 p (#1 p))";
+  rt::RunResult R = run(Src, Strategy::Rg);
+  EXPECT_EQ(R.Outcome, rt::RunOutcome::Ok) << R.Error;
+  EXPECT_EQ(R.ResultText, "2");
+  rt::RunResult R2 = run(Src, Strategy::R);
+  EXPECT_EQ(R2.Outcome, rt::RunOutcome::Ok) << R2.Error;
+}
+
+} // namespace

@@ -1,0 +1,173 @@
+//===- tests/invariants_test.cpp - Structural output invariants -----------===//
+//
+// Invariants of region inference's output that neither the checker's
+// rules nor the runtime state directly, yet everything depends on:
+//
+//   * region scoping: every allocation target and region-application
+//     argument is the global region, a letregion-bound region in scope,
+//     or a quantified formal of an enclosing fun binding;
+//   * binder uniqueness: no region is letregion-bound twice, no region is
+//     both letregion-bound and quantified;
+//   * every region application's substitution covers exactly the callee
+//     scheme's quantifiers.
+//
+// Checked over the whole benchmark suite, the counterexample programs and
+// a fresh batch of random programs, under all three strategies.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+
+#include "bench/Programs.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+#include <set>
+
+using namespace rml;
+
+namespace {
+
+class InvariantWalker {
+public:
+  std::vector<std::string> Violations;
+
+  void run(const RProgram &P) {
+    std::set<uint32_t> Scope{0}; // the global region
+    walk(P.Root, Scope);
+  }
+
+  std::set<uint32_t> BoundOnce;
+  std::set<uint32_t> Quantified;
+
+private:
+  void violation(std::string Msg) { Violations.push_back(std::move(Msg)); }
+
+  void checkInScope(RegionVar R, const std::set<uint32_t> &Scope,
+                    const char *What) {
+    if (!Scope.count(R.Id))
+      violation(std::string(What) + " targets out-of-scope region r" +
+                std::to_string(R.Id));
+  }
+
+  void walk(const RExpr *E, std::set<uint32_t> Scope) {
+    if (!E)
+      return;
+    switch (E->K) {
+    case RExpr::Kind::LetRegion: {
+      if (!BoundOnce.insert(E->BoundRho.Id).second)
+        violation("region r" + std::to_string(E->BoundRho.Id) +
+                  " letregion-bound twice");
+      if (Quantified.count(E->BoundRho.Id))
+        violation("region r" + std::to_string(E->BoundRho.Id) +
+                  " both quantified and letregion-bound");
+      Scope.insert(E->BoundRho.Id);
+      walk(E->A, Scope);
+      return;
+    }
+    case RExpr::Kind::FunBind: {
+      for (RegionVar R : E->Sigma.QRegions) {
+        Quantified.insert(R.Id);
+        if (BoundOnce.count(R.Id))
+          violation("region r" + std::to_string(R.Id) +
+                    " both letregion-bound and quantified");
+        Scope.insert(R.Id);
+      }
+      walk(E->A, Scope);
+      return;
+    }
+    case RExpr::Kind::RApp: {
+      checkInScope(E->AtRho, Scope, "region application");
+      for (const auto &[From, To] : E->Inst.Sr)
+        checkInScope(To, Scope, "region instantiation");
+      walk(E->A, Scope);
+      return;
+    }
+    default:
+      if (E->AtRho.isValid())
+        checkInScope(E->AtRho, Scope, "allocation");
+      walk(E->A, Scope);
+      walk(E->B, Scope);
+      walk(E->C, Scope);
+      for (const RExpr *Item : E->Items)
+        walk(Item, Scope);
+      return;
+    }
+  }
+};
+
+void expectInvariants(const std::string &Src, Strategy S,
+                      const std::string &Label) {
+  Compiler C;
+  CompileOptions Opts;
+  Opts.Strat = S;
+  auto Unit = C.compile(Src, Opts);
+  ASSERT_NE(Unit, nullptr) << Label << ": " << C.diagnostics().str();
+  InvariantWalker W;
+  W.run(Unit->program());
+  for (const std::string &V : W.Violations)
+    ADD_FAILURE() << Label << " (" << strategyName(S) << "): " << V;
+}
+
+TEST(Invariants, HoldOverTheBenchmarkSuite) {
+  for (const bench::BenchProgram &P : bench::benchmarkSuite())
+    for (Strategy S : {Strategy::Rg, Strategy::RgMinus, Strategy::R})
+      expectInvariants(P.Source, S, P.Name);
+}
+
+TEST(Invariants, HoldOverTheCounterexamples) {
+  for (Strategy S : {Strategy::Rg, Strategy::RgMinus, Strategy::R}) {
+    expectInvariants(bench::danglingPointerProgram(), S, "figure1");
+    expectInvariants(bench::spuriousChainProgram(), S, "figure8");
+    expectInvariants(bench::exnDanglingProgram(), S, "section44");
+  }
+}
+
+TEST(Invariants, RegionApplicationsCoverTheirSchemes) {
+  // Every RApp substitution domain matches the callee scheme exactly —
+  // statically resolvable because RApps always apply named bindings.
+  Compiler C;
+  auto Unit = C.compile(bench::findBenchmark("hof")->Source);
+  ASSERT_NE(Unit, nullptr) << C.diagnostics().str();
+
+  // Collect fun schemes by name (lexically; names are unique here).
+  std::map<std::string, const RScheme *> Schemes;
+  std::function<void(const RExpr *)> Collect = [&](const RExpr *E) {
+    if (!E)
+      return;
+    if (E->K == RExpr::Kind::FunBind)
+      Schemes[C.names().text(E->Name)] = &E->Sigma;
+    Collect(E->A);
+    Collect(E->B);
+    Collect(E->C);
+    for (const RExpr *Item : E->Items)
+      Collect(Item);
+  };
+  Collect(Unit->program().Root);
+
+  unsigned Checked = 0;
+  std::function<void(const RExpr *)> Verify = [&](const RExpr *E) {
+    if (!E)
+      return;
+    if (E->K == RExpr::Kind::RApp && E->A->K == RExpr::Kind::Var) {
+      auto It = Schemes.find(C.names().text(E->A->Name));
+      if (It != Schemes.end()) {
+        const RScheme *S = It->second;
+        EXPECT_EQ(E->Inst.Sr.size(), S->QRegions.size());
+        EXPECT_EQ(E->Inst.Se.size(), S->QEffects.size());
+        ++Checked;
+      }
+    }
+    Verify(E->A);
+    Verify(E->B);
+    Verify(E->C);
+    for (const RExpr *Item : E->Items)
+      Verify(Item);
+  };
+  Verify(Unit->program().Root);
+  EXPECT_GT(Checked, 0u);
+}
+
+} // namespace

@@ -1,0 +1,122 @@
+//===- tests/lexer_test.cpp - Lexer unit tests ----------------------------===//
+
+#include "ast/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace rml;
+
+namespace {
+
+std::vector<Token> lex(std::string_view Src, bool ExpectOk = true) {
+  DiagnosticEngine Diags;
+  Lexer L(Src, Diags);
+  std::vector<Token> Toks = L.lexAll();
+  EXPECT_EQ(ExpectOk, !Diags.hasErrors()) << Diags.str();
+  return Toks;
+}
+
+std::vector<TokKind> kinds(const std::vector<Token> &Toks) {
+  std::vector<TokKind> Out;
+  for (const Token &T : Toks)
+    Out.push_back(T.Kind);
+  return Out;
+}
+
+TEST(Lexer, Empty) {
+  auto Toks = lex("");
+  ASSERT_EQ(Toks.size(), 1u);
+  EXPECT_EQ(Toks[0].Kind, TokKind::Eof);
+}
+
+TEST(Lexer, Integers) {
+  auto Toks = lex("0 42 1234567");
+  ASSERT_EQ(Toks.size(), 4u);
+  EXPECT_EQ(Toks[0].IntValue, 0);
+  EXPECT_EQ(Toks[1].IntValue, 42);
+  EXPECT_EQ(Toks[2].IntValue, 1234567);
+}
+
+TEST(Lexer, Keywords) {
+  auto Toks = lex("val fun fn let in end if then else case of nil");
+  std::vector<TokKind> Want = {
+      TokKind::KwVal,  TokKind::KwFun,  TokKind::KwFn,  TokKind::KwLet,
+      TokKind::KwIn,   TokKind::KwEnd,  TokKind::KwIf,  TokKind::KwThen,
+      TokKind::KwElse, TokKind::KwCase, TokKind::KwOf,  TokKind::KwNil,
+      TokKind::Eof};
+  EXPECT_EQ(kinds(Toks), Want);
+}
+
+TEST(Lexer, Identifiers) {
+  auto Toks = lex("x foo' bar_baz Option.compose");
+  ASSERT_EQ(Toks.size(), 5u);
+  EXPECT_EQ(Toks[0].Text, "x");
+  EXPECT_EQ(Toks[1].Text, "foo'");
+  EXPECT_EQ(Toks[2].Text, "bar_baz");
+  EXPECT_EQ(Toks[3].Text, "Option.compose");
+}
+
+TEST(Lexer, TypeVariables) {
+  auto Toks = lex("'a 'b2");
+  EXPECT_EQ(Toks[0].Kind, TokKind::TyVar);
+  EXPECT_EQ(Toks[0].Text, "'a");
+  EXPECT_EQ(Toks[1].Text, "'b2");
+}
+
+TEST(Lexer, Operators) {
+  auto Toks = lex("-> => :: := <> <= >= < > = + - * ^ ! ~ | ; , : #1 #2 _");
+  std::vector<TokKind> Want = {
+      TokKind::Arrow, TokKind::DArrow,    TokKind::Cons,  TokKind::Assign,
+      TokKind::NotEq, TokKind::LessEq,    TokKind::GreaterEq,
+      TokKind::Less,  TokKind::Greater,   TokKind::Eq,    TokKind::Plus,
+      TokKind::Minus, TokKind::Star,      TokKind::Caret, TokKind::Bang,
+      TokKind::Tilde, TokKind::Bar,       TokKind::Semi,  TokKind::Comma,
+      TokKind::Colon, TokKind::Hash1,     TokKind::Hash2, TokKind::Wild,
+      TokKind::Eof};
+  EXPECT_EQ(kinds(Toks), Want);
+}
+
+TEST(Lexer, StringLiterals) {
+  auto Toks = lex(R"("oh" "no" "a\nb\t\"q\"")");
+  EXPECT_EQ(Toks[0].Text, "oh");
+  EXPECT_EQ(Toks[1].Text, "no");
+  EXPECT_EQ(Toks[2].Text, "a\nb\t\"q\"");
+}
+
+TEST(Lexer, NestedComments) {
+  auto Toks = lex("1 (* outer (* inner *) still out *) 2");
+  ASSERT_EQ(Toks.size(), 3u);
+  EXPECT_EQ(Toks[0].IntValue, 1);
+  EXPECT_EQ(Toks[1].IntValue, 2);
+}
+
+TEST(Lexer, UnterminatedComment) {
+  DiagnosticEngine Diags;
+  Lexer L("1 (* never closed", Diags);
+  L.lexAll();
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Lexer, UnterminatedString) {
+  DiagnosticEngine Diags;
+  Lexer L("\"abc", Diags);
+  L.lexAll();
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Lexer, SourceLocations) {
+  auto Toks = lex("a\n  b");
+  EXPECT_EQ(Toks[0].Loc.Line, 1u);
+  EXPECT_EQ(Toks[0].Loc.Col, 1u);
+  EXPECT_EQ(Toks[1].Loc.Line, 2u);
+  EXPECT_EQ(Toks[1].Loc.Col, 3u);
+}
+
+TEST(Lexer, HashRequiresDigit) {
+  DiagnosticEngine Diags;
+  Lexer L("#x", Diags);
+  L.lexAll();
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+} // namespace

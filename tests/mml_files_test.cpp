@@ -1,0 +1,75 @@
+//===- tests/mml_files_test.cpp - The shipped .mml programs ---------------===//
+//
+// The example programs under examples/programs/ keep working: the
+// tutorial and primes run clean under rg, and figure1.mml reproduces the
+// paper's crash under rg-.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+
+using namespace rml;
+
+namespace {
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  EXPECT_TRUE(In.good()) << "cannot open " << Path;
+  std::ostringstream Out;
+  Out << In.rdbuf();
+  return Out.str();
+}
+
+std::string programPath(const char *Name) {
+  return std::string(RML_SOURCE_DIR) + "/examples/programs/" + Name;
+}
+
+TEST(MmlFiles, TutorialRuns) {
+  Compiler C;
+  auto Unit = C.compile(readFile(programPath("tutorial.mml")));
+  ASSERT_NE(Unit, nullptr) << C.diagnostics().str();
+  rt::RunResult R = C.run(*Unit);
+  ASSERT_EQ(R.Outcome, rt::RunOutcome::Ok) << R.Error;
+  EXPECT_EQ(R.Output, "hello, regions\n");
+  EXPECT_EQ(R.ResultText, "(387, ((2, 1), 3))");
+}
+
+TEST(MmlFiles, PrimesRunsUnderEveryStrategy) {
+  std::string Src = readFile(programPath("primes.mml"));
+  for (Strategy S : {Strategy::Rg, Strategy::RgMinus, Strategy::R}) {
+    Compiler C;
+    CompileOptions Opts;
+    Opts.Strat = S;
+    auto Unit = C.compile(Src, Opts);
+    ASSERT_NE(Unit, nullptr) << C.diagnostics().str();
+    rt::RunResult R = C.run(*Unit);
+    ASSERT_EQ(R.Outcome, rt::RunOutcome::Ok)
+        << strategyName(S) << ": " << R.Error;
+    EXPECT_EQ(R.ResultText, "(196, 1193)");
+  }
+}
+
+TEST(MmlFiles, Figure1CrashesUnderRgMinusOnly) {
+  std::string Src = readFile(programPath("figure1.mml"));
+  rt::EvalOptions E;
+  E.GcThresholdWords = 2048;
+  E.RetainReleasedPages = true;
+
+  Compiler CRg;
+  auto URg = CRg.compile(Src);
+  ASSERT_NE(URg, nullptr) << CRg.diagnostics().str();
+  EXPECT_EQ(CRg.run(*URg, E).Outcome, rt::RunOutcome::Ok);
+
+  Compiler CRgm;
+  CompileOptions Opts;
+  Opts.Strat = Strategy::RgMinus;
+  auto URgm = CRgm.compile(Src, Opts);
+  ASSERT_NE(URgm, nullptr) << CRgm.diagnostics().str();
+  EXPECT_EQ(CRgm.run(*URgm, E).Outcome, rt::RunOutcome::DanglingPointer);
+}
+
+} // namespace

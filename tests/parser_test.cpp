@@ -1,0 +1,189 @@
+//===- tests/parser_test.cpp - Parser unit tests --------------------------===//
+
+#include "ast/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace rml;
+
+namespace {
+
+class ParserTest : public ::testing::Test {
+protected:
+  std::string parseExprText(std::string_view Src) {
+    Diags.clear();
+    std::optional<Program> P = parseString(Src, Arena, Names, Diags);
+    if (!P) {
+      ADD_FAILURE() << "parse failed: " << Diags.str();
+      return "";
+    }
+    return printExpr(P->Result, Names);
+  }
+
+  std::optional<Program> parse(std::string_view Src) {
+    Diags.clear();
+    return parseString(Src, Arena, Names, Diags);
+  }
+
+  AstArena Arena;
+  Interner Names;
+  DiagnosticEngine Diags;
+};
+
+TEST_F(ParserTest, Literals) {
+  EXPECT_EQ(parseExprText("42"), "42");
+  EXPECT_EQ(parseExprText("true"), "true");
+  EXPECT_EQ(parseExprText("()"), "()");
+  EXPECT_EQ(parseExprText("\"hi\""), "\"hi\"");
+  EXPECT_EQ(parseExprText("nil"), "nil");
+}
+
+TEST_F(ParserTest, ArithmeticPrecedence) {
+  EXPECT_EQ(parseExprText("1 + 2 * 3"), "(1 + (2 * 3))");
+  EXPECT_EQ(parseExprText("1 * 2 + 3"), "((1 * 2) + 3)");
+  EXPECT_EQ(parseExprText("1 + 2 - 3"), "((1 + 2) - 3)");
+  EXPECT_EQ(parseExprText("1 < 2 + 3"), "(1 < (2 + 3))");
+}
+
+TEST_F(ParserTest, ConsIsRightAssociative) {
+  EXPECT_EQ(parseExprText("1 :: 2 :: nil"), "(1 :: (2 :: nil))");
+}
+
+TEST_F(ParserTest, ApplicationBindsTighterThanOperators) {
+  EXPECT_EQ(parseExprText("fn f => fn x => f x + 1"),
+            "(fn f => (fn x => ((f x) + 1)))");
+}
+
+TEST_F(ParserTest, ApplicationIsLeftAssociative) {
+  EXPECT_EQ(parseExprText("fn f => fn x => fn y => f x y"),
+            "(fn f => (fn x => (fn y => ((f x) y))))");
+}
+
+TEST_F(ParserTest, UnaryNegationDesugars) {
+  EXPECT_EQ(parseExprText("~5"), "(0 - 5)");
+}
+
+TEST_F(ParserTest, ListLiteralDesugars) {
+  EXPECT_EQ(parseExprText("[1, 2]"), "(1 :: (2 :: nil))");
+  EXPECT_EQ(parseExprText("[]"), "nil");
+}
+
+TEST_F(ParserTest, PairsAndSelectors) {
+  EXPECT_EQ(parseExprText("(1, 2)"), "(1, 2)");
+  EXPECT_EQ(parseExprText("#1 (1, 2)"), "#1 (1, 2)");
+  // Triples become right-nested pairs.
+  EXPECT_EQ(parseExprText("(1, 2, 3)"), "(1, (2, 3))");
+}
+
+TEST_F(ParserTest, Sequencing) {
+  EXPECT_EQ(parseExprText("(1; 2; 3)"), "(1; 2; 3)");
+}
+
+TEST_F(ParserTest, LetValAndFun) {
+  EXPECT_EQ(parseExprText("let val x = 1 in x end"),
+            "let val x = 1 in x end");
+  EXPECT_EQ(parseExprText("let fun f x = x in f 1 end"),
+            "let fun f x = x in (f 1) end");
+}
+
+TEST_F(ParserTest, CurriedFunDesugars) {
+  EXPECT_EQ(parseExprText("let fun f x y = x + y in f end"),
+            "let fun f x = (fn y => (x + y)) in f end");
+}
+
+TEST_F(ParserTest, UnitParameterDesugars) {
+  // fun f () = e binds a fresh unit-annotated parameter.
+  std::optional<Program> P = parse("fun f () = 1");
+  ASSERT_TRUE(P.has_value());
+  ASSERT_EQ(P->Decs.size(), 1u);
+  EXPECT_NE(P->Decs[0]->ParamAnnot, nullptr);
+  EXPECT_EQ(P->Decs[0]->ParamAnnot->K, TyExpr::Kind::Unit);
+}
+
+TEST_F(ParserTest, CaseOnLists) {
+  EXPECT_EQ(parseExprText("case [1] of nil => 0 | h :: t => h"),
+            "(case (1 :: nil) of nil => 0 | h :: t => h)");
+}
+
+TEST_F(ParserTest, IfThenElse) {
+  EXPECT_EQ(parseExprText("if 1 < 2 then 3 else 4"),
+            "(if (1 < 2) then 3 else 4)");
+}
+
+TEST_F(ParserTest, References) {
+  EXPECT_EQ(parseExprText("let val r = ref 1 in (r := 2; !r) end"),
+            "let val r = (ref 1) in ((r := 2); !r) end");
+}
+
+TEST_F(ParserTest, AnnotatedParameter) {
+  EXPECT_EQ(parseExprText("fn (x : 'a) => x"), "(fn x => x)");
+}
+
+TEST_F(ParserTest, TypeAnnotationExpr) {
+  EXPECT_EQ(parseExprText("(1 : int)"), "(1 : int)");
+}
+
+TEST_F(ParserTest, ExceptionsAndHandlers) {
+  std::optional<Program> P =
+      parse("exception E of int\n(raise E 3) handle E v => v");
+  ASSERT_TRUE(P.has_value());
+  ASSERT_EQ(P->Decs.size(), 1u);
+  EXPECT_EQ(P->Decs[0]->K, Dec::Kind::Exn);
+  EXPECT_EQ(printExpr(P->Result, Names), "((raise E 3) handle E v => v)");
+}
+
+TEST_F(ParserTest, WildcardHandler) {
+  std::optional<Program> P = parse("exception E\n(raise E) handle _ => 2");
+  ASSERT_TRUE(P.has_value());
+  EXPECT_EQ(printExpr(P->Result, Names), "((raise E) handle _ => 2)");
+}
+
+TEST_F(ParserTest, PrimitivesApplied) {
+  EXPECT_EQ(parseExprText("print \"x\""), "(print \"x\")");
+  EXPECT_EQ(parseExprText("itos 5"), "(itos 5)");
+  EXPECT_EQ(parseExprText("size \"abc\""), "(size \"abc\")");
+  EXPECT_EQ(parseExprText("work 10"), "(work 10)");
+}
+
+TEST_F(ParserTest, PrimitiveAsValueEtaExpands) {
+  // "print" in value position becomes a lambda.
+  std::string S = parseExprText("fn f => f print");
+  EXPECT_NE(S.find("fn"), std::string::npos);
+  EXPECT_NE(S.find("print"), std::string::npos);
+}
+
+TEST_F(ParserTest, AndAlsoOrElsePrecedence) {
+  EXPECT_EQ(parseExprText("true andalso false orelse true"),
+            "((true andalso false) orelse true)");
+  EXPECT_EQ(parseExprText("1 < 2 andalso 2 < 3"),
+            "((1 < 2) andalso (2 < 3))");
+}
+
+TEST_F(ParserTest, TopLevelProgram) {
+  std::optional<Program> P = parse("val x = 1\nfun f y = y + x\n;f 2");
+  ASSERT_TRUE(P.has_value());
+  EXPECT_EQ(P->Decs.size(), 2u);
+  EXPECT_EQ(printExpr(P->Result, Names), "(f 2)");
+}
+
+TEST_F(ParserTest, MissingParenReported) {
+  EXPECT_FALSE(parse("(1 + 2").has_value());
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST_F(ParserTest, MissingEndReported) {
+  EXPECT_FALSE(parse("let val x = 1 in x").has_value());
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST_F(ParserTest, TypeSyntax) {
+  std::optional<Program> P =
+      parse("fun f (x : int * string -> bool list) = x\n;()");
+  ASSERT_TRUE(P.has_value());
+  const Dec *D = P->Decs[0];
+  ASSERT_NE(D->ParamAnnot, nullptr);
+  EXPECT_EQ(printTyExpr(D->ParamAnnot, Names),
+            "((int * string) -> bool list)");
+}
+
+} // namespace

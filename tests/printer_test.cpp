@@ -1,0 +1,88 @@
+//===- tests/printer_test.cpp - Region-program printer tests --------------===//
+//
+// The Figure 2-style pretty printer: annotated programs must show the
+// paper's notation (letregion binders, at-annotations, region
+// instantiation lists, schemes with type-variable contexts).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace rml;
+
+namespace {
+
+class PrinterTest : public ::testing::Test {
+protected:
+  std::string printed(std::string_view Src, Strategy S = Strategy::Rg) {
+    CompileOptions Opts;
+    Opts.Strat = S;
+    auto Unit = C.compile(Src, Opts);
+    if (!Unit) {
+      ADD_FAILURE() << C.diagnostics().str();
+      return "";
+    }
+    return C.printProgram(*Unit);
+  }
+
+  Compiler C;
+};
+
+TEST_F(PrinterTest, AllocationAnnotations) {
+  std::string P = printed("#1 (1, 2) + 3");
+  EXPECT_NE(P.find(") at r"), std::string::npos) << P;
+  EXPECT_NE(P.find("letregion r"), std::string::npos) << P;
+}
+
+TEST_F(PrinterTest, StringConcatShowsDestination) {
+  std::string P = printed("size (\"a\" ^ \"b\")");
+  EXPECT_NE(P.find("^[r"), std::string::npos) << P;
+  EXPECT_NE(P.find("\"a\" at r"), std::string::npos) << P;
+}
+
+TEST_F(PrinterTest, SchemesShowQuantifiersAndDelta) {
+  std::string P =
+      printed("fun compose fg = fn x => #1 fg (#2 fg x)\n;()");
+  // Quantifier block with regions, effect vars and a spurious entry.
+  EXPECT_NE(P.find("fun compose["), std::string::npos) << P;
+  EXPECT_NE(P.find("'a:e"), std::string::npos) << P;
+  // rg- prints plain type variables (no arrow effect).
+  std::string P2 =
+      printed("fun compose fg = fn x => #1 fg (#2 fg x)\n;()",
+              Strategy::RgMinus);
+  EXPECT_EQ(P2.find("'a:e"), std::string::npos) << P2;
+  EXPECT_NE(P2.find("'a"), std::string::npos) << P2;
+}
+
+TEST_F(PrinterTest, RegionApplicationShowsSubstitution) {
+  std::string P = printed("fun id x = x\n;id 3");
+  EXPECT_NE(P.find("id ["), std::string::npos) << P;
+  EXPECT_NE(P.find(":="), std::string::npos) << P;
+  EXPECT_NE(P.find("] at r"), std::string::npos) << P;
+}
+
+TEST_F(PrinterTest, LetShowsBindingTypes) {
+  std::string P = printed("let val s = \"x\" in size s end");
+  EXPECT_NE(P.find("let val s : (string, r"), std::string::npos) << P;
+}
+
+TEST_F(PrinterTest, LetregionListsDischargedEffectVariables) {
+  // At least one letregion in the compose program discharges secondary
+  // effect variables alongside its region.
+  std::string P = printed(
+      "fun compose fg = fn x => #1 fg (#2 fg x)\n"
+      "val h = compose (fn x => x + 1, fn x => x * 2)\n;h 1");
+  bool Found = false;
+  for (size_t Pos = P.find("letregion r"); Pos != std::string::npos;
+       Pos = P.find("letregion r", Pos + 1)) {
+    size_t In = P.find(" in", Pos);
+    if (In != std::string::npos &&
+        P.substr(Pos, In - Pos).find(",e") != std::string::npos)
+      Found = true;
+  }
+  EXPECT_TRUE(Found) << P;
+}
+
+} // namespace

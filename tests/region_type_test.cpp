@@ -1,0 +1,155 @@
+//===- tests/region_type_test.cpp - Region type unit tests ----------------===//
+
+#include "region/RegionType.h"
+
+#include <gtest/gtest.h>
+
+using namespace rml;
+
+namespace {
+
+class RegionTypeTest : public ::testing::Test {
+protected:
+  RegionVar r(uint32_t I) { return RegionVar(I); }
+  EffectVar e(uint32_t I) { return EffectVar(I); }
+  TyVarId a(uint32_t I) { return TyVarId(I); }
+
+  RTypeArena A;
+};
+
+TEST_F(RegionTypeTest, ScalarsHaveNoFrev) {
+  EXPECT_TRUE(frevOf(A.intTy()).isEmpty());
+  EXPECT_TRUE(frevOf(A.boolTy()).isEmpty());
+  EXPECT_TRUE(frevOf(A.unitTy()).isEmpty());
+  EXPECT_TRUE(frevOf(A.tyVar(a(0))).isEmpty());
+}
+
+TEST_F(RegionTypeTest, BoxedTypesCarryTheirRegion) {
+  const Mu *S = A.boxed(A.stringTy(), r(3));
+  Effect F = frevOf(S);
+  EXPECT_EQ(F.size(), 1u);
+  EXPECT_TRUE(F.contains(r(3)));
+}
+
+TEST_F(RegionTypeTest, ArrowFrevIncludesLatentEffect) {
+  // (int -e1.{r2}-> int, r1): frev = {r1, e1, r2}.
+  ArrowEff Nu(e(1), Effect{AtomicEffect(r(2))});
+  const Mu *M = A.boxed(A.arrowTy(A.intTy(), Nu, A.intTy()), r(1));
+  Effect F = frevOf(M);
+  EXPECT_EQ(F.size(), 3u);
+  EXPECT_TRUE(F.contains(r(1)));
+  EXPECT_TRUE(F.contains(r(2)));
+  EXPECT_TRUE(F.contains(e(1)));
+}
+
+TEST_F(RegionTypeTest, SchemeFrevSubtractsBoundVars) {
+  // forall r2 e1. (int -e1.{r2,r9}-> int): frev = {r9}.
+  ArrowEff Nu(e(1), Effect{AtomicEffect(r(2)), AtomicEffect(r(9))});
+  RScheme S;
+  S.QRegions = {r(2)};
+  S.QEffects = {e(1)};
+  S.Body = A.arrowTy(A.intTy(), Nu, A.intTy());
+  Effect F = frevOf(S);
+  EXPECT_EQ(F.size(), 1u);
+  EXPECT_TRUE(F.contains(r(9)));
+}
+
+TEST_F(RegionTypeTest, SchemeFrevIncludesDeltaArrowEffects) {
+  RScheme S;
+  S.Delta.bind(a(0), ArrowEff(e(5), Effect{AtomicEffect(r(7))}));
+  S.Body = A.pairTy(A.tyVar(a(0)), A.intTy());
+  Effect F = frevOf(S);
+  EXPECT_TRUE(F.contains(e(5)));
+  EXPECT_TRUE(F.contains(r(7)));
+}
+
+TEST_F(RegionTypeTest, FtvCollectsTypeVariables) {
+  const Mu *M =
+      A.boxed(A.pairTy(A.tyVar(a(1)), A.boxed(A.listTy(A.tyVar(a(2))), r(1))),
+              r(2));
+  std::vector<TyVarId> Vars = ftvOf(M);
+  ASSERT_EQ(Vars.size(), 2u);
+  EXPECT_EQ(Vars[0], a(1));
+  EXPECT_EQ(Vars[1], a(2));
+}
+
+TEST_F(RegionTypeTest, FtvOfSchemeSubtractsDelta) {
+  RScheme S;
+  S.Delta.bindPlain(a(1));
+  S.Body = A.pairTy(A.tyVar(a(1)), A.tyVar(a(2)));
+  std::vector<TyVarId> Vars = ftvOf(S);
+  ASSERT_EQ(Vars.size(), 1u);
+  EXPECT_EQ(Vars[0], a(2));
+}
+
+TEST_F(RegionTypeTest, StructuralEquality) {
+  const Mu *P1 = A.boxed(A.pairTy(A.intTy(), A.boolTy()), r(1));
+  const Mu *P2 = A.boxed(A.pairTy(A.intTy(), A.boolTy()), r(1));
+  const Mu *P3 = A.boxed(A.pairTy(A.intTy(), A.boolTy()), r(2));
+  const Mu *P4 = A.boxed(A.pairTy(A.boolTy(), A.boolTy()), r(1));
+  EXPECT_TRUE(muEquals(P1, P2));
+  EXPECT_FALSE(muEquals(P1, P3)); // different region
+  EXPECT_FALSE(muEquals(P1, P4)); // different component
+}
+
+TEST_F(RegionTypeTest, ArrowEqualityIncludesLatentEffect) {
+  ArrowEff N1(e(1), Effect{AtomicEffect(r(2))});
+  ArrowEff N2(e(1), Effect{});
+  const Mu *M1 = A.boxed(A.arrowTy(A.intTy(), N1, A.intTy()), r(1));
+  const Mu *M2 = A.boxed(A.arrowTy(A.intTy(), N2, A.intTy()), r(1));
+  EXPECT_FALSE(muEquals(M1, M2));
+}
+
+TEST_F(RegionTypeTest, WellFormedness) {
+  TyVarCtx Omega;
+  Omega.bindPlain(a(1));
+  EXPECT_TRUE(wellFormed(Omega, A.tyVar(a(1))));
+  EXPECT_FALSE(wellFormed(Omega, A.tyVar(a(2))));
+  EXPECT_TRUE(wellFormed(Omega, A.intTy()));
+  const Mu *M = A.boxed(A.listTy(A.tyVar(a(2))), r(1));
+  EXPECT_FALSE(wellFormed(Omega, M));
+}
+
+TEST_F(RegionTypeTest, SchemeWellFormednessRequiresDisjointDelta) {
+  TyVarCtx Omega;
+  Omega.bindPlain(a(1));
+  RScheme S;
+  S.Delta.bindPlain(a(1)); // collides with Omega
+  S.Body = A.pairTy(A.tyVar(a(1)), A.intTy());
+  EXPECT_FALSE(wellFormed(Omega, Pi(S, r(1))));
+  TyVarCtx Empty;
+  EXPECT_TRUE(wellFormed(Empty, Pi(S, r(1))));
+}
+
+TEST_F(RegionTypeTest, TyVarCtxPlusIsRightBiased) {
+  TyVarCtx A1, A2;
+  A1.bind(a(1), ArrowEff(e(1), Effect{}));
+  A2.bind(a(1), ArrowEff(e(2), Effect{}));
+  TyVarCtx Sum = A1.plus(A2);
+  const ArrowEff *Nu = Sum.lookup(a(1));
+  ASSERT_NE(Nu, nullptr);
+  EXPECT_EQ(Nu->Handle, e(2));
+}
+
+TEST_F(RegionTypeTest, PlainEntriesAreBoundButEffectless) {
+  TyVarCtx Ctx;
+  Ctx.bindPlain(a(1));
+  EXPECT_TRUE(Ctx.contains(a(1)));
+  EXPECT_EQ(Ctx.lookup(a(1)), nullptr);
+  EXPECT_TRUE(Ctx.frev().isEmpty());
+}
+
+TEST_F(RegionTypeTest, Printing) {
+  ArrowEff Nu(e(1), Effect{AtomicEffect(r(2))});
+  const Mu *M = A.boxed(A.arrowTy(A.intTy(), Nu, A.tyVar(a(0))), r(1));
+  EXPECT_EQ(printMu(M), "(int -e1.{r2}-> 'a, r1)");
+  RScheme S;
+  S.QRegions = {r(1), r(2)};
+  S.QEffects = {e(1)};
+  S.Delta.bind(a(0), ArrowEff(e(9), Effect{}));
+  S.Body = A.arrowTy(A.intTy(), Nu, A.tyVar(a(0)));
+  EXPECT_EQ(printScheme(S),
+            "forall r1 r2 e1 ('a:e9.{}). int -e1.{r2}-> 'a");
+}
+
+} // namespace

@@ -1,0 +1,157 @@
+//===- tests/rinfer_schemes_test.cpp - Inferred scheme shape tests --------===//
+//
+// Section 2's type schemes, reproduced by inference:
+//
+//  (1) the unsound scheme (rg-): gamma is quantified without an arrow
+//      effect, and the result arrow cannot see instantiated regions;
+//  (2) the sound scheme (rg, FreshSecondary): gamma carries a fresh
+//      secondary arrow effect eps', and eps' occurs in the result
+//      function's latent effect;
+//  (3) the alternative scheme (rg, IdentifyWithFun): gamma's effect
+//      variable is identified with a function arrow-effect variable.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace rml;
+
+namespace {
+
+const char *ComposeSrc = "fun compose fg = fn x => #1 fg (#2 fg x)\n;()";
+
+/// Finds compose's FunBind and returns its materialised scheme.
+const RExpr *findFun(const RExpr *E, Symbol Name) {
+  if (!E)
+    return nullptr;
+  if (E->K == RExpr::Kind::FunBind && E->Name == Name)
+    return E;
+  if (const RExpr *R = findFun(E->A, Name))
+    return R;
+  if (const RExpr *R = findFun(E->B, Name))
+    return R;
+  if (const RExpr *R = findFun(E->C, Name))
+    return R;
+  for (const RExpr *Item : E->Items)
+    if (const RExpr *R = findFun(Item, Name))
+      return R;
+  return nullptr;
+}
+
+class SchemeTest : public ::testing::Test {
+protected:
+  const RScheme *composeScheme(Strategy S, SpuriousMode M) {
+    CompileOptions Opts;
+    Opts.Strat = S;
+    Opts.Spurious = M;
+    Unit = C.compile(ComposeSrc, Opts);
+    if (!Unit) {
+      ADD_FAILURE() << C.diagnostics().str();
+      return nullptr;
+    }
+    const RExpr *Fun =
+        findFun(Unit->program().Root, C.names().intern("compose"));
+    if (!Fun) {
+      ADD_FAILURE() << "compose not found";
+      return nullptr;
+    }
+    return &Fun->Sigma;
+  }
+
+  /// The Delta entry with an arrow effect (the spurious gamma), if any.
+  static const ArrowEff *spuriousEntry(const RScheme &S) {
+    for (const auto &[Alpha, Nu] : S.Delta)
+      if (Nu)
+        return &*Nu;
+    return nullptr;
+  }
+
+  Compiler C;
+  std::unique_ptr<CompiledUnit> Unit;
+};
+
+TEST_F(SchemeTest, RgGivesSchemeTwo) {
+  const RScheme *S =
+      composeScheme(Strategy::Rg, SpuriousMode::FreshSecondary);
+  ASSERT_NE(S, nullptr);
+  // Three quantified type variables, exactly one spurious.
+  EXPECT_EQ(S->Delta.size(), 3u);
+  const ArrowEff *Gamma = spuriousEntry(*S);
+  ASSERT_NE(Gamma, nullptr) << printScheme(*S);
+  // The spurious arrow-effect variable is quantified...
+  bool Quantified = false;
+  for (EffectVar E : S->QEffects)
+    Quantified |= E == Gamma->Handle;
+  EXPECT_TRUE(Quantified) << printScheme(*S);
+  // ...and occurs in the *result* function's latent effect, which is how
+  // coverage reaches the eventual caller (scheme (2)).
+  ASSERT_EQ(S->Body->K, Tau::Kind::Arrow);
+  const Mu *Result = S->Body->B;
+  ASSERT_EQ(Result->K, Mu::Kind::Boxed);
+  ASSERT_EQ(Result->T->K, Tau::Kind::Arrow);
+  EXPECT_TRUE(Result->T->Nu.Phi.contains(Gamma->Handle))
+      << printScheme(*S);
+}
+
+TEST_F(SchemeTest, RgIdentifyGivesSchemeThree) {
+  const RScheme *S =
+      composeScheme(Strategy::Rg, SpuriousMode::IdentifyWithFun);
+  ASSERT_NE(S, nullptr);
+  const ArrowEff *Gamma = spuriousEntry(*S);
+  ASSERT_NE(Gamma, nullptr);
+  // Scheme (3): gamma's handle is one of the function arrow-effect
+  // handles (no secondary effect variable).
+  ASSERT_EQ(S->Body->K, Tau::Kind::Arrow);
+  const Mu *Result = S->Body->B;
+  bool Identified = Gamma->Handle == S->Body->Nu.Handle ||
+                    (Result->K == Mu::Kind::Boxed &&
+                     Result->T->K == Tau::Kind::Arrow &&
+                     Gamma->Handle == Result->T->Nu.Handle);
+  EXPECT_TRUE(Identified) << printScheme(*S);
+}
+
+TEST_F(SchemeTest, RgMinusGivesSchemeOne) {
+  const RScheme *S =
+      composeScheme(Strategy::RgMinus, SpuriousMode::FreshSecondary);
+  ASSERT_NE(S, nullptr);
+  // All quantified type variables are plain: the unsound scheme (1).
+  EXPECT_EQ(S->Delta.size(), 3u);
+  EXPECT_EQ(spuriousEntry(*S), nullptr) << printScheme(*S);
+}
+
+TEST_F(SchemeTest, TofteTalpinAlsoPlain) {
+  const RScheme *S = composeScheme(Strategy::R, SpuriousMode::FreshSecondary);
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(spuriousEntry(*S), nullptr);
+}
+
+TEST_F(SchemeTest, RegionAndEffectQuantifiersPresent) {
+  const RScheme *S =
+      composeScheme(Strategy::Rg, SpuriousMode::FreshSecondary);
+  ASSERT_NE(S, nullptr);
+  // The paper's scheme quantifies four regions (pair, two argument
+  // closures, result closure) and the arrow-effect variables.
+  EXPECT_GE(S->QRegions.size(), 4u) << printScheme(*S);
+  EXPECT_GE(S->QEffects.size(), 4u) << printScheme(*S);
+}
+
+TEST_F(SchemeTest, ArgumentArrowEffectsAreEmptyInTheScheme) {
+  // Scheme (2) gives the argument functions arrow effects eps2.{} and
+  // eps1.{}: the scheme must not constrain its callers' functions.
+  const RScheme *S =
+      composeScheme(Strategy::Rg, SpuriousMode::FreshSecondary);
+  ASSERT_NE(S, nullptr);
+  ASSERT_EQ(S->Body->K, Tau::Kind::Arrow);
+  const Mu *Arg = S->Body->A; // the pair of functions
+  ASSERT_EQ(Arg->K, Mu::Kind::Boxed);
+  ASSERT_EQ(Arg->T->K, Tau::Kind::Pair);
+  const Mu *F1 = Arg->T->A, *F2 = Arg->T->B;
+  ASSERT_EQ(F1->T->K, Tau::Kind::Arrow);
+  ASSERT_EQ(F2->T->K, Tau::Kind::Arrow);
+  EXPECT_TRUE(F1->T->Nu.Phi.isEmpty()) << printScheme(*S);
+  EXPECT_TRUE(F2->T->Nu.Phi.isEmpty()) << printScheme(*S);
+}
+
+} // namespace

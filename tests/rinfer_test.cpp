@@ -1,0 +1,191 @@
+//===- tests/rinfer_test.cpp - Region inference integration tests ---------===//
+//
+// Region inference produces programs that the Figure 4 checker accepts:
+// under rg with the GC-safety conditions on, under rg-/r with the plain
+// Tofte-Talpin reading. Also checks the structural properties of the
+// output (letregion insertion, region application at polymorphic uses,
+// scheme quantification).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+
+#include "bench/Programs.h"
+
+#include <gtest/gtest.h>
+
+using namespace rml;
+
+namespace {
+
+class RInferTest : public ::testing::Test {
+protected:
+  std::unique_ptr<CompiledUnit> compile(std::string_view Src,
+                                        Strategy S = Strategy::Rg,
+                                        bool Check = true) {
+    CompileOptions Opts;
+    Opts.Strat = S;
+    Opts.Check = Check;
+    auto Unit = C.compile(Src, Opts);
+    EXPECT_NE(Unit, nullptr) << C.diagnostics().str();
+    return Unit;
+  }
+
+  static unsigned countKind(const RExpr *E, RExpr::Kind K) {
+    if (!E)
+      return 0;
+    unsigned N = E->K == K ? 1 : 0;
+    N += countKind(E->A, K) + countKind(E->B, K) + countKind(E->C, K);
+    for (const RExpr *Item : E->Items)
+      N += countKind(Item, K);
+    return N;
+  }
+
+  Compiler C;
+};
+
+TEST_F(RInferTest, OutputChecksUnderAllStrategies) {
+  const char *Src =
+      "fun twice f = fn x => f (f x)\n"
+      "fun inc x = x + 1\n"
+      "val p = (twice inc 3, twice (fn s => s ^ s) \"ab\")\n"
+      ";#1 p + size (#2 p)";
+  for (Strategy S : {Strategy::Rg, Strategy::RgMinus, Strategy::R}) {
+    auto Unit = compile(Src, S);
+    ASSERT_NE(Unit, nullptr);
+    EXPECT_TRUE(Unit->Checked.has_value());
+  }
+}
+
+TEST_F(RInferTest, MonomorphicProgramHasNoSchemeQuantifiers) {
+  auto Unit = compile("val x = (1, 2)\n;#1 x");
+  ASSERT_NE(Unit, nullptr);
+  EXPECT_EQ(countKind(Unit->program().Root, RExpr::Kind::RApp), 0u);
+}
+
+TEST_F(RInferTest, PolymorphicUseGoesThroughRegionApplication) {
+  auto Unit = compile("fun id x = x\n;(id 1, id \"a\")");
+  ASSERT_NE(Unit, nullptr);
+  // Two polymorphic uses => two region applications.
+  EXPECT_EQ(countKind(Unit->program().Root, RExpr::Kind::RApp), 2u);
+}
+
+TEST_F(RInferTest, LetregionsAreInserted) {
+  // The intermediate pair dies inside: at least one letregion.
+  auto Unit = compile("val n = #1 (1, 2) + #2 (3, 4)\n;n");
+  ASSERT_NE(Unit, nullptr);
+  EXPECT_GT(Unit->Inferred.NumLetRegions, 0u);
+  EXPECT_GT(countKind(Unit->program().Root, RExpr::Kind::LetRegion), 0u);
+}
+
+TEST_F(RInferTest, EscapingValuesAreNotMasked) {
+  // The string escapes as the program result: its region must not be
+  // letregion-bound, so it materialises as the global region.
+  auto Unit = compile("\"oh\" ^ \"no\"");
+  ASSERT_NE(Unit, nullptr);
+  const Mu *Root = Unit->rootMu();
+  ASSERT_EQ(Root->K, Mu::Kind::Boxed);
+  EXPECT_TRUE(Root->Rho.isGlobal());
+}
+
+static void placementSignature(const RExpr *E, std::string &Out) {
+  if (!E)
+    return;
+  Out += static_cast<char>('A' + static_cast<int>(E->K));
+  if (E->AtRho.isValid())
+    Out += 'r' + std::to_string(E->AtRho.Id);
+  if (E->BoundRho.isValid())
+    Out += 'L' + std::to_string(E->BoundRho.Id);
+  placementSignature(E->A, Out);
+  placementSignature(E->B, Out);
+  placementSignature(E->C, Out);
+  for (const RExpr *Item : E->Items)
+    placementSignature(Item, Out);
+}
+
+TEST_F(RInferTest, DeadStringRegionIsMaskedUnderRgMinus) {
+  // Figure 1's essence: under rg- the captured dead string's region is
+  // bound tightly inside the h binding (Figure 2(a)); under rg it is
+  // bound around h's whole live range (Figure 2(b)). Same regions,
+  // different letregion *placement* — the paper's "diff" column.
+  const std::string &Src = bench::danglingPointerProgram();
+  auto URg = compile(Src, Strategy::Rg);
+  auto URgm = compile(Src, Strategy::RgMinus);
+  ASSERT_NE(URg, nullptr);
+  ASSERT_NE(URgm, nullptr);
+  std::string SigRg, SigRgm;
+  placementSignature(URg->program().Root, SigRg);
+  placementSignature(URgm->program().Root, SigRgm);
+  EXPECT_NE(SigRg, SigRgm);
+}
+
+TEST_F(RInferTest, RecursiveFunctionsSelfInstantiate) {
+  auto Unit = compile(
+      "fun count xs = case xs of nil => 0 | _ :: t => 1 + count t\n"
+      ";count [1, 2, 3]");
+  ASSERT_NE(Unit, nullptr);
+  // One self-call region application plus one outer use.
+  EXPECT_GE(countKind(Unit->program().Root, RExpr::Kind::RApp), 2u);
+}
+
+TEST_F(RInferTest, SchemesRecordQuantifiers) {
+  auto Unit = compile("fun pairup x = (x, x)\n;pairup 1");
+  ASSERT_NE(Unit, nullptr);
+  std::string S = C.schemeOf(*Unit, "pairup");
+  EXPECT_NE(S.find("forall"), std::string::npos) << S;
+  // The result pair's region is a quantified formal.
+  EXPECT_NE(S.find("r"), std::string::npos) << S;
+}
+
+TEST_F(RInferTest, StatisticsArepopulated) {
+  auto Unit = compile(bench::findBenchmark("msort")->Source);
+  ASSERT_NE(Unit, nullptr);
+  EXPECT_GT(Unit->Inferred.NumRegionVars, 0u);
+  EXPECT_GT(Unit->Inferred.NumEffectVars, 0u);
+  EXPECT_GT(Unit->Inferred.NumLetRegions, 0u);
+  EXPECT_GT(Unit->Inferred.NumSchemes, 0u);
+}
+
+TEST_F(RInferTest, SpuriousModesBothCheck) {
+  const char *Src = "fun compose fg = fn x => #1 fg (#2 fg x)\n"
+                    "val h = compose (fn s => size s, fn u => \"a\" ^ \"b\")\n"
+                    ";h ()";
+  for (SpuriousMode M :
+       {SpuriousMode::FreshSecondary, SpuriousMode::IdentifyWithFun}) {
+    CompileOptions Opts;
+    Opts.Strat = Strategy::Rg;
+    Opts.Spurious = M;
+    auto Unit = C.compile(Src, Opts);
+    ASSERT_NE(Unit, nullptr) << C.diagnostics().str();
+    rt::RunResult R = C.run(*Unit);
+    EXPECT_EQ(R.Outcome, rt::RunOutcome::Ok) << R.Error;
+    EXPECT_EQ(R.ResultText, "2");
+  }
+}
+
+TEST_F(RInferTest, RgMinusOutputFailsTheGcSafeChecker) {
+  // The central claim, checker-level: rg- output is region-type-correct
+  // (Tofte-Talpin) but violates the GC-safe rules.
+  Compiler C2;
+  CompileOptions Opts;
+  Opts.Strat = Strategy::RgMinus;
+  Opts.Check = true; // checks with GcSafety::Off internally: passes
+  auto Unit = C2.compile(bench::danglingPointerProgram(), Opts);
+  ASSERT_NE(Unit, nullptr) << C2.diagnostics().str();
+
+  DiagnosticEngine D2;
+  RTypeArena A2;
+  std::optional<CheckResult> Strict = checkRProgram(
+      Unit->program(), A2, C2.names(), D2, GcSafety::On);
+  EXPECT_FALSE(Strict.has_value())
+      << "rg- output unexpectedly satisfies the GC-safe rules";
+}
+
+TEST_F(RInferTest, RgOutputPassesTheGcSafeChecker) {
+  Compiler C2;
+  auto Unit = C2.compile(bench::danglingPointerProgram());
+  ASSERT_NE(Unit, nullptr) << C2.diagnostics().str();
+  EXPECT_TRUE(Unit->Checked.has_value());
+}
+
+} // namespace

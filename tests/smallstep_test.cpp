@@ -1,0 +1,286 @@
+//===- tests/smallstep_test.cpp - Small-step semantics tests --------------===//
+//
+// The contextual semantics of Section 3.10 and the executable metatheory:
+//
+//   * whole pure-fragment programs evaluate to the expected values,
+//   * Proposition 18 (preservation): every intermediate term re-checks
+//     with the same type and a shrinking effect,
+//   * Proposition 19 (progress): no well-typed term gets stuck,
+//   * Theorem 2 (containment): context containment holds after every
+//     step,
+//   * the deallocation model: access to a region outside the allocated
+//     set is the paper's dangling-pointer failure.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smallstep/Step.h"
+
+#include "core/Pipeline.h"
+#include "rcheck/Check.h"
+
+#include <gtest/gtest.h>
+
+using namespace rml;
+
+namespace {
+
+class SmallStepTest : public ::testing::Test {
+protected:
+  /// Compiles a pure-fragment program (rg) and returns the root term.
+  const RExpr *compileRoot(std::string_view Src,
+                           Strategy S = Strategy::Rg) {
+    CompileOptions Opts;
+    Opts.Strat = S;
+    Unit = C.compile(Src, Opts);
+    if (!Unit) {
+      ADD_FAILURE() << C.diagnostics().str();
+      return nullptr;
+    }
+    return Unit->program().Root;
+  }
+
+  /// Runs to a value with the global region allocated.
+  SmallStep::RunResult run(const RExpr *E, uint64_t Fuel = 200000) {
+    Machine = std::make_unique<SmallStep>(Arena, C.names());
+    Effect Phi{AtomicEffect(RegionVar::global())};
+    return Machine->run(E, Phi, Fuel);
+  }
+
+  /// Steps the program, re-checking type and containment at every step.
+  /// With GcSafety::On this also witnesses Propositions 8-10: the
+  /// GC-safety relation survives every value/region substitution the
+  /// machine performs. Returns the number of steps or -1 on a violated
+  /// property.
+  int64_t runChecked(const RExpr *E, uint64_t Fuel = 5000,
+                     GcSafety Safety = GcSafety::Off) {
+    Machine = std::make_unique<SmallStep>(Arena, C.names());
+    Effect Phi{AtomicEffect(RegionVar::global())};
+
+    DiagnosticEngine D;
+    RTypeArena A;
+    std::optional<CheckResult> Prev =
+        checkRExpr(E, {}, {}, {}, A, C.names(), D, Safety);
+    if (!Prev) {
+      ADD_FAILURE() << "initial term does not check: " << D.str();
+      return -1;
+    }
+    if (!contextContained(Phi, E)) {
+      ADD_FAILURE() << "initial containment fails";
+      return -1;
+    }
+
+    const RExpr *Cur = E;
+    for (uint64_t I = 0; I < Fuel; ++I) {
+      StepOutcome O = Machine->step(Cur, Phi);
+      if (O.K == StepOutcome::Kind::IsValue)
+        return static_cast<int64_t>(I);
+      if (O.K == StepOutcome::Kind::Stuck) {
+        ADD_FAILURE() << "progress violated: " << O.Why << "\nat: "
+                      << printRExpr(Cur, C.names());
+        return -1;
+      }
+      Cur = O.Next;
+      // Theorem 2: containment is preserved.
+      if (!contextContained(Phi, Cur)) {
+        ADD_FAILURE() << "containment violated after step " << I << ":\n"
+                      << printRExpr(Cur, C.names());
+        return -1;
+      }
+      // Proposition 18: the term re-checks at the same type with an
+      // effect included in the previous one.
+      DiagnosticEngine D2;
+      std::optional<CheckResult> Next =
+          checkRExpr(Cur, {}, {}, {}, A, C.names(), D2, Safety);
+      if (!Next) {
+        ADD_FAILURE() << "preservation violated after step " << I << ": "
+                      << D2.str() << "\nterm: " << printRExpr(Cur, C.names());
+        return -1;
+      }
+      EXPECT_TRUE(piEquals(Prev->Type, Next->Type))
+          << "type changed at step " << I << ": " << printPi(Prev->Type)
+          << " vs " << printPi(Next->Type);
+      EXPECT_TRUE(Next->Phi.subsetOf(Prev->Phi))
+          << "effect grew at step " << I;
+      Prev = Next;
+    }
+    ADD_FAILURE() << "out of fuel";
+    return -1;
+  }
+
+  Compiler C;
+  std::unique_ptr<CompiledUnit> Unit;
+  RExprArena Arena;
+  std::unique_ptr<SmallStep> Machine;
+};
+
+TEST_F(SmallStepTest, Arithmetic) {
+  const RExpr *E = compileRoot("1 + 2 * 3");
+  ASSERT_NE(E, nullptr);
+  SmallStep::RunResult R = run(E);
+  ASSERT_TRUE(R.Finished) << R.Why;
+  EXPECT_EQ(R.Final->K, RExpr::Kind::IntLit);
+  EXPECT_EQ(R.Final->IntValue, 7);
+}
+
+TEST_F(SmallStepTest, LetregionAllocAndDealloc) {
+  const RExpr *E = compileRoot("#1 (1, 2) + #2 (3, 4)");
+  ASSERT_NE(E, nullptr);
+  SmallStep::RunResult R = run(E);
+  ASSERT_TRUE(R.Finished) << R.Why;
+  EXPECT_EQ(R.Final->IntValue, 5);
+}
+
+TEST_F(SmallStepTest, HigherOrderFunctions) {
+  const RExpr *E = compileRoot(
+      "fun twice f = fn x => f (f x)\n;(twice (fn n => n * 2)) 5");
+  ASSERT_NE(E, nullptr);
+  SmallStep::RunResult R = run(E);
+  ASSERT_TRUE(R.Finished) << R.Why;
+  EXPECT_EQ(R.Final->IntValue, 20);
+}
+
+TEST_F(SmallStepTest, RecursionThroughRapp) {
+  const RExpr *E = compileRoot(
+      "fun sum n = if n = 0 then 0 else n + sum (n - 1)\n;sum 10");
+  ASSERT_NE(E, nullptr);
+  SmallStep::RunResult R = run(E);
+  ASSERT_TRUE(R.Finished) << R.Why;
+  EXPECT_EQ(R.Final->IntValue, 55);
+}
+
+TEST_F(SmallStepTest, Strings) {
+  const RExpr *E = compileRoot("\"oh\" ^ \"no\"");
+  ASSERT_NE(E, nullptr);
+  SmallStep::RunResult R = run(E);
+  ASSERT_TRUE(R.Finished) << R.Why;
+  ASSERT_EQ(R.Final->K, RExpr::Kind::StrVal);
+  EXPECT_EQ(R.Final->StrValue, "ohno");
+}
+
+TEST_F(SmallStepTest, Lists) {
+  const RExpr *E = compileRoot(
+      "fun len xs = case xs of nil => 0 | _ :: t => 1 + len t\n"
+      ";len [1, 2, 3, 4, 5]");
+  ASSERT_NE(E, nullptr);
+  SmallStep::RunResult R = run(E);
+  ASSERT_TRUE(R.Finished) << R.Why;
+  EXPECT_EQ(R.Final->IntValue, 5);
+}
+
+TEST_F(SmallStepTest, PreservationAndContainmentArithmetic) {
+  const RExpr *E = compileRoot("(1 + 2, \"a\" ^ \"b\")");
+  ASSERT_NE(E, nullptr);
+  EXPECT_GT(runChecked(E), 0);
+}
+
+TEST_F(SmallStepTest, PreservationAndContainmentHof) {
+  const RExpr *E = compileRoot(
+      "fun compose fg = fn x => #1 fg (#2 fg x)\n"
+      "val h = compose (fn x => x + 1, fn x => x * 2)\n;h 20");
+  ASSERT_NE(E, nullptr);
+  EXPECT_GT(runChecked(E), 0);
+}
+
+TEST_F(SmallStepTest, PreservationAndContainmentLists) {
+  const RExpr *E = compileRoot(
+      "fun rv xs = case xs of nil => nil | h :: t => "
+      "(case rv t of nil => [h] | h2 :: t2 => h2 :: "
+      "(case t2 of nil => [h] | _ :: _ => t2))\n"
+      ";rv [1, 2]");
+  ASSERT_NE(E, nullptr);
+  EXPECT_GT(runChecked(E), 0);
+}
+
+TEST_F(SmallStepTest, GcSafePreservationWitnessesProps8To10) {
+  // Per-step preservation with the GC-safety conditions *on*: relation G
+  // and substitution coverage survive every [App]/[Let]/[Rapp]
+  // substitution the machine performs (Propositions 8, 9 and 10).
+  // (size/prims are outside the formal fragment, so the pipeline stays
+  // pure: the dead-string composition pattern with an int result.)
+  const RExpr *E = compileRoot(
+      "fun compose fg = fn x => #1 fg (#2 fg x)\n"
+      "val h = compose (fn _ => 1, fn u => \"oh\" ^ \"no\")\n;h ()");
+  ASSERT_NE(E, nullptr);
+  EXPECT_GT(runChecked(E, 5000, GcSafety::On), 0);
+}
+
+TEST_F(SmallStepTest, GcSafePreservationOnRecursion) {
+  const RExpr *E = compileRoot(
+      "fun len xs = case xs of nil => 0 | _ :: t => 1 + len t\n"
+      ";len [(1, \"a\"), (2, \"b\")]");
+  ASSERT_NE(E, nullptr);
+  EXPECT_GT(runChecked(E, 5000, GcSafety::On), 0);
+}
+
+TEST_F(SmallStepTest, PreservationFigure1UnderRg) {
+  // The rg-annotated Figure-1 core (without work/prims): stepping the
+  // composition program preserves types and containment throughout.
+  const RExpr *E = compileRoot(
+      "fun compose fg = fn x => #1 fg (#2 fg x)\n"
+      "fun mk u = compose (let val x = \"oh\" ^ \"no\" in "
+      "(fn _ => 0, fn v => x) end)\n"
+      "val h = mk ()\n;(fn u => 1) (h ())");
+  ASSERT_NE(E, nullptr);
+  EXPECT_GT(runChecked(E), 0);
+  const RExpr *E2 = compileRoot(
+      "fun compose fg = fn x => #1 fg (#2 fg x)\n"
+      "fun mk u = compose (let val x = \"oh\" ^ \"no\" in "
+      "(fn _ => 0, fn v => x) end)\n"
+      "val h = mk ()\n;(fn u => 1) (h ())");
+  ASSERT_NE(E2, nullptr);
+  EXPECT_GT(runChecked(E2, 5000, GcSafety::On), 0);
+}
+
+TEST_F(SmallStepTest, AccessToDeallocatedRegionIsStuck) {
+  // A hand-built violation: allocate outside the allocated region set.
+  RExpr *S = Arena.make(RExpr::Kind::StrE);
+  S->StrValue = "x";
+  S->AtRho = RegionVar(42); // never introduced
+  Machine = std::make_unique<SmallStep>(Arena, C.names());
+  Effect Phi{AtomicEffect(RegionVar::global())};
+  StepOutcome O = Machine->step(S, Phi);
+  EXPECT_EQ(O.K, StepOutcome::Kind::Stuck);
+  EXPECT_NE(O.Why.find("not allocated"), std::string::npos);
+}
+
+TEST_F(SmallStepTest, LetregionIntroducesItsRegion) {
+  // letregion r42 in "x" at r42 steps fine (allocation inside).
+  RExpr *S = Arena.make(RExpr::Kind::StrE);
+  S->StrValue = "x";
+  S->AtRho = RegionVar(42);
+  RExpr *LR = Arena.make(RExpr::Kind::LetRegion);
+  LR->BoundRho = RegionVar(42);
+  LR->A = S;
+  Machine = std::make_unique<SmallStep>(Arena, C.names());
+  Effect Phi{AtomicEffect(RegionVar::global())};
+  StepOutcome O = Machine->step(LR, Phi);
+  EXPECT_EQ(O.K, StepOutcome::Kind::Stepped);
+}
+
+TEST_F(SmallStepTest, ValueEscapingLetregionKeepsItsPointer) {
+  // [Reg]: letregion rho in v --> v. The value may dangle afterwards —
+  // exactly what the containment theorem tracks.
+  RExpr *V = Arena.make(RExpr::Kind::StrVal);
+  V->StrValue = "dead";
+  V->AtRho = RegionVar(42);
+  RExpr *LR = Arena.make(RExpr::Kind::LetRegion);
+  LR->BoundRho = RegionVar(42);
+  LR->A = V;
+  Machine = std::make_unique<SmallStep>(Arena, C.names());
+  Effect Phi{AtomicEffect(RegionVar::global())};
+  StepOutcome O = Machine->step(LR, Phi);
+  ASSERT_EQ(O.K, StepOutcome::Kind::Stepped);
+  EXPECT_EQ(O.Next, V);
+  // The escaped value violates containment w.r.t. the outer region set.
+  EXPECT_FALSE(contextContained(Phi, O.Next));
+}
+
+TEST_F(SmallStepTest, DivisionByZeroIsStuckInTheFormalFragment) {
+  const RExpr *E = compileRoot("1 div 0");
+  ASSERT_NE(E, nullptr);
+  SmallStep::RunResult R = run(E);
+  EXPECT_FALSE(R.Finished);
+  EXPECT_NE(R.Why.find("zero"), std::string::npos);
+}
+
+} // namespace

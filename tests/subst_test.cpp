@@ -1,0 +1,210 @@
+//===- tests/subst_test.cpp - Substitution unit tests ---------------------===//
+//
+// Exercises the paper's substitution definitions (Section 3.3): the
+// action on effects and arrow effects, coverage, and the instance-of
+// relation (Section 3.4) — including the coverage failure that encodes
+// the paper's central counterexample.
+//
+//===----------------------------------------------------------------------===//
+
+#include "region/Subst.h"
+
+#include "region/Containment.h"
+
+#include <gtest/gtest.h>
+
+using namespace rml;
+
+namespace {
+
+class SubstTest : public ::testing::Test {
+protected:
+  RegionVar r(uint32_t I) { return RegionVar(I); }
+  EffectVar e(uint32_t I) { return EffectVar(I); }
+  TyVarId a(uint32_t I) { return TyVarId(I); }
+
+  RTypeArena A;
+};
+
+TEST_F(SubstTest, IdentityOutsideDomain) {
+  Subst S;
+  S.Sr.emplace(r(1), r(9));
+  EXPECT_EQ(S.apply(r(1)), r(9));
+  EXPECT_EQ(S.apply(r(2)), r(2));
+  EXPECT_EQ(S.applyEffectVar(e(1)).Handle, e(1));
+  EXPECT_TRUE(S.applyEffectVar(e(1)).Phi.isEmpty());
+}
+
+TEST_F(SubstTest, EffectSubstitutionFollowsThePaper) {
+  // S(phi) = {Sr(rho) | rho in phi} u {eta | eps in phi, eta in
+  // frev(Se(eps))}.
+  Subst S;
+  S.Sr.emplace(r(1), r(9));
+  S.Se.emplace(e(1), ArrowEff(e(7), Effect{AtomicEffect(r(5))}));
+  Effect Phi{AtomicEffect(r(1)), AtomicEffect(r(2)), AtomicEffect(e(1))};
+  Effect Out = S.apply(Phi);
+  // r1 -> r9; r2 stays; e1 -> frev(e7.{r5}) = {e7, r5}.
+  EXPECT_EQ(Out.size(), 4u);
+  EXPECT_TRUE(Out.contains(r(9)));
+  EXPECT_TRUE(Out.contains(r(2)));
+  EXPECT_TRUE(Out.contains(e(7)));
+  EXPECT_TRUE(Out.contains(r(5)));
+  EXPECT_FALSE(Out.contains(r(1)));
+  EXPECT_FALSE(Out.contains(e(1)));
+}
+
+TEST_F(SubstTest, ArrowEffectSubstitutionGrows) {
+  // S(eps.phi) = eps'.(phi' u S(phi)): applying a substitution can only
+  // grow arrow effects.
+  Subst S;
+  S.Se.emplace(e(1), ArrowEff(e(2), Effect{AtomicEffect(r(8))}));
+  ArrowEff Nu(e(1), Effect{AtomicEffect(r(1))});
+  ArrowEff Out = S.apply(Nu);
+  EXPECT_EQ(Out.Handle, e(2));
+  EXPECT_TRUE(Out.Phi.contains(r(8))); // phi' of the mapped handle
+  EXPECT_TRUE(Out.Phi.contains(r(1))); // S of the original phi
+}
+
+TEST_F(SubstTest, SubstitutionEffectMonotonicity) {
+  // Proposition 3: phi subset phi' implies S(phi) subset S(phi').
+  Subst S;
+  S.Sr.emplace(r(1), r(9));
+  S.Se.emplace(e(1), ArrowEff(e(7), Effect{AtomicEffect(r(5))}));
+  Effect Small{AtomicEffect(r(1))};
+  Effect Big{AtomicEffect(r(1)), AtomicEffect(e(1)), AtomicEffect(r(3))};
+  EXPECT_TRUE(Small.subsetOf(Big));
+  EXPECT_TRUE(S.apply(Small).subsetOf(S.apply(Big)));
+}
+
+TEST_F(SubstTest, ArrowEffectSubstitutionInterchange) {
+  // frev(S(eps.phi)) = S({eps} u phi) — the interchange property the
+  // paper states after Proposition 3.
+  Subst S;
+  S.Sr.emplace(r(1), r(9));
+  S.Se.emplace(e(1), ArrowEff(e(7), Effect{AtomicEffect(r(5))}));
+  S.Se.emplace(e(2), ArrowEff(e(8), Effect{}));
+  ArrowEff Nu(e(2), Effect{AtomicEffect(r(1)), AtomicEffect(e(1))});
+  Effect Lhs = S.apply(Nu).frev();
+  Effect Arg = Nu.Phi;
+  Arg.insert(AtomicEffect(Nu.Handle));
+  Effect Rhs = S.apply(Arg);
+  EXPECT_EQ(Lhs, Rhs);
+}
+
+TEST_F(SubstTest, TypeSubstitution) {
+  Subst S;
+  S.St.emplace(a(0), A.boxed(A.stringTy(), r(5)));
+  const Mu *M = A.boxed(A.pairTy(A.tyVar(a(0)), A.tyVar(a(1))), r(1));
+  const Mu *Out = S.apply(M, A);
+  ASSERT_EQ(Out->K, Mu::Kind::Boxed);
+  EXPECT_EQ(Out->T->A->K, Mu::Kind::Boxed); // 'a replaced by string
+  EXPECT_EQ(Out->T->A->T->K, Tau::Kind::String);
+  EXPECT_EQ(Out->T->B->K, Mu::Kind::TyVar); // 'b untouched
+}
+
+TEST_F(SubstTest, ComposeRestricted) {
+  Subst Inner, Outer;
+  Inner.Sr.emplace(r(1), r(2));
+  Outer.Sr.emplace(r(2), r(3));
+  Outer.Sr.emplace(r(4), r(5)); // outside Inner's domain: dropped
+  Subst C = composeRestricted(Outer, Inner, A);
+  EXPECT_EQ(C.Sr.size(), 1u);
+  EXPECT_EQ(C.apply(r(1)), r(3));
+  EXPECT_EQ(C.apply(r(4)), r(4));
+}
+
+TEST_F(SubstTest, CoverageHoldsWhenRegionsAreInTheArrowEffect) {
+  // Omega |- St : Delta iff Omega |- St(alpha) : frev(Delta(alpha)).
+  TyVarCtx Omega, Delta;
+  Delta.bind(a(0), ArrowEff(e(1), Effect{AtomicEffect(r(5))}));
+  Subst S;
+  S.St.emplace(a(0), A.boxed(A.stringTy(), r(5)));
+  EXPECT_TRUE(covers(Omega, S, Delta));
+}
+
+TEST_F(SubstTest, CoverageFailsWhenRegionsEscapeTheArrowEffect) {
+  // Instantiating a spurious variable with (string, r9) whose region the
+  // arrow effect does not mention — the paper's unsoundness, rejected.
+  TyVarCtx Omega, Delta;
+  Delta.bind(a(0), ArrowEff(e(1), Effect{AtomicEffect(r(5))}));
+  Subst S;
+  S.St.emplace(a(0), A.boxed(A.stringTy(), r(9)));
+  EXPECT_FALSE(covers(Omega, S, Delta));
+}
+
+TEST_F(SubstTest, CoverageSkipsPlainEntries) {
+  TyVarCtx Omega, Delta;
+  Delta.bindPlain(a(0));
+  Subst S;
+  S.St.emplace(a(0), A.boxed(A.stringTy(), r(9)));
+  EXPECT_TRUE(covers(Omega, S, Delta));
+}
+
+TEST_F(SubstTest, CoverageRequiresMatchingDomains) {
+  TyVarCtx Omega, Delta;
+  Delta.bindPlain(a(0));
+  Subst S; // empty St
+  EXPECT_FALSE(covers(Omega, S, Delta));
+}
+
+TEST_F(SubstTest, InstanceOfAcceptsAndRejects) {
+  // sigma = forall r1 e1 ('a:e2.{}). 'a -e1.{}-> 'a at place r0.
+  RScheme Sigma;
+  Sigma.QRegions = {r(1)};
+  Sigma.QEffects = {e(1)};
+  Sigma.Delta.bind(a(0), ArrowEff(e(2), Effect{}));
+  Sigma.QEffects.push_back(e(2));
+  const Mu *Body =
+      A.boxed(A.pairTy(A.tyVar(a(0)), A.intTy()), r(1)); // 'a * int at r1
+  Sigma.Body =
+      A.arrowTy(A.tyVar(a(0)), ArrowEff(e(1), Effect{}), Body);
+
+  // Instantiate: r1 := r7, e1 := e5.{}, e2 := e6.{r8}, 'a := (string,r8).
+  Subst S;
+  S.Sr.emplace(r(1), r(7));
+  S.Se.emplace(e(1), ArrowEff(e(5), Effect{}));
+  S.Se.emplace(e(2), ArrowEff(e(6), Effect{AtomicEffect(r(8))}));
+  S.St.emplace(a(0), A.boxed(A.stringTy(), r(8)));
+
+  const Mu *StrMu = A.boxed(A.stringTy(), r(8));
+  const Tau *Expected = A.arrowTy(
+      StrMu, ArrowEff(e(5), Effect{}),
+      A.boxed(A.pairTy(StrMu, A.intTy()), r(7)));
+  TyVarCtx Omega;
+  std::string Why;
+  EXPECT_TRUE(instanceOf(Omega, Sigma, S, Expected, A, &Why)) << Why;
+
+  // Breaking coverage: e2 maps to an arrow effect without r8.
+  Subst Bad = S;
+  Bad.Se[e(2)] = ArrowEff(e(6), Effect{});
+  EXPECT_FALSE(instanceOf(Omega, Sigma, Bad, Expected, A, &Why));
+  EXPECT_NE(Why.find("covered"), std::string::npos) << Why;
+
+  // Wrong region domain.
+  Subst NoR = S;
+  NoR.Sr.clear();
+  EXPECT_FALSE(instanceOf(Omega, Sigma, NoR, Expected, A));
+
+  // Wrong result type.
+  const Tau *WrongExpected = A.arrowTy(
+      StrMu, ArrowEff(e(5), Effect{}),
+      A.boxed(A.pairTy(StrMu, A.intTy()), r(9)));
+  EXPECT_FALSE(instanceOf(Omega, Sigma, S, WrongExpected, A));
+}
+
+TEST_F(SubstTest, SchemeSubstitutionAvoidsCapture) {
+  // Applying a substitution that does not touch the bound variables.
+  RScheme Sigma;
+  Sigma.QRegions = {r(1)};
+  Sigma.Body = A.arrowTy(A.intTy(),
+                         ArrowEff(e(1), Effect{AtomicEffect(r(9))}),
+                         A.intTy());
+  Subst S;
+  S.Sr.emplace(r(9), r(8));
+  RScheme Out = S.apply(Sigma, A);
+  EXPECT_EQ(Out.QRegions.size(), 1u);
+  EXPECT_TRUE(Out.Body->Nu.Phi.contains(r(8)));
+  EXPECT_FALSE(Out.Body->Nu.Phi.contains(r(9)));
+}
+
+} // namespace

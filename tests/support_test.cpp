@@ -1,0 +1,81 @@
+//===- tests/support_test.cpp - Support library unit tests ----------------===//
+
+#include "support/Diagnostics.h"
+#include "support/Interner.h"
+
+#include <gtest/gtest.h>
+
+using namespace rml;
+
+namespace {
+
+TEST(Interner, InterningIsIdempotent) {
+  Interner I;
+  Symbol A = I.intern("foo");
+  Symbol B = I.intern("foo");
+  Symbol C = I.intern("bar");
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_EQ(I.text(A), "foo");
+  EXPECT_EQ(I.text(C), "bar");
+  EXPECT_EQ(I.size(), 2u);
+}
+
+TEST(Interner, FreshSymbolsNeverCollide) {
+  Interner I;
+  I.intern("x$0");
+  Symbol F1 = I.fresh("x");
+  Symbol F2 = I.fresh("x");
+  EXPECT_NE(F1, F2);
+  EXPECT_NE(I.text(F1), "x$0"); // the taken spelling is skipped
+  EXPECT_NE(I.text(F1), I.text(F2));
+}
+
+TEST(Interner, InvalidSymbol) {
+  Symbol S;
+  EXPECT_FALSE(S.isValid());
+  EXPECT_TRUE(Interner().intern("a").isValid());
+}
+
+TEST(Interner, ManySymbolsStayStable) {
+  Interner I;
+  std::vector<Symbol> Syms;
+  for (int K = 0; K < 1000; ++K)
+    Syms.push_back(I.intern("sym" + std::to_string(K)));
+  for (int K = 0; K < 1000; ++K) {
+    EXPECT_EQ(I.text(Syms[K]), "sym" + std::to_string(K));
+    EXPECT_EQ(I.intern("sym" + std::to_string(K)), Syms[K]);
+  }
+}
+
+TEST(Diagnostics, CountsAndRenders) {
+  DiagnosticEngine D;
+  EXPECT_FALSE(D.hasErrors());
+  D.error({3, 7}, "something is off");
+  D.warning({1, 1}, "suspicious");
+  D.note({}, "context");
+  EXPECT_TRUE(D.hasErrors());
+  EXPECT_EQ(D.errorCount(), 1u);
+  EXPECT_EQ(D.all().size(), 3u);
+  std::string S = D.str();
+  EXPECT_NE(S.find("3:7: error: something is off"), std::string::npos);
+  EXPECT_NE(S.find("1:1: warning: suspicious"), std::string::npos);
+  EXPECT_NE(S.find("note: context"), std::string::npos);
+}
+
+TEST(Diagnostics, ClearResets) {
+  DiagnosticEngine D;
+  D.error({1, 1}, "x");
+  D.clear();
+  EXPECT_FALSE(D.hasErrors());
+  EXPECT_TRUE(D.all().empty());
+}
+
+TEST(SrcLoc, Rendering) {
+  EXPECT_EQ(SrcLoc().str(), "<unknown>");
+  EXPECT_EQ((SrcLoc{12, 34}).str(), "12:34");
+  EXPECT_FALSE(SrcLoc().isValid());
+  EXPECT_TRUE((SrcLoc{1, 1}).isValid());
+}
+
+} // namespace

@@ -1,0 +1,205 @@
+//===- tests/typecheck_test.cpp - Algorithm W unit tests ------------------===//
+
+#include "types/TypeCheck.h"
+
+#include "ast/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace rml;
+
+namespace {
+
+class TypeCheckTest : public ::testing::Test {
+protected:
+  /// Typechecks a program and returns the printed type of the result
+  /// expression, or "" on failure.
+  std::string typeOf(std::string_view Src) {
+    Diags.clear();
+    Info = TypeInfo();
+    std::optional<Program> P = parseString(Src, Arena, Names, Diags);
+    if (!P) {
+      ADD_FAILURE() << "parse failed: " << Diags.str();
+      return "";
+    }
+    Prog = *P;
+    if (!checkProgram(Prog, Types, Names, Diags, Info))
+      return "";
+    return printType(Info.typeOf(Prog.Result));
+  }
+
+  /// The printed scheme of top-level declaration number \p I.
+  std::string schemeOf(size_t I) {
+    return printScheme(Info.DecSchemes.at(Prog.Decs[I]));
+  }
+
+  bool fails(std::string_view Src) {
+    Diags.clear();
+    Info = TypeInfo();
+    std::optional<Program> P = parseString(Src, Arena, Names, Diags);
+    if (!P)
+      return true;
+    return !checkProgram(*P, Types, Names, Diags, Info);
+  }
+
+  AstArena Arena;
+  TypeArena Types;
+  Interner Names;
+  DiagnosticEngine Diags;
+  TypeInfo Info;
+  Program Prog;
+};
+
+TEST_F(TypeCheckTest, Literals) {
+  EXPECT_EQ(typeOf("42"), "int");
+  EXPECT_EQ(typeOf("true"), "bool");
+  EXPECT_EQ(typeOf("\"s\""), "string");
+  EXPECT_EQ(typeOf("()"), "unit");
+}
+
+TEST_F(TypeCheckTest, Arithmetic) {
+  EXPECT_EQ(typeOf("1 + 2 * 3"), "int");
+  EXPECT_EQ(typeOf("1 < 2"), "bool");
+  EXPECT_EQ(typeOf("\"a\" ^ \"b\""), "string");
+}
+
+TEST_F(TypeCheckTest, Identity) {
+  EXPECT_EQ(typeOf("fn x => x"), "'a -> 'a");
+}
+
+TEST_F(TypeCheckTest, Application) {
+  EXPECT_EQ(typeOf("(fn x => x + 1) 2"), "int");
+}
+
+TEST_F(TypeCheckTest, Pairs) {
+  EXPECT_EQ(typeOf("(1, \"a\")"), "int * string");
+  EXPECT_EQ(typeOf("#1 (1, \"a\")"), "int");
+  EXPECT_EQ(typeOf("#2 (1, \"a\")"), "string");
+}
+
+TEST_F(TypeCheckTest, Lists) {
+  EXPECT_EQ(typeOf("[1, 2, 3]"), "int list");
+  EXPECT_EQ(typeOf("1 :: nil"), "int list");
+  EXPECT_EQ(typeOf("case [1] of nil => 0 | h :: t => h"), "int");
+}
+
+TEST_F(TypeCheckTest, LetPolymorphism) {
+  EXPECT_EQ(typeOf("let val id = fn x => x in (id 1, id \"a\") end"),
+            "int * string");
+}
+
+TEST_F(TypeCheckTest, ValueRestriction) {
+  // The RHS is an application, so x stays monomorphic.
+  EXPECT_TRUE(
+      fails("let val f = (fn x => x) (fn y => y) in (f 1, f \"a\") end"));
+}
+
+TEST_F(TypeCheckTest, FunSchemes) {
+  typeOf("fun id x = x;\n()");
+  EXPECT_EQ(schemeOf(0), "forall 'a. 'a -> 'a");
+}
+
+TEST_F(TypeCheckTest, ComposeScheme) {
+  // The paper's o: (gamma -> beta) * (alpha -> gamma) -> alpha -> beta.
+  typeOf("fun compose fg = fn x => #1 fg (#2 fg x);\n()");
+  EXPECT_EQ(schemeOf(0),
+            "forall 'a 'b 'c. (('a -> 'b) * ('c -> 'a)) -> 'c -> 'b");
+}
+
+TEST_F(TypeCheckTest, RecursionIsMonomorphicInside) {
+  EXPECT_EQ(typeOf("fun fib n = if n < 2 then n else fib (n-1) + fib (n-2)\n"
+                   ";fib 10"),
+            "int");
+}
+
+TEST_F(TypeCheckTest, AppFromThePaper) {
+  // Section 4.2: algorithm W gives app the scheme
+  // forall 'a 'b. ('a -> 'b) -> 'a list -> unit.
+  typeOf("fun app f = let fun loop xs = case xs of nil => () "
+         "| x :: t => (f x; loop t) in loop end;\n()");
+  EXPECT_EQ(schemeOf(0), "forall 'a 'b. ('a -> 'b) -> 'a list -> unit");
+}
+
+TEST_F(TypeCheckTest, AppWithAnnotationLosesSpuriousVar) {
+  // Constraining f : 'a -> unit removes the spurious beta (Section 4.2).
+  typeOf("fun app (f : 'a -> unit) = let fun loop xs = case xs of nil => () "
+         "| x :: t => (f x; loop t) in loop end;\n()");
+  EXPECT_EQ(schemeOf(0), "forall 'a. ('a -> unit) -> 'a list -> unit");
+}
+
+TEST_F(TypeCheckTest, References) {
+  EXPECT_EQ(typeOf("let val r = ref 1 in (r := 2; !r) end"), "int");
+  EXPECT_TRUE(fails("let val r = ref 1 in r := \"a\" end"));
+}
+
+TEST_F(TypeCheckTest, RefsRespectValueRestriction) {
+  EXPECT_TRUE(fails(
+      "let val r = ref nil in (r := [1]; r := [\"a\"]) end"));
+}
+
+TEST_F(TypeCheckTest, Exceptions) {
+  EXPECT_EQ(typeOf("exception E of int\n(raise E 3) handle E v => v + 1"),
+            "int");
+  EXPECT_EQ(typeOf("exception E\n(raise E) handle _ => 7"), "int");
+  EXPECT_TRUE(fails("exception E of int\nraise E \"s\""));
+  EXPECT_TRUE(fails("exception E\nE 1"));
+  EXPECT_TRUE(fails("raise Unknown"));
+}
+
+TEST_F(TypeCheckTest, ExceptionWithTypeVariable) {
+  // Section 4.4: a local exception with a free type variable.
+  EXPECT_EQ(typeOf("fun poly (x : 'a) = let exception E of 'a\n"
+                   "fun thrower u = raise E x\n"
+                   "in (thrower ()) handle E v => v end;\n"
+                   "poly 3"),
+            "int");
+}
+
+TEST_F(TypeCheckTest, InstantiationRecords) {
+  typeOf("fun id x = x;\n(id 1, id \"a\")");
+  // Two polymorphic uses with int and string instances.
+  unsigned Ints = 0, Strings = 0;
+  for (const auto &[Use, Inst] : Info.VarInsts) {
+    ASSERT_EQ(Inst.Args.size(), 1u);
+    TypeKind K = resolve(Inst.Args[0])->K;
+    Ints += K == TypeKind::Int;
+    Strings += K == TypeKind::String;
+  }
+  EXPECT_EQ(Ints, 1u);
+  EXPECT_EQ(Strings, 1u);
+}
+
+TEST_F(TypeCheckTest, Errors) {
+  EXPECT_TRUE(fails("1 + \"a\""));
+  EXPECT_TRUE(fails("if 1 then 2 else 3"));
+  EXPECT_TRUE(fails("if true then 1 else \"a\""));
+  EXPECT_TRUE(fails("1 2"));
+  EXPECT_TRUE(fails("unboundvariable"));
+  EXPECT_TRUE(fails("#1 5"));
+  EXPECT_TRUE(fails("1 :: [\"a\"]"));
+  EXPECT_TRUE(fails("case 1 of nil => 0 | h :: t => h"));
+}
+
+TEST_F(TypeCheckTest, EqualityDefaultsAndRestricts) {
+  EXPECT_EQ(typeOf("\"a\" = \"b\""), "bool");
+  EXPECT_EQ(typeOf("1 = 2"), "bool");
+  EXPECT_EQ(typeOf("true <> false"), "bool");
+  EXPECT_TRUE(fails("(1, 2) = (3, 4)"));
+  EXPECT_TRUE(fails("(fn x => x) = (fn y => y)"));
+}
+
+TEST_F(TypeCheckTest, AnnotationsConstrain) {
+  EXPECT_EQ(typeOf("(fn (x : int) => x) 3"), "int");
+  EXPECT_TRUE(fails("(fn (x : string) => x) 3"));
+  EXPECT_TRUE(fails("(1 : string)"));
+}
+
+TEST_F(TypeCheckTest, Prims) {
+  EXPECT_EQ(typeOf("print \"x\""), "unit");
+  EXPECT_EQ(typeOf("itos 3"), "string");
+  EXPECT_EQ(typeOf("size \"abc\""), "int");
+  EXPECT_EQ(typeOf("work 5"), "unit");
+  EXPECT_TRUE(fails("print 3"));
+}
+
+} // namespace

@@ -1,0 +1,241 @@
+//===- tools/rmlc.cpp - The RegionML command-line driver ------------------===//
+//
+// Compile and run MiniML programs from the command line:
+//
+//   rmlc prog.mml                      compile (rg) and run
+//   rmlc --strategy rg-|r prog.mml     the paper's other strategies
+//   rmlc --print-program prog.mml      show the region-annotated program
+//   rmlc --print-scheme f prog.mml     show f's region type scheme
+//   rmlc --stats prog.mml              heap/GC statistics after the run
+//   rmlc --no-run prog.mml             static pipeline only
+//   rmlc --spurious identify           scheme (3) instead of scheme (2)
+//   rmlc --gc-threshold N              collection trigger (words)
+//   rmlc --no-tagfree --no-finite      representation knobs
+//   rmlc -e 'expr'                     compile a one-liner
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+
+#include "smallstep/Step.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace rml;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: rmlc [options] <file.mml | -e 'program'>\n"
+      "  --strategy rg|rg-|r    compilation strategy (default rg)\n"
+      "  --spurious fresh|identify\n"
+      "                         scheme (2) or scheme (3) for spurious\n"
+      "                         type variables (default fresh)\n"
+      "  --print-program        print the region-annotated program\n"
+      "  --print-scheme NAME    print NAME's region type scheme\n"
+      "  --stats                print heap/GC statistics\n"
+      "  --profile              print region-representation decisions\n"
+      "  --no-run               stop after the static pipeline\n"
+      "  --smallstep            cross-check the result against the\n"
+      "                         paper's formal semantics (pure programs)\n"
+      "  --no-check             skip the Figure 4 region type checker\n"
+      "  --gc-threshold WORDS   collection trigger (default 32768)\n"
+      "  --retain-pages         exact dangling-pointer diagnostics\n"
+      "  --generational         minor/major collections ([16,17])\n"
+      "  --no-tagfree           disable the tag-free representation\n"
+      "  --no-finite            disable finite (exact-size) regions\n");
+}
+
+std::optional<std::string> readFile(const char *Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return std::nullopt;
+  std::ostringstream Out;
+  Out << In.rdbuf();
+  return Out.str();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CompileOptions Opts;
+  rt::EvalOptions EvalOpts;
+  bool PrintProgram = false, Stats = false, Profile = false, Run = true;
+  bool CrossCheck = false;
+  std::string SchemeName, Source;
+  bool HaveSource = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    const char *A = Argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "rmlc: %s needs an argument\n", A);
+        std::exit(2);
+      }
+      return Argv[++I];
+    };
+    if (!std::strcmp(A, "--strategy")) {
+      const char *S = Next();
+      if (!std::strcmp(S, "rg"))
+        Opts.Strat = Strategy::Rg;
+      else if (!std::strcmp(S, "rg-"))
+        Opts.Strat = Strategy::RgMinus;
+      else if (!std::strcmp(S, "r"))
+        Opts.Strat = Strategy::R;
+      else {
+        std::fprintf(stderr, "rmlc: unknown strategy '%s'\n", S);
+        return 2;
+      }
+    } else if (!std::strcmp(A, "--spurious")) {
+      const char *S = Next();
+      Opts.Spurious = !std::strcmp(S, "identify")
+                          ? SpuriousMode::IdentifyWithFun
+                          : SpuriousMode::FreshSecondary;
+    } else if (!std::strcmp(A, "--print-program")) {
+      PrintProgram = true;
+    } else if (!std::strcmp(A, "--print-scheme")) {
+      SchemeName = Next();
+    } else if (!std::strcmp(A, "--stats")) {
+      Stats = true;
+    } else if (!std::strcmp(A, "--profile")) {
+      Profile = true;
+    } else if (!std::strcmp(A, "--smallstep")) {
+      CrossCheck = true;
+    } else if (!std::strcmp(A, "--no-run")) {
+      Run = false;
+    } else if (!std::strcmp(A, "--no-check")) {
+      Opts.Check = false;
+    } else if (!std::strcmp(A, "--gc-threshold")) {
+      EvalOpts.GcThresholdWords = std::strtoull(Next(), nullptr, 10);
+    } else if (!std::strcmp(A, "--retain-pages")) {
+      EvalOpts.RetainReleasedPages = true;
+    } else if (!std::strcmp(A, "--generational")) {
+      EvalOpts.Generational = true;
+    } else if (!std::strcmp(A, "--no-tagfree")) {
+      EvalOpts.TagFreePairs = false;
+    } else if (!std::strcmp(A, "--no-finite")) {
+      EvalOpts.UseFiniteRegions = false;
+    } else if (!std::strcmp(A, "-e")) {
+      Source = Next();
+      HaveSource = true;
+    } else if (!std::strcmp(A, "--help") || !std::strcmp(A, "-h")) {
+      usage();
+      return 0;
+    } else if (A[0] == '-') {
+      std::fprintf(stderr, "rmlc: unknown option '%s'\n", A);
+      usage();
+      return 2;
+    } else {
+      std::optional<std::string> Text = readFile(A);
+      if (!Text) {
+        std::fprintf(stderr, "rmlc: cannot read '%s'\n", A);
+        return 2;
+      }
+      Source = std::move(*Text);
+      HaveSource = true;
+    }
+  }
+  if (!HaveSource) {
+    usage();
+    return 2;
+  }
+
+  Compiler C;
+  auto Unit = C.compile(Source, Opts);
+  if (!Unit) {
+    std::fprintf(stderr, "%s", C.diagnostics().str().c_str());
+    return 1;
+  }
+
+  if (!SchemeName.empty()) {
+    std::string S = C.schemeOf(*Unit, SchemeName);
+    if (S.empty()) {
+      std::fprintf(stderr, "rmlc: no scheme for '%s'\n", SchemeName.c_str());
+      return 1;
+    }
+    std::printf("%s : %s\n", SchemeName.c_str(), S.c_str());
+  }
+  if (PrintProgram)
+    std::printf("%s\n", C.printProgram(*Unit).c_str());
+  if (Profile) {
+    std::printf("strategy %s: %u schemes, %u letregions, %u finite "
+                "regions, %u tag-free regions, %u/%u dropped formals, "
+                "%u/%u spurious functions\n",
+                strategyName(Opts.Strat), Unit->Inferred.NumSchemes,
+                Unit->Inferred.NumLetRegions, Unit->Mult.finiteCount(),
+                Unit->Kinds.tagFreeCount(), Unit->Drops.DroppedFormals,
+                Unit->Drops.TotalFormals, Unit->Spurious.SpuriousFunctions,
+                Unit->Spurious.TotalFunctions);
+  }
+  if (!Run)
+    return 0;
+
+  rt::RunResult R = C.run(*Unit, EvalOpts);
+  if (!R.Output.empty())
+    std::fputs(R.Output.c_str(), stdout);
+  switch (R.Outcome) {
+  case rt::RunOutcome::Ok:
+    std::printf("val it = %s\n", R.ResultText.c_str());
+    break;
+  case rt::RunOutcome::UncaughtException:
+    std::fprintf(stderr, "rmlc: %s\n", R.Error.c_str());
+    return 1;
+  case rt::RunOutcome::DanglingPointer:
+    std::fprintf(stderr, "rmlc: GC failure: %s\n", R.Error.c_str());
+    return 1;
+  case rt::RunOutcome::RuntimeError:
+    std::fprintf(stderr, "rmlc: runtime error: %s\n", R.Error.c_str());
+    return 1;
+  }
+  if (Profile) {
+    std::fprintf(stderr, "top allocating regions:\n");
+    unsigned Shown = 0;
+    for (const rt::RegionProfile &P : R.Regions) {
+      if (P.AllocWords == 0 || Shown++ >= 8)
+        break;
+      std::fprintf(stderr,
+                   "  r%-5u %-8s %8llu words over %llu instance(s)%s\n",
+                   P.StaticId, regionKindName(P.Kind),
+                   static_cast<unsigned long long>(P.AllocWords),
+                   static_cast<unsigned long long>(P.Instances),
+                   P.Finite ? " [finite]" : "");
+    }
+  }
+  if (Stats)
+    std::fprintf(stderr,
+                 "[%llu steps, %llu words allocated, peak %llu Kb, "
+                 "%llu collections (%llu words copied), %llu regions "
+                 "(%llu finite)]\n",
+                 static_cast<unsigned long long>(R.Steps),
+                 static_cast<unsigned long long>(R.Heap.AllocWords),
+                 static_cast<unsigned long long>(R.Heap.peakBytes() / 1024),
+                 static_cast<unsigned long long>(R.Heap.GcCount),
+                 static_cast<unsigned long long>(R.Heap.CopiedWords),
+                 static_cast<unsigned long long>(R.Heap.RegionsCreated),
+                 static_cast<unsigned long long>(
+                     R.Heap.FiniteRegionsCreated));
+  if (CrossCheck) {
+    RExprArena Arena;
+    SmallStep Machine(Arena, C.names());
+    Effect Phi{AtomicEffect(RegionVar::global())};
+    SmallStep::RunResult SR =
+        Machine.run(Unit->program().Root, Phi, 10'000'000);
+    if (!SR.Finished) {
+      std::fprintf(stderr,
+                   "rmlc: small-step cross-check inconclusive: %s\n",
+                   SR.Why.c_str());
+      return 1;
+    }
+    std::string Formal = printRExpr(SR.Final, C.names());
+    std::fprintf(stderr, "[small-step semantics agrees: %s]\n",
+                 Formal.c_str());
+  }
+  return 0;
+}
