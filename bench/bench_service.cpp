@@ -1,0 +1,105 @@
+//===- bench/bench_service.cpp - Service throughput harness ---------------===//
+//
+// Cold vs warm (cache-hit) compile throughput of the concurrent service
+// over the Figure 9 corpus, at 1, 4 and 8 workers. Like bench_fig9 this
+// prints its table directly (custom main) rather than going through
+// google-benchmark: each cell is one timed batch, and the cold cell
+// needs a fresh service per measurement so the cache starts empty.
+//
+//   cold  — every request misses: 12 option variants (3 strategies x 2
+//           spurious modes x check on/off) of every corpus program,
+//           distinct cache keys throughout.
+//   warm  — the identical batch resubmitted to the same service: every
+//           request hits the cache.
+//
+// Requests are compile-only (Run = false): run time is identical on hit
+// and miss — the cache addresses the static pipeline — so including it
+// would only blur the measurement. The final lines report the warm/cold
+// speedup (the cache's value) and the 1→N cold scaling (the pool's
+// value; bounded by the machine's core count).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Service.h"
+
+#include "bench/Programs.h"
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+using namespace rml;
+using namespace rml::service;
+
+namespace {
+
+/// Every (program, options) pair in the batch: 12 variants per program.
+std::vector<Request> buildBatch() {
+  std::vector<Request> Batch;
+  for (const bench::BenchProgram &P : bench::benchmarkSuite())
+    for (Strategy S : {Strategy::Rg, Strategy::RgMinus, Strategy::R})
+      for (SpuriousMode M :
+           {SpuriousMode::FreshSecondary, SpuriousMode::IdentifyWithFun})
+        for (bool Check : {true, false}) {
+          Request Req;
+          Req.Source = P.Source;
+          Req.Opts.Strat = S;
+          Req.Opts.Spurious = M;
+          Req.Opts.Check = Check;
+          Req.Run = false; // compile throughput; see the file comment
+          Batch.push_back(std::move(Req));
+        }
+  return Batch;
+}
+
+double submitAll(Service &Svc, const std::vector<Request> &Batch) {
+  auto T0 = std::chrono::steady_clock::now();
+  std::vector<std::future<Response>> Futures;
+  Futures.reserve(Batch.size());
+  for (const Request &Req : Batch)
+    Futures.push_back(Svc.submit(Req));
+  for (auto &F : Futures)
+    if (!F.get().CompileOk)
+      std::fprintf(stderr, "bench_service: unexpected compile failure\n");
+  auto T1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(T1 - T0).count();
+}
+
+} // namespace
+
+int main() {
+  const std::vector<Request> Batch = buildBatch();
+  std::printf("service throughput, %zu compile requests per batch "
+              "(%zu programs x 12 option variants)\n",
+              Batch.size(), bench::benchmarkSuite().size());
+  std::printf("%-8s %12s %12s %12s %9s\n", "workers", "cold req/s",
+              "warm req/s", "warm/cold", "hit rate");
+
+  double Cold1 = 0, ColdBest = 0;
+  for (unsigned Workers : {1u, 4u, 8u}) {
+    ServiceConfig Cfg;
+    Cfg.Workers = Workers;
+    Cfg.QueueCapacity = Batch.size(); // no producer-side stalls
+    Cfg.CacheCapacity = 2 * Batch.size();
+    Service Svc(Cfg);
+
+    double ColdSecs = submitAll(Svc, Batch); // all misses
+    double WarmSecs = submitAll(Svc, Batch); // all hits
+
+    ServiceStats S = Svc.stats();
+    double ColdRate = Batch.size() / ColdSecs;
+    double WarmRate = Batch.size() / WarmSecs;
+    std::printf("%-8u %12.1f %12.1f %11.1fx %8.1f%%\n", Workers, ColdRate,
+                WarmRate, WarmRate / ColdRate,
+                100.0 * S.CacheHits / (S.CacheHits + S.CacheMisses));
+    if (Workers == 1)
+      Cold1 = ColdRate;
+    if (ColdRate > ColdBest)
+      ColdBest = ColdRate;
+  }
+
+  std::printf("\ncold scaling best/1-worker: %.2fx (hardware threads: %u)\n",
+              Cold1 > 0 ? ColdBest / Cold1 : 0.0,
+              std::thread::hardware_concurrency());
+  return 0;
+}

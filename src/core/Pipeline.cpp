@@ -49,11 +49,30 @@ std::unique_ptr<CompiledUnit> Compiler::compile(std::string_view Source,
 }
 
 rt::RunResult Compiler::run(const CompiledUnit &Unit,
-                            rt::EvalOptions EvalOpts) {
+                            rt::EvalOptions EvalOpts) const {
   if (Unit.Options.Strat == Strategy::R)
     EvalOpts.GcEnabled = false;
   return rt::runProgram(Unit.program(), Unit.rootMu(), Unit.Mult, Unit.Kinds,
                         Unit.Drops, Names, EvalOpts);
+}
+
+CompileAndRunResult Compiler::compileAndRun(std::string_view Source,
+                                            const CompileOptions &Opts,
+                                            rt::EvalOptions EvalOpts) {
+  CompileAndRunResult Out;
+  Out.Unit = compile(Source, Opts);
+  if (Out.Unit)
+    Out.Run = run(*Out.Unit, EvalOpts);
+  return Out;
+}
+
+Compiler::ArenaFootprint Compiler::arenaFootprint() const {
+  ArenaFootprint F;
+  F.AstNodes = Ast.exprCount();
+  F.TypeNodes = Types.size();
+  F.RTypeNodes = RTypes.size();
+  F.RExprNodes = RExprs.size();
+  return F;
 }
 
 std::string Compiler::printProgram(const CompiledUnit &Unit) const {
@@ -85,9 +104,12 @@ const RExpr *findTopLevelFun(const RExpr *Root, Symbol Name) {
 
 std::string Compiler::schemeOf(const CompiledUnit &Unit,
                                std::string_view Name) const {
-  // The interner is logically const here; intern() only reads or adds.
-  Symbol S = const_cast<Interner &>(Names).intern(Name);
-  const RExpr *Fun = findTopLevelFun(Unit.program().Root, S);
+  // A name that was never interned cannot be bound in the unit, so the
+  // const lookup suffices and shared read-only units stay untouched.
+  std::optional<Symbol> S = Names.lookup(Name);
+  if (!S)
+    return "";
+  const RExpr *Fun = findTopLevelFun(Unit.program().Root, *S);
   if (!Fun)
     return "";
   return printScheme(Fun->Sigma);

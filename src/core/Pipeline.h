@@ -77,7 +77,39 @@ struct CompiledUnit {
   const Mu *rootMu() const { return Inferred.RootMu; }
 };
 
+/// The result of Compiler::compileAndRun: the unit (null if compilation
+/// failed — see Compiler::diagnostics()) plus, when compilation
+/// succeeded, the runtime result.
+struct CompileAndRunResult {
+  std::unique_ptr<CompiledUnit> Unit;
+  rt::RunResult Run; // meaningful only when Unit is non-null
+
+  bool ok() const { return Unit && Run.Outcome == rt::RunOutcome::Ok; }
+};
+
 /// The pipeline owner. Not thread-safe; one Compiler per thread.
+///
+/// Thread-safety contract (relied on by src/service):
+///  * Two Compiler instances share no mutable state — every arena, the
+///    interner and the diagnostic engine are per-instance members, and
+///    the library keeps no mutable globals (the only function-local
+///    statics, in bench/Programs.cpp, are const and initialised under
+///    C++11 magic-statics). Distinct Compilers on distinct threads never
+///    race, and identical inputs produce bit-identical outputs.
+///  * compile() mutates this Compiler and must stay on one thread, but
+///    the mutating entry points are exactly compile()/compileAndRun();
+///    run(), printProgram() and schemeOf() are const and touch only the
+///    unit and const interner state. Once a compile has returned, any
+///    number of threads may concurrently run()/print a CompiledUnit
+///    provided no thread calls compile() on the owner in the meantime.
+///    The service layer's compile cache freezes one Compiler per cached
+///    unit to make shared units immutable by construction.
+///  * Arenas grow monotonically: compiling N sources through one
+///    Compiler keeps every previously returned CompiledUnit valid, at
+///    the cost of memory linear in the total source compiled (see
+///    arenaFootprint()). Long-lived single-Compiler loops should either
+///    accept that linear growth or recycle the Compiler; the service
+///    layer instead uses one short-lived Compiler per cache entry.
 class Compiler {
 public:
   Compiler() = default;
@@ -88,18 +120,44 @@ public:
                                         const CompileOptions &Opts = {});
 
   /// Executes a compiled unit on the region runtime. GC is enabled
-  /// unless the unit was compiled with Strategy::R.
-  rt::RunResult run(const CompiledUnit &Unit, rt::EvalOptions EvalOpts = {});
+  /// unless the unit was compiled with Strategy::R. Const: safe to call
+  /// concurrently from several threads on the same unit (each run gets
+  /// its own heap).
+  rt::RunResult run(const CompiledUnit &Unit,
+                    rt::EvalOptions EvalOpts = {}) const;
+
+  /// compile() followed by run() — the one-call form the service workers
+  /// and the batch driver use. Result.Unit is null on compile failure.
+  CompileAndRunResult compileAndRun(std::string_view Source,
+                                    const CompileOptions &Opts = {},
+                                    rt::EvalOptions EvalOpts = {});
 
   /// Renders the region-annotated program (Figure 2 style).
   std::string printProgram(const CompiledUnit &Unit) const;
 
   /// The region type scheme a top-level declaration received, rendered in
   /// the paper's notation; empty if the name is unknown or monomorphic.
+  /// Purely const (no interning), so safe on shared read-only units.
   std::string schemeOf(const CompiledUnit &Unit, std::string_view Name) const;
 
   DiagnosticEngine &diagnostics() { return Diags; }
   Interner &names() { return Names; }
+  const Interner &names() const { return Names; }
+
+  /// How many nodes the per-Compiler arenas hold. Grows linearly with
+  /// the total amount of source compiled through this instance (nothing
+  /// is freed until the Compiler dies); tests/service_test.cpp pins the
+  /// growth to be per-compile constant for a fixed program.
+  struct ArenaFootprint {
+    size_t AstNodes = 0;
+    size_t TypeNodes = 0;
+    size_t RTypeNodes = 0;
+    size_t RExprNodes = 0;
+    size_t total() const {
+      return AstNodes + TypeNodes + RTypeNodes + RExprNodes;
+    }
+  };
+  ArenaFootprint arenaFootprint() const;
 
 private:
   Interner Names;

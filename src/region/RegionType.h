@@ -229,6 +229,8 @@ public:
     return add(T);
   }
 
+  size_t size() const { return Mus.size() + Taus.size(); }
+
 private:
   const Mu *scalar(Mu::Kind K) {
     Mu M;

@@ -1,0 +1,69 @@
+//===- service/Cache.cpp --------------------------------------------------===//
+
+#include "service/Cache.h"
+
+using namespace rml;
+using namespace rml::service;
+
+CachedCompileRef rml::service::compileShared(std::string_view Source,
+                                             const CompileOptions &Opts) {
+  auto CC = std::make_shared<CachedCompile>();
+  CC->Owner = std::make_unique<Compiler>();
+  CC->Unit = CC->Owner->compile(Source, Opts);
+  CC->Diagnostics = CC->Owner->diagnostics().str();
+  if (CC->Unit)
+    CC->Printed = CC->Owner->printProgram(*CC->Unit);
+  return CC;
+}
+
+CachedCompileRef CompileCache::lookup(const CacheKey &K) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Map.find(K);
+  if (It == Map.end()) {
+    ++C.Misses;
+    return nullptr;
+  }
+  ++C.Hits;
+  Lru.splice(Lru.begin(), Lru, It->second); // refresh recency
+  return It->second->second;
+}
+
+void CompileCache::insert(const CacheKey &K, CachedCompileRef V) {
+  if (Cap == 0)
+    return;
+  std::lock_guard<std::mutex> Lock(M);
+  ++C.Insertions;
+  auto It = Map.find(K);
+  if (It != Map.end()) {
+    // Lost a compile race: keep the freshest value, refresh recency.
+    It->second->second = std::move(V);
+    Lru.splice(Lru.begin(), Lru, It->second);
+    return;
+  }
+  Lru.emplace_front(K, std::move(V));
+  Map.emplace(Lru.front().first, Lru.begin());
+  while (Map.size() > Cap) {
+    Map.erase(Lru.back().first);
+    Lru.pop_back();
+    ++C.Evictions;
+  }
+}
+
+CompileCache::Counters CompileCache::counters() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return C;
+}
+
+size_t CompileCache::size() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Map.size();
+}
+
+std::vector<uint64_t> CompileCache::recencyHashes() const {
+  std::lock_guard<std::mutex> Lock(M);
+  std::vector<uint64_t> Out;
+  Out.reserve(Lru.size());
+  for (const Node &N : Lru)
+    Out.push_back(N.first.Hash);
+  return Out;
+}

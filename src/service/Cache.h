@@ -1,0 +1,124 @@
+//===- service/Cache.h - LRU compile cache ----------------------*- C++ -*-===//
+//
+// Part of RegionML, a reproduction of "Garbage-Collection Safety for
+// Region-Based Type-Polymorphic Programs" (Elsman, PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thread-safe LRU cache of compilations, content-addressed by
+/// (source, Strategy, SpuriousMode, Check) — see service/Hash.h.
+///
+/// **How a CompiledUnit becomes shareable.** A CompiledUnit points into
+/// the arenas of the Compiler that built it, and Compiler::compile()
+/// mutates those arenas, so a unit is only safe to share once its owner
+/// stops compiling. The cache makes that true by construction: every
+/// entry carries its own dedicated Compiler that performs exactly one
+/// compile and is then frozen inside an immutable, refcounted
+/// CachedCompile. After that, only const operations touch the pair —
+/// Compiler::run(), printProgram() and schemeOf() are const and build
+/// all mutable state (region heap, evaluator stacks) per call — so any
+/// number of worker threads can run the same cached unit concurrently.
+/// (The alternative — serialising the static results out of the arenas —
+/// would copy every scheme and annotation per request; freezing the
+/// owner shares them at zero marginal cost.)
+///
+/// Failed compilations are cached too (Unit == null + rendered
+/// diagnostics): repeated ill-typed submissions are common in a serving
+/// setting and re-diagnosing them is pure waste.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RML_SERVICE_CACHE_H
+#define RML_SERVICE_CACHE_H
+
+#include "service/Hash.h"
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace rml::service {
+
+/// One immutable compilation: the frozen owner Compiler, the unit it
+/// produced (null if compilation failed), and the products that are
+/// cheaper to render once than per request.
+struct CachedCompile {
+  /// The dedicated Compiler whose arenas own Unit. Never compiled on
+  /// again; only its const surface is used after construction.
+  std::unique_ptr<Compiler> Owner;
+  /// Null when compilation failed (then Diagnostics says why).
+  std::unique_ptr<CompiledUnit> Unit;
+  /// Rendered diagnostics (errors and warnings) of the compile.
+  std::string Diagnostics;
+  /// printProgram() output, rendered once at compile time.
+  std::string Printed;
+
+  bool ok() const { return Unit != nullptr; }
+
+  /// Read-only run of the cached unit (unit must be non-null). Safe
+  /// concurrently from many threads.
+  rt::RunResult run(rt::EvalOptions EvalOpts = {}) const {
+    return Owner->run(*Unit, EvalOpts);
+  }
+
+  /// Scheme rendering on the frozen interner (const; "" if unknown).
+  std::string schemeOf(std::string_view Name) const {
+    return Unit ? Owner->schemeOf(*Unit, Name) : std::string();
+  }
+};
+
+/// Shared, immutable handle to a compilation. Entries stay alive while
+/// any request still holds the handle, even after cache eviction.
+using CachedCompileRef = std::shared_ptr<const CachedCompile>;
+
+/// Compiles \p Source on a fresh, dedicated Compiler and freezes the
+/// result into a shareable CachedCompile.
+CachedCompileRef compileShared(std::string_view Source,
+                               const CompileOptions &Opts);
+
+/// Thread-safe LRU cache: unordered_map from CacheKey to a node of the
+/// recency list; front of the list is most recently used. Capacity 0
+/// disables caching (every lookup misses, insert is a no-op).
+class CompileCache {
+public:
+  struct Counters {
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+    uint64_t Insertions = 0;
+    uint64_t Evictions = 0;
+  };
+
+  explicit CompileCache(size_t Capacity) : Cap(Capacity) {}
+
+  /// Returns the cached compilation and refreshes its recency, or null.
+  /// Counts a hit or a miss.
+  CachedCompileRef lookup(const CacheKey &K);
+
+  /// Inserts (or refreshes) \p K, evicting the least recently used entry
+  /// beyond capacity. Two workers racing to insert the same key is
+  /// benign: the second insert wins the map slot, and the first result
+  /// stays valid for whoever already holds its shared_ptr.
+  void insert(const CacheKey &K, CachedCompileRef V);
+
+  Counters counters() const;
+  size_t size() const;
+  size_t capacity() const { return Cap; }
+
+  /// Keys from most to least recently used (testing / introspection).
+  std::vector<uint64_t> recencyHashes() const;
+
+private:
+  using Node = std::pair<CacheKey, CachedCompileRef>;
+
+  mutable std::mutex M;
+  size_t Cap;
+  std::list<Node> Lru; // front = most recent
+  std::unordered_map<CacheKey, std::list<Node>::iterator, CacheKeyHash> Map;
+  Counters C;
+};
+
+} // namespace rml::service
+
+#endif // RML_SERVICE_CACHE_H

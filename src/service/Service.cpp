@@ -1,0 +1,192 @@
+//===- service/Service.cpp ------------------------------------------------===//
+
+#include "service/Service.h"
+
+#include <sstream>
+
+using namespace rml;
+using namespace rml::service;
+
+//===----------------------------------------------------------------------===//
+// ServiceStats
+//===----------------------------------------------------------------------===//
+
+std::string ServiceStats::json() const {
+  std::ostringstream Out;
+  Out << "{\"submitted\":" << Submitted << ",\"completed\":" << Completed
+      << ",\"compile_errors\":" << CompileErrors << ",\"runs_ok\":" << RunsOk
+      << ",\"runs_failed\":" << RunsFailed << ",\"cache_hits\":" << CacheHits
+      << ",\"cache_misses\":" << CacheMisses
+      << ",\"cache_evictions\":" << CacheEvictions
+      << ",\"queue_depth\":" << QueueDepth
+      << ",\"queue_high_water\":" << QueueHighWater
+      << ",\"workers\":" << Workers << ",\"gc_count\":" << TotalGcCount
+      << ",\"alloc_words\":" << TotalAllocWords
+      << ",\"copied_words\":" << TotalCopiedWords
+      << ",\"busy_nanos\":" << BusyNanos << ",\"uptime_nanos\":" << UptimeNanos
+      << ",\"utilization\":" << utilization() << "}";
+  return Out.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Service
+//===----------------------------------------------------------------------===//
+
+Service::Service(ServiceConfig Cfg)
+    : Cfg(Cfg), Cache(Cfg.CacheCapacity),
+      Started(std::chrono::steady_clock::now()) {
+  unsigned N = Cfg.effectiveWorkers();
+  Threads.reserve(N);
+  for (unsigned I = 0; I < N; ++I)
+    Threads.emplace_back([this] { workerMain(); });
+}
+
+Service::~Service() { shutdown(); }
+
+std::future<Response> Service::submit(Request R) {
+  Job J;
+  J.Req = std::move(R);
+  std::future<Response> F = J.Promise.get_future();
+  {
+    std::unique_lock<std::mutex> Lock(QueueMutex);
+    NotFull.wait(Lock, [this] {
+      return Queue.size() < Cfg.QueueCapacity || Stopping;
+    });
+    // Reject rather than enqueue once shutdown has begun: a worker may
+    // already have seen the queue empty and exited, so a late job could
+    // otherwise never resolve.
+    if (Stopping) {
+      Response Rej;
+      Rej.Diagnostics = "error: service is shut down";
+      Rej.Outcome = rt::RunOutcome::RuntimeError;
+      Rej.Error = "service is shut down";
+      J.Promise.set_value(std::move(Rej));
+      return F;
+    }
+    Queue.push_back(std::move(J));
+    size_t Depth = Queue.size();
+    {
+      std::lock_guard<std::mutex> SLock(StatsMutex);
+      ++Counters.Submitted;
+      if (Depth > Counters.QueueHighWater)
+        Counters.QueueHighWater = Depth;
+    }
+  }
+  NotEmpty.notify_one();
+  return F;
+}
+
+void Service::shutdown() {
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    if (Stopping && Threads.empty())
+      return;
+    Stopping = true;
+  }
+  NotEmpty.notify_all();
+  NotFull.notify_all();
+  for (std::thread &T : Threads)
+    if (T.joinable())
+      T.join();
+  Threads.clear();
+}
+
+void Service::workerMain() {
+  for (;;) {
+    Job J;
+    {
+      std::unique_lock<std::mutex> Lock(QueueMutex);
+      NotEmpty.wait(Lock, [this] { return !Queue.empty() || Stopping; });
+      if (Queue.empty())
+        return; // stopping and drained
+      J = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    NotFull.notify_one();
+
+    auto T0 = std::chrono::steady_clock::now();
+    Response Resp = process(J.Req);
+    auto T1 = std::chrono::steady_clock::now();
+
+    {
+      std::lock_guard<std::mutex> SLock(StatsMutex);
+      ++Counters.Completed;
+      if (!Resp.CompileOk)
+        ++Counters.CompileErrors;
+      if (Resp.Ran) {
+        if (Resp.Outcome == rt::RunOutcome::Ok)
+          ++Counters.RunsOk;
+        else
+          ++Counters.RunsFailed;
+        Counters.TotalGcCount += Resp.Heap.GcCount;
+        Counters.TotalAllocWords += Resp.Heap.AllocWords;
+        Counters.TotalCopiedWords += Resp.Heap.CopiedWords;
+      }
+      Counters.BusyNanos += static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(T1 - T0)
+              .count());
+    }
+    J.Promise.set_value(std::move(Resp));
+  }
+}
+
+Response Service::process(const Request &Req) {
+  Response Resp;
+
+  CacheKey Key = CacheKey::of(Req.Source, Req.Opts);
+  CachedCompileRef CC = Cache.lookup(Key);
+  if (CC) {
+    Resp.CacheHit = true;
+  } else {
+    // Miss: compile on a fresh, dedicated Compiler and freeze it into
+    // the cache. Two workers racing on the same key both compile; the
+    // results are bit-identical (the pipeline is deterministic) and the
+    // cache keeps whichever insert lands last.
+    CC = compileShared(Req.Source, Req.Opts);
+    Cache.insert(Key, CC);
+  }
+
+  Resp.CompileOk = CC->ok();
+  Resp.Diagnostics = CC->Diagnostics;
+  if (!CC->ok())
+    return Resp;
+
+  Resp.Printed = CC->Printed;
+  Resp.Schemes.reserve(Req.SchemeNames.size());
+  for (const std::string &Name : Req.SchemeNames)
+    Resp.Schemes.emplace_back(Name, CC->schemeOf(Name));
+
+  if (Req.Run) {
+    rt::RunResult R = CC->run(Req.EvalOpts);
+    Resp.Ran = true;
+    Resp.Outcome = R.Outcome;
+    Resp.Output = std::move(R.Output);
+    Resp.ResultText = std::move(R.ResultText);
+    Resp.Error = std::move(R.Error);
+    Resp.Heap = R.Heap;
+    Resp.Steps = R.Steps;
+  }
+  return Resp;
+}
+
+ServiceStats Service::stats() const {
+  ServiceStats Out;
+  {
+    std::lock_guard<std::mutex> SLock(StatsMutex);
+    Out = Counters;
+  }
+  CompileCache::Counters CC = Cache.counters();
+  Out.CacheHits = CC.Hits;
+  Out.CacheMisses = CC.Misses;
+  Out.CacheEvictions = CC.Evictions;
+  Out.Workers = Cfg.effectiveWorkers();
+  {
+    std::lock_guard<std::mutex> QLock(QueueMutex);
+    Out.QueueDepth = Queue.size();
+  }
+  Out.UptimeNanos = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - Started)
+          .count());
+  return Out;
+}

@@ -1,0 +1,181 @@
+//===- service/Service.h - Concurrent compile-and-run service ---*- C++ -*-===//
+//
+// Part of RegionML, a reproduction of "Garbage-Collection Safety for
+// Region-Based Type-Polymorphic Programs" (Elsman, PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving layer in front of the pipeline — the shape every later
+/// scaling step (sharding, async I/O, multi-backend) builds on:
+///
+///   submit(Request) ──> bounded MPMC queue ──> N worker threads
+///        (backpressure)        │                   │
+///        std::future<Response> │          content-addressed LRU
+///                              │          compile cache (shared,
+///                              └────────► immutable CachedCompile)
+///                                                  │
+///                                         region runtime + GC
+///                                         (one private heap per run)
+///
+/// Requests carry source + CompileOptions + optional EvalOptions; the
+/// response carries diagnostics, the printed program, requested scheme
+/// renderings, the run outcome and its HeapStats. Workers respect the
+/// one-Compiler-per-thread constraint by construction: cold compiles go
+/// to a fresh per-entry Compiler that is frozen into the cache (see
+/// service/Cache.h), and cache hits only touch the frozen units through
+/// their const surface.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RML_SERVICE_SERVICE_H
+#define RML_SERVICE_SERVICE_H
+
+#include "service/Cache.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace rml::service {
+
+/// One unit of work: compile \p Source with \p Opts, optionally run it.
+struct Request {
+  std::string Source;
+  CompileOptions Opts;
+  /// Execute the program after a successful compile.
+  bool Run = true;
+  rt::EvalOptions EvalOpts;
+  /// Top-level names whose region type schemes the response should
+  /// render (unknown/monomorphic names render as "").
+  std::vector<std::string> SchemeNames;
+};
+
+/// Everything the service produced for one request.
+struct Response {
+  /// The static pipeline succeeded.
+  bool CompileOk = false;
+  /// The compilation was served from the cache.
+  bool CacheHit = false;
+  /// Rendered diagnostics (empty on a clean compile).
+  std::string Diagnostics;
+  /// The region-annotated program (Figure 2 style).
+  std::string Printed;
+  /// (name, rendered scheme) for every requested SchemeName, in order.
+  std::vector<std::pair<std::string, std::string>> Schemes;
+  /// True when the program was executed (CompileOk && Request.Run).
+  bool Ran = false;
+  rt::RunOutcome Outcome = rt::RunOutcome::Ok;
+  std::string Output;     // everything print-ed
+  std::string ResultText; // rendered final value
+  std::string Error;      // non-Ok outcome explanation
+  rt::HeapStats Heap;
+  uint64_t Steps = 0;
+};
+
+/// Service configuration.
+struct ServiceConfig {
+  /// Worker threads; 0 means one per hardware thread (at least 1).
+  unsigned Workers = 0;
+  /// Bounded queue: submit() blocks once this many requests wait
+  /// (backpressure toward the producers).
+  size_t QueueCapacity = 256;
+  /// LRU compile-cache entries; 0 disables caching.
+  size_t CacheCapacity = 128;
+
+  unsigned effectiveWorkers() const {
+    if (Workers)
+      return Workers;
+    unsigned H = std::thread::hardware_concurrency();
+    return H ? H : 1;
+  }
+};
+
+/// A point-in-time statistics snapshot; also renderable as one-line JSON.
+struct ServiceStats {
+  uint64_t Submitted = 0;
+  uint64_t Completed = 0;
+  uint64_t CompileErrors = 0;
+  uint64_t RunsOk = 0;
+  uint64_t RunsFailed = 0;
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  uint64_t CacheEvictions = 0;
+  /// Deepest the queue ever got (backpressure high-water mark).
+  uint64_t QueueHighWater = 0;
+  uint64_t QueueDepth = 0;
+  unsigned Workers = 0;
+  /// Sum over runs of HeapStats counters (the serving-level GC bill).
+  uint64_t TotalGcCount = 0;
+  uint64_t TotalAllocWords = 0;
+  uint64_t TotalCopiedWords = 0;
+  /// Nanoseconds workers spent processing (vs idle) and service uptime.
+  uint64_t BusyNanos = 0;
+  uint64_t UptimeNanos = 0;
+
+  /// Fraction of worker-thread time spent processing, in [0,1].
+  double utilization() const {
+    double Denom = static_cast<double>(Workers) *
+                   static_cast<double>(UptimeNanos);
+    return Denom > 0 ? static_cast<double>(BusyNanos) / Denom : 0.0;
+  }
+
+  /// One-line JSON rendering of every counter (stable key order).
+  std::string json() const;
+};
+
+/// A thread-pool compile-and-run service. Construction spawns the
+/// workers; destruction (or shutdown()) drains the queue and joins them.
+/// submit() and stats() are safe from any thread.
+class Service {
+public:
+  explicit Service(ServiceConfig Cfg = {});
+  ~Service();
+
+  Service(const Service &) = delete;
+  Service &operator=(const Service &) = delete;
+
+  /// Enqueues a request; the future resolves when a worker finishes it.
+  /// Blocks while the queue is at capacity (backpressure). After
+  /// shutdown() the future resolves immediately with a "service is shut
+  /// down" diagnostic (the library-wide no-throw convention).
+  std::future<Response> submit(Request R);
+
+  /// Stops accepting work, finishes every queued request, joins the
+  /// workers. Idempotent; the destructor calls it.
+  void shutdown();
+
+  ServiceStats stats() const;
+  const ServiceConfig &config() const { return Cfg; }
+
+private:
+  struct Job {
+    Request Req;
+    std::promise<Response> Promise;
+  };
+
+  void workerMain();
+  Response process(const Request &Req);
+
+  ServiceConfig Cfg;
+  CompileCache Cache;
+  std::vector<std::thread> Threads;
+  std::chrono::steady_clock::time_point Started;
+
+  mutable std::mutex QueueMutex;
+  std::condition_variable NotEmpty; // workers wait: queue has work/stop
+  std::condition_variable NotFull;  // producers wait: queue has room
+  std::deque<Job> Queue;
+  bool Stopping = false;
+
+  mutable std::mutex StatsMutex;
+  ServiceStats Counters; // queue/uptime fields filled in stats()
+};
+
+} // namespace rml::service
+
+#endif // RML_SERVICE_SERVICE_H

@@ -16,6 +16,13 @@ Symbol Interner::intern(std::string_view Text) {
   return S;
 }
 
+std::optional<Symbol> Interner::lookup(std::string_view Text) const {
+  auto It = Map.find(std::string(Text));
+  if (It == Map.end())
+    return std::nullopt;
+  return It->second;
+}
+
 const std::string &Interner::text(Symbol S) const {
   assert(S.isValid() && S.Id < Texts.size() && "symbol from another interner");
   return Texts[S.Id];

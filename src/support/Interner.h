@@ -18,6 +18,7 @@
 #define RML_SUPPORT_INTERNER_H
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -39,10 +40,19 @@ struct Symbol {
 };
 
 /// Interns identifier spellings into Symbols and recovers the spelling.
+///
+/// Not thread-safe; an Interner belongs to one Compiler (one thread).
+/// Once a compilation has finished, purely const access (lookup(),
+/// text()) is safe from any number of threads concurrently — the service
+/// layer relies on this to share compiled units read-only.
 class Interner {
 public:
   /// Returns the symbol for \p Text, creating it on first use.
   Symbol intern(std::string_view Text);
+
+  /// Returns the symbol for \p Text if it is already interned, without
+  /// mutating the interner (safe on a shared, read-only interner).
+  std::optional<Symbol> lookup(std::string_view Text) const;
 
   /// Returns the spelling of \p S. \p S must have been produced by this
   /// interner.

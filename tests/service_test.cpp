@@ -1,0 +1,438 @@
+//===- tests/service_test.cpp - Service-layer concurrency tests -----------===//
+//
+// The concurrent compile-and-run service: thread-safety of independent
+// Compilers, arena behaviour under reuse, the content-addressed LRU
+// compile cache, and the thread-pool service end to end (mixed batches,
+// backpressure, statistics). Labelled `service` in ctest and expected to
+// be clean under -DRML_SANITIZE=thread.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Service.h"
+
+#include "bench/Programs.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+using namespace rml;
+using namespace rml::service;
+
+namespace {
+
+/// A small program exercising the interesting machinery — polymorphic
+/// closures, letregion placement and enough allocation to trigger GC —
+/// while staying fast under ThreadSanitizer.
+const char *ComposeProgram = R"(
+fun compose fg = fn x => #1 fg (#2 fg x)
+fun iter n acc =
+  if n = 0 then acc
+  else let val h = compose (fn x => x + 1, fn x => x * 2)
+       in iter (n - 1) acc + h n - h n end
+;iter 600 21
+)";
+
+//===----------------------------------------------------------------------===//
+// Satellite: two Compilers on different threads share no mutable state.
+//===----------------------------------------------------------------------===//
+
+TEST(CompilerThreading, EightCompilersBitIdentical) {
+  // Baseline on the main thread.
+  Compiler Base;
+  auto BaseUnit = Base.compile(ComposeProgram);
+  ASSERT_NE(BaseUnit, nullptr) << Base.diagnostics().str();
+  std::string BasePrinted = Base.printProgram(*BaseUnit);
+  rt::EvalOptions Eval;
+  Eval.GcThresholdWords = 2048; // force several collections
+  rt::RunResult BaseRun = Base.run(*BaseUnit, Eval);
+  ASSERT_EQ(BaseRun.Outcome, rt::RunOutcome::Ok) << BaseRun.Error;
+
+  constexpr int N = 8;
+  std::string Printed[N];
+  uint64_t AllocWords[N];
+  std::string Results[N];
+  std::atomic<int> Failures{0};
+
+  std::vector<std::thread> Threads;
+  for (int I = 0; I < N; ++I)
+    Threads.emplace_back([&, I] {
+      Compiler C;
+      auto Unit = C.compile(ComposeProgram);
+      if (!Unit) {
+        ++Failures;
+        return;
+      }
+      Printed[I] = C.printProgram(*Unit);
+      rt::EvalOptions E;
+      E.GcThresholdWords = 2048;
+      rt::RunResult R = C.run(*Unit, E);
+      if (R.Outcome != rt::RunOutcome::Ok) {
+        ++Failures;
+        return;
+      }
+      AllocWords[I] = R.Heap.AllocWords;
+      Results[I] = R.ResultText;
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  ASSERT_EQ(Failures.load(), 0);
+  for (int I = 0; I < N; ++I) {
+    EXPECT_EQ(Printed[I], BasePrinted) << "thread " << I;
+    EXPECT_EQ(AllocWords[I], BaseRun.Heap.AllocWords) << "thread " << I;
+    EXPECT_EQ(Results[I], BaseRun.ResultText) << "thread " << I;
+  }
+}
+
+TEST(CompilerThreading, SharedUnitConcurrentRuns) {
+  // One frozen compilation, many concurrent read-only runs.
+  CachedCompileRef CC = compileShared(ComposeProgram, CompileOptions{});
+  ASSERT_TRUE(CC->ok()) << CC->Diagnostics;
+
+  rt::EvalOptions Eval;
+  Eval.GcThresholdWords = 2048;
+  rt::RunResult Base = CC->run(Eval);
+  ASSERT_EQ(Base.Outcome, rt::RunOutcome::Ok) << Base.Error;
+
+  std::atomic<int> Mismatches{0};
+  std::vector<std::thread> Threads;
+  for (int I = 0; I < 8; ++I)
+    Threads.emplace_back([&] {
+      rt::EvalOptions E;
+      E.GcThresholdWords = 2048;
+      rt::RunResult R = CC->run(E);
+      if (R.Outcome != rt::RunOutcome::Ok ||
+          R.ResultText != Base.ResultText ||
+          R.Heap.AllocWords != Base.Heap.AllocWords)
+        ++Mismatches;
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Mismatches.load(), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Satellite: one Compiler across many requests.
+//===----------------------------------------------------------------------===//
+
+TEST(CompilerReuse, HundredProgramsOneInstance) {
+  Compiler C;
+  std::vector<std::unique_ptr<CompiledUnit>> Keep;
+  std::vector<size_t> Totals;
+  for (int I = 0; I < 100; ++I) {
+    auto Unit = C.compile(ComposeProgram);
+    ASSERT_NE(Unit, nullptr) << "compile " << I << ":\n"
+                             << C.diagnostics().str();
+    EXPECT_FALSE(C.diagnostics().hasErrors());
+    if (I % 10 == 0)
+      Keep.push_back(std::move(Unit)); // earlier units must stay valid
+    Totals.push_back(C.arenaFootprint().total());
+  }
+
+  // Arena growth is linear: after the first compile (which also builds
+  // the hash-consed ground-type singletons) every compile of the same
+  // source adds exactly the same number of nodes.
+  size_t Delta = Totals[2] - Totals[1];
+  EXPECT_GT(Delta, 0u);
+  for (size_t I = 2; I + 1 < Totals.size(); ++I)
+    EXPECT_EQ(Totals[I + 1] - Totals[I], Delta) << "compile " << I + 1;
+
+  // Units kept from earlier compiles are still valid and runnable.
+  rt::RunResult First = C.run(*Keep.front());
+  rt::RunResult Last = C.run(*Keep.back());
+  ASSERT_EQ(First.Outcome, rt::RunOutcome::Ok) << First.Error;
+  ASSERT_EQ(Last.Outcome, rt::RunOutcome::Ok) << Last.Error;
+  EXPECT_EQ(First.ResultText, Last.ResultText);
+  EXPECT_EQ(First.Heap.AllocWords, Last.Heap.AllocWords);
+}
+
+TEST(CompilerReuse, CompileAndRunConvenience) {
+  Compiler C;
+  CompileAndRunResult R = C.compileAndRun("1 + 2 * 3");
+  ASSERT_TRUE(R.ok()) << C.diagnostics().str();
+  EXPECT_EQ(R.Run.ResultText, "7");
+
+  CompileAndRunResult Bad = C.compileAndRun("nosuchvar + 1");
+  EXPECT_EQ(Bad.Unit, nullptr);
+  EXPECT_FALSE(Bad.ok());
+  EXPECT_NE(C.diagnostics().str().find("unbound variable 'nosuchvar'"),
+            std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Satellite: the LRU compile cache.
+//===----------------------------------------------------------------------===//
+
+TEST(CompileCacheTest, CapacityEvictionOrder) {
+  CompileCache Cache(3);
+  CompileOptions Opts;
+  CacheKey K1 = CacheKey::of("1", Opts), K2 = CacheKey::of("2", Opts),
+           K3 = CacheKey::of("3", Opts), K4 = CacheKey::of("4", Opts);
+
+  Cache.insert(K1, compileShared("1", Opts));
+  Cache.insert(K2, compileShared("2", Opts));
+  Cache.insert(K3, compileShared("3", Opts));
+  EXPECT_EQ(Cache.size(), 3u);
+  // Recency is front-first: K3, K2, K1.
+  EXPECT_EQ(Cache.recencyHashes(),
+            (std::vector<uint64_t>{K3.Hash, K2.Hash, K1.Hash}));
+
+  // Touching K1 promotes it, so K2 is now least recently used...
+  EXPECT_NE(Cache.lookup(K1), nullptr);
+  // ...and inserting a fourth entry evicts K2, not K1.
+  Cache.insert(K4, compileShared("4", Opts));
+  EXPECT_EQ(Cache.size(), 3u);
+  EXPECT_EQ(Cache.lookup(K2), nullptr);
+  EXPECT_NE(Cache.lookup(K1), nullptr);
+  EXPECT_NE(Cache.lookup(K3), nullptr);
+  EXPECT_NE(Cache.lookup(K4), nullptr);
+
+  CompileCache::Counters C = Cache.counters();
+  EXPECT_EQ(C.Insertions, 4u);
+  EXPECT_EQ(C.Evictions, 1u);
+  EXPECT_EQ(C.Hits, 4u);   // K1, K1, K3, K4
+  EXPECT_EQ(C.Misses, 1u); // K2 after eviction
+}
+
+TEST(CompileCacheTest, OptionsEnterTheKey) {
+  CompileOptions Rg, RgMinus, NoCheck;
+  RgMinus.Strat = Strategy::RgMinus;
+  NoCheck.Check = false;
+  EXPECT_NE(CacheKey::of("1", Rg), CacheKey::of("1", RgMinus));
+  EXPECT_NE(CacheKey::of("1", Rg), CacheKey::of("1", NoCheck));
+  EXPECT_NE(CacheKey::of("1", Rg), CacheKey::of("2", Rg));
+  EXPECT_EQ(CacheKey::of("1", Rg), CacheKey::of("1", CompileOptions{}));
+}
+
+TEST(CompileCacheTest, ZeroCapacityDisables) {
+  CompileCache Cache(0);
+  CompileOptions Opts;
+  CacheKey K = CacheKey::of("1", Opts);
+  Cache.insert(K, compileShared("1", Opts));
+  EXPECT_EQ(Cache.size(), 0u);
+  EXPECT_EQ(Cache.lookup(K), nullptr);
+}
+
+TEST(CompileCacheTest, FailedCompilesAreCachedWithDiagnostics) {
+  Service Svc({/*Workers=*/2, /*QueueCapacity=*/16, /*CacheCapacity=*/8});
+  Request Bad;
+  Bad.Source = "nosuchvar + 1";
+  Response R1 = Svc.submit(Bad).get();
+  Response R2 = Svc.submit(Bad).get();
+  EXPECT_FALSE(R1.CompileOk);
+  EXPECT_FALSE(R2.CompileOk);
+  EXPECT_TRUE(R2.CacheHit);
+  EXPECT_EQ(R1.Diagnostics, R2.Diagnostics);
+  EXPECT_NE(R1.Diagnostics.find("unbound variable 'nosuchvar'"),
+            std::string::npos);
+}
+
+/// Cache hits must be semantically identical to cold compiles for real
+/// corpus programs under both GC-safe and pre-paper strategies.
+class CacheFidelityTest
+    : public ::testing::TestWithParam<std::tuple<std::string, Strategy>> {};
+
+TEST_P(CacheFidelityTest, HitMatchesColdCompile) {
+  const auto &[Name, Strat] = GetParam();
+  const bench::BenchProgram *P = bench::findBenchmark(Name);
+  ASSERT_NE(P, nullptr);
+
+  CompileOptions Opts;
+  Opts.Strat = Strat;
+
+  // Cold reference on a private compiler.
+  Compiler C;
+  auto Unit = C.compile(P->Source, Opts);
+  ASSERT_NE(Unit, nullptr) << C.diagnostics().str();
+  std::string ColdPrinted = C.printProgram(*Unit);
+  rt::RunResult Cold = C.run(*Unit);
+  ASSERT_EQ(Cold.Outcome, rt::RunOutcome::Ok) << Cold.Error;
+
+  // Same program twice through a one-worker service: miss then hit.
+  Service Svc({/*Workers=*/1, /*QueueCapacity=*/4, /*CacheCapacity=*/8});
+  Request Req;
+  Req.Source = P->Source;
+  Req.Opts = Opts;
+  Response Miss = Svc.submit(Req).get();
+  Response Hit = Svc.submit(Req).get();
+
+  ASSERT_TRUE(Miss.CompileOk) << Miss.Diagnostics;
+  ASSERT_TRUE(Hit.CompileOk) << Hit.Diagnostics;
+  EXPECT_FALSE(Miss.CacheHit);
+  EXPECT_TRUE(Hit.CacheHit);
+  for (const Response *R : {&Miss, &Hit}) {
+    EXPECT_EQ(R->Printed, ColdPrinted) << Name;
+    EXPECT_EQ(R->Outcome, rt::RunOutcome::Ok) << Name;
+    EXPECT_EQ(R->ResultText, Cold.ResultText) << Name;
+    EXPECT_EQ(R->Output, Cold.Output) << Name;
+    EXPECT_EQ(R->Heap.AllocWords, Cold.Heap.AllocWords) << Name;
+    EXPECT_EQ(R->Steps, Cold.Steps) << Name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, CacheFidelityTest,
+    ::testing::Combine(::testing::Values("fib", "nrev", "strings", "refs",
+                                         "hof"),
+                       ::testing::Values(Strategy::Rg, Strategy::RgMinus)),
+    [](const auto &Info) {
+      return std::get<0>(Info.param) +
+             (std::get<1>(Info.param) == Strategy::Rg ? "_rg" : "_rgminus");
+    });
+
+//===----------------------------------------------------------------------===//
+// Tentpole: the service end to end.
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceTest, MixedBatchEightWorkersNoCrossContamination) {
+  Service Svc({/*Workers=*/8, /*QueueCapacity=*/64, /*CacheCapacity=*/64});
+
+  // 60 requests: i % 3 == 2 is ill-typed with a request-unique unbound
+  // variable; the rest compute a request-unique value. Every 10th
+  // request duplicates request 0 to exercise concurrent cache hits.
+  constexpr int N = 60;
+  std::vector<std::future<Response>> Futures;
+  std::vector<int> Kind(N); // 0 = duplicate, 1 = unique ok, 2 = ill-typed
+  for (int I = 0; I < N; ++I) {
+    Request Req;
+    if (I > 0 && I % 10 == 0) {
+      Kind[I] = 0;
+      Req.Source = "1 + 0";
+    } else if (I % 3 == 2) {
+      Kind[I] = 2;
+      Req.Source = "nosuchvar" + std::to_string(I) + " + 1";
+    } else {
+      Kind[I] = 1;
+      Req.Source = "1 + " + std::to_string(I);
+    }
+    if (I == 0)
+      Req.Source = "1 + 0";
+    Futures.push_back(Svc.submit(std::move(Req)));
+  }
+
+  for (int I = 0; I < N; ++I) {
+    Response R = Futures[I].get();
+    if (Kind[I] == 2) {
+      EXPECT_FALSE(R.CompileOk) << "request " << I;
+      // The diagnostic names THIS request's variable — routed to the
+      // right response, not another request's.
+      EXPECT_NE(R.Diagnostics.find("nosuchvar" + std::to_string(I)),
+                std::string::npos)
+          << "request " << I << " got: " << R.Diagnostics;
+      EXPECT_FALSE(R.Ran);
+    } else {
+      ASSERT_TRUE(R.CompileOk) << "request " << I << ": " << R.Diagnostics;
+      EXPECT_TRUE(R.Diagnostics.empty()) << "request " << I;
+      ASSERT_EQ(R.Outcome, rt::RunOutcome::Ok) << R.Error;
+      int Expected = Kind[I] == 0 ? 1 : 1 + I;
+      EXPECT_EQ(R.ResultText, std::to_string(Expected)) << "request " << I;
+    }
+  }
+
+  uint64_t IllTyped = static_cast<uint64_t>(
+      std::count(Kind.begin(), Kind.end(), 2));
+  ServiceStats S = Svc.stats();
+  EXPECT_EQ(S.Submitted, static_cast<uint64_t>(N));
+  EXPECT_EQ(S.Completed, static_cast<uint64_t>(N));
+  EXPECT_EQ(S.CacheHits + S.CacheMisses, static_cast<uint64_t>(N));
+  EXPECT_GE(S.CacheHits, 1u); // the duplicates
+  EXPECT_EQ(S.CompileErrors, IllTyped);
+  EXPECT_EQ(S.RunsOk, N - IllTyped);
+  EXPECT_EQ(S.QueueDepth, 0u);
+}
+
+TEST(ServiceTest, SchemeRenderings) {
+  Service Svc({/*Workers=*/2, /*QueueCapacity=*/8, /*CacheCapacity=*/8});
+  Request Req;
+  Req.Source = R"(
+fun compose fg = fn x => #1 fg (#2 fg x)
+val h = compose (fn x => x + 1, fn x => x * 2)
+;h 20
+)";
+  Req.SchemeNames = {"compose", "nosuchfun"};
+  Response R = Svc.submit(std::move(Req)).get();
+  ASSERT_TRUE(R.CompileOk) << R.Diagnostics;
+  ASSERT_EQ(R.Schemes.size(), 2u);
+  EXPECT_EQ(R.Schemes[0].first, "compose");
+  EXPECT_NE(R.Schemes[0].second.find("forall"), std::string::npos);
+  EXPECT_EQ(R.Schemes[1].second, "");
+  EXPECT_EQ(R.ResultText, "41");
+}
+
+TEST(ServiceTest, BackpressureBoundedQueue) {
+  Service Svc({/*Workers=*/2, /*QueueCapacity=*/4, /*CacheCapacity=*/0});
+  std::vector<std::future<Response>> Futures;
+  for (int I = 0; I < 40; ++I) {
+    Request Req;
+    Req.Source = "1 + " + std::to_string(I);
+    Futures.push_back(Svc.submit(std::move(Req))); // blocks when full
+  }
+  for (int I = 0; I < 40; ++I) {
+    Response R = Futures[I].get();
+    ASSERT_TRUE(R.CompileOk) << R.Diagnostics;
+    EXPECT_EQ(R.ResultText, std::to_string(1 + I));
+  }
+  ServiceStats S = Svc.stats();
+  EXPECT_LE(S.QueueHighWater, 4u);
+  EXPECT_EQ(S.CacheMisses, 40u); // capacity 0: caching disabled
+  EXPECT_EQ(S.CacheHits, 0u);
+}
+
+TEST(ServiceTest, ShutdownDrainsThenRejects) {
+  Service Svc({/*Workers=*/2, /*QueueCapacity=*/16, /*CacheCapacity=*/8});
+  std::vector<std::future<Response>> Futures;
+  for (int I = 0; I < 8; ++I) {
+    Request Req;
+    Req.Source = "2 * " + std::to_string(I);
+    Futures.push_back(Svc.submit(std::move(Req)));
+  }
+  Svc.shutdown(); // drains the queue, joins workers
+  for (int I = 0; I < 8; ++I) {
+    Response R = Futures[I].get();
+    ASSERT_TRUE(R.CompileOk) << R.Diagnostics; // submitted-before: served
+    EXPECT_EQ(R.ResultText, std::to_string(2 * I));
+  }
+  Response Late = Svc.submit(Request{}).get();
+  EXPECT_FALSE(Late.CompileOk);
+  EXPECT_NE(Late.Diagnostics.find("shut down"), std::string::npos);
+}
+
+TEST(ServiceTest, StatsJsonShape) {
+  Service Svc({/*Workers=*/1, /*QueueCapacity=*/4, /*CacheCapacity=*/4});
+  Request Req;
+  Req.Source = "1 + 1";
+  Svc.submit(Req).get();
+  Svc.submit(Req).get();
+  std::string J = Svc.stats().json();
+  for (const char *Key :
+       {"\"submitted\":2", "\"completed\":2", "\"cache_hits\":1",
+        "\"cache_misses\":1", "\"workers\":1", "\"gc_count\":",
+        "\"alloc_words\":", "\"queue_high_water\":", "\"utilization\":"})
+    EXPECT_NE(J.find(Key), std::string::npos) << J;
+  EXPECT_EQ(J.find('\n'), std::string::npos); // one line
+}
+
+TEST(ServiceTest, AggregatesGcCountsAcrossRequests) {
+  Service Svc({/*Workers=*/4, /*QueueCapacity=*/16, /*CacheCapacity=*/8});
+  Request Req;
+  Req.Source = ComposeProgram;
+  Req.EvalOpts.GcThresholdWords = 2048;
+  rt::RunResult Solo = compileShared(ComposeProgram, {})->run(Req.EvalOpts);
+  ASSERT_EQ(Solo.Outcome, rt::RunOutcome::Ok) << Solo.Error;
+  ASSERT_GT(Solo.Heap.GcCount, 0u) << "program must trigger GC";
+
+  std::vector<std::future<Response>> Futures;
+  for (int I = 0; I < 6; ++I)
+    Futures.push_back(Svc.submit(Req));
+  for (auto &F : Futures)
+    ASSERT_EQ(F.get().Outcome, rt::RunOutcome::Ok);
+
+  ServiceStats S = Svc.stats();
+  EXPECT_EQ(S.TotalGcCount, 6 * Solo.Heap.GcCount);
+  EXPECT_EQ(S.TotalAllocWords, 6 * Solo.Heap.AllocWords);
+}
+
+} // namespace

@@ -12,16 +12,22 @@
 //   rmlc --gc-threshold N              collection trigger (words)
 //   rmlc --no-tagfree --no-finite      representation knobs
 //   rmlc -e 'expr'                     compile a one-liner
+//   rmlc --serve-batch D --jobs 4      compile+run every .mml under D
+//                                      through the concurrent service
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/Pipeline.h"
 
+#include "service/Service.h"
 #include "smallstep/Step.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <future>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -50,7 +56,16 @@ void usage() {
       "  --retain-pages         exact dangling-pointer diagnostics\n"
       "  --generational         minor/major collections ([16,17])\n"
       "  --no-tagfree           disable the tag-free representation\n"
-      "  --no-finite            disable finite (exact-size) regions\n");
+      "  --no-finite            disable finite (exact-size) regions\n"
+      "  --serve-batch PATHS    compile+run every .mml program named by\n"
+      "                         PATHS (comma-separated files and/or\n"
+      "                         directories) through the concurrent\n"
+      "                         service; prints a per-program line and a\n"
+      "                         stats summary\n"
+      "  --jobs N               service worker threads (default: one per\n"
+      "                         hardware thread)\n"
+      "  --cache N              service compile-cache entries "
+      "(default 128)\n");
 }
 
 std::optional<std::string> readFile(const char *Path) {
@@ -62,6 +77,106 @@ std::optional<std::string> readFile(const char *Path) {
   return Out.str();
 }
 
+/// Expands the --serve-batch argument: a comma-separated mix of .mml
+/// files and directories (scanned non-recursively for *.mml, sorted).
+std::vector<std::string> collectBatchPaths(const std::string &Spec) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> Out;
+  size_t Pos = 0;
+  while (Pos <= Spec.size()) {
+    size_t Comma = Spec.find(',', Pos);
+    std::string Piece = Spec.substr(
+        Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+    Pos = Comma == std::string::npos ? Spec.size() + 1 : Comma + 1;
+    if (Piece.empty())
+      continue;
+    std::error_code Ec;
+    if (fs::is_directory(Piece, Ec)) {
+      std::vector<std::string> Dir;
+      for (const fs::directory_entry &E : fs::directory_iterator(Piece, Ec))
+        if (E.is_regular_file() && E.path().extension() == ".mml")
+          Dir.push_back(E.path().string());
+      std::sort(Dir.begin(), Dir.end());
+      Out.insert(Out.end(), Dir.begin(), Dir.end());
+    } else {
+      Out.push_back(Piece);
+    }
+  }
+  return Out;
+}
+
+/// The --serve-batch driver: every program goes through the concurrent
+/// service; results print in submission order.
+int serveBatch(const std::string &Spec, unsigned Jobs, size_t CacheCap,
+               const CompileOptions &Opts, const rt::EvalOptions &EvalOpts,
+               bool Stats) {
+  std::vector<std::string> Paths = collectBatchPaths(Spec);
+  if (Paths.empty()) {
+    std::fprintf(stderr, "rmlc: --serve-batch '%s' names no .mml programs\n",
+                 Spec.c_str());
+    return 2;
+  }
+
+  service::ServiceConfig Cfg;
+  Cfg.Workers = Jobs;
+  Cfg.CacheCapacity = CacheCap;
+  service::Service Svc(Cfg);
+
+  std::vector<std::pair<std::string, std::future<service::Response>>> Futures;
+  Futures.reserve(Paths.size());
+  for (const std::string &P : Paths) {
+    std::optional<std::string> Text = readFile(P.c_str());
+    if (!Text) {
+      std::fprintf(stderr, "rmlc: cannot read '%s'\n", P.c_str());
+      return 2;
+    }
+    service::Request Req;
+    Req.Source = std::move(*Text);
+    Req.Opts = Opts;
+    Req.EvalOpts = EvalOpts;
+    Futures.emplace_back(P, Svc.submit(std::move(Req)));
+  }
+
+  int Failures = 0;
+  for (auto &[Path, Fut] : Futures) {
+    service::Response R = Fut.get();
+    const char *Status;
+    std::string Detail;
+    if (!R.CompileOk) {
+      Status = "compile error";
+      Detail = R.Diagnostics;
+      ++Failures;
+    } else if (R.Outcome == rt::RunOutcome::Ok) {
+      Status = "ok";
+      Detail = "val it = " + R.ResultText;
+    } else {
+      Status = R.Outcome == rt::RunOutcome::DanglingPointer ? "gc failure"
+                                                            : "run error";
+      Detail = R.Error;
+      ++Failures;
+    }
+    while (!Detail.empty() && Detail.back() == '\n')
+      Detail.pop_back();
+    std::printf("%-40s %-13s %s%s\n", Path.c_str(), Status,
+                R.CacheHit ? "[cached] " : "", Detail.c_str());
+  }
+
+  service::ServiceStats S = Svc.stats();
+  std::printf("%zu program(s), %d failure(s); %llu cache hit(s), "
+              "%llu miss(es); queue high-water %llu; %.0f%% worker "
+              "utilization; %llu gc run(s), %llu words allocated\n",
+              Paths.size(), Failures,
+              static_cast<unsigned long long>(S.CacheHits),
+              static_cast<unsigned long long>(S.CacheMisses),
+              static_cast<unsigned long long>(S.QueueHighWater),
+              100.0 * S.utilization(),
+              static_cast<unsigned long long>(S.TotalGcCount),
+              static_cast<unsigned long long>(S.TotalAllocWords));
+  if (Stats)
+    std::printf("%s\n", S.json().c_str());
+  return Failures == 0 ? 0 : 1;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -71,6 +186,9 @@ int main(int Argc, char **Argv) {
   bool CrossCheck = false;
   std::string SchemeName, Source;
   bool HaveSource = false;
+  std::string BatchSpec;
+  unsigned Jobs = 0;
+  size_t CacheCap = 128;
 
   for (int I = 1; I < Argc; ++I) {
     const char *A = Argv[I];
@@ -122,6 +240,12 @@ int main(int Argc, char **Argv) {
       EvalOpts.TagFreePairs = false;
     } else if (!std::strcmp(A, "--no-finite")) {
       EvalOpts.UseFiniteRegions = false;
+    } else if (!std::strcmp(A, "--serve-batch")) {
+      BatchSpec = Next();
+    } else if (!std::strcmp(A, "--jobs")) {
+      Jobs = static_cast<unsigned>(std::strtoul(Next(), nullptr, 10));
+    } else if (!std::strcmp(A, "--cache")) {
+      CacheCap = std::strtoull(Next(), nullptr, 10);
     } else if (!std::strcmp(A, "-e")) {
       Source = Next();
       HaveSource = true;
@@ -142,6 +266,8 @@ int main(int Argc, char **Argv) {
       HaveSource = true;
     }
   }
+  if (!BatchSpec.empty())
+    return serveBatch(BatchSpec, Jobs, CacheCap, Opts, EvalOpts, Stats);
   if (!HaveSource) {
     usage();
     return 2;
