@@ -52,6 +52,11 @@ rt::RunResult Compiler::run(const CompiledUnit &Unit,
                             rt::EvalOptions EvalOpts) const {
   if (Unit.Options.Strat == Strategy::R)
     EvalOpts.GcEnabled = false;
+  // Exact dangling detection and cross-request page pooling are
+  // mutually exclusive: a pooled page could be handed to another run
+  // while the detector can still attribute it to a dead region.
+  if (EvalOpts.RetainReleasedPages)
+    EvalOpts.SharedPool = nullptr;
   return rt::runProgram(Unit.program(), Unit.rootMu(), Unit.Mult, Unit.Kinds,
                         Unit.Drops, Names, EvalOpts);
 }

@@ -122,7 +122,9 @@ public:
   /// Executes a compiled unit on the region runtime. GC is enabled
   /// unless the unit was compiled with Strategy::R. Const: safe to call
   /// concurrently from several threads on the same unit (each run gets
-  /// its own heap).
+  /// its own heap). EvalOpts.SharedPool lets concurrent runs recycle
+  /// standard region pages through one rt::PagePool; it is ignored when
+  /// EvalOpts.RetainReleasedPages asks for exact dangling detection.
   rt::RunResult run(const CompiledUnit &Unit,
                     rt::EvalOptions EvalOpts = {}) const;
 

@@ -193,6 +193,9 @@ public:
       : Mult(Mult), Kinds(Kinds), Names(Names), Opts(Opts), C(Drops),
         RootMu(RootMu) {
     Heap.RetainReleasedPages = Opts.RetainReleasedPages;
+    // The quarantine invariant, enforced at the single point where a
+    // heap meets a pool: detection on => no shared pages.
+    Heap.SharedPool = Opts.RetainReleasedPages ? nullptr : Opts.SharedPool;
     C.run(P);
     // The global region's representation follows the kind analysis like
     // any other region.

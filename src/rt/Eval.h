@@ -60,6 +60,11 @@ struct EvalOptions {
   /// major collection runs every MinorsPerMajor-th time.
   bool Generational = false;
   unsigned MinorsPerMajor = 8;
+  /// Optional cross-request page pool (non-owning; must outlive the
+  /// run). The run's heap draws standard pages from it and recycles
+  /// them back on teardown. Ignored while RetainReleasedPages is on —
+  /// exact dangling detection quarantines the pool (see rt/PagePool.h).
+  PagePool *SharedPool = nullptr;
 };
 
 /// How a run ended.

@@ -1,0 +1,79 @@
+//===- rt/PagePool.cpp ----------------------------------------------------===//
+
+#include "rt/PagePool.h"
+
+#include <functional>
+#include <thread>
+
+using namespace rml;
+using namespace rml::rt;
+
+PagePool::PagePool(size_t MaxPages) : MaxPages(MaxPages) {}
+
+size_t PagePool::homeShard() {
+  // One hash per thread: workers land on (mostly) distinct shards and
+  // keep hitting the same one, so the fast path is an uncontended lock.
+  thread_local const size_t Home =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % NumShards;
+  return Home;
+}
+
+std::unique_ptr<uint64_t[]> PagePool::acquire() {
+  size_t Start = homeShard();
+  for (size_t I = 0; I < NumShards; ++I) {
+    Shard &S = Shards[(Start + I) % NumShards];
+    std::lock_guard<std::mutex> Lock(S.M);
+    if (S.Free.empty())
+      continue; // steal from the next shard
+    std::unique_ptr<uint64_t[]> Buf = std::move(S.Free.back());
+    S.Free.pop_back();
+    TotalFree.fetch_sub(1, std::memory_order_relaxed);
+    Hits.fetch_add(1, std::memory_order_relaxed);
+    return Buf;
+  }
+  Misses.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+void PagePool::release(std::unique_ptr<uint64_t[]> Buf) {
+  if (!Buf)
+    return;
+  // Reserve a slot under the bound before touching a shard; on failure
+  // the page is simply freed (the pool is full).
+  size_t Cur = TotalFree.load(std::memory_order_relaxed);
+  do {
+    if (Cur >= MaxPages) {
+      Trims.fetch_add(1, std::memory_order_relaxed);
+      return; // Buf's destructor frees the page
+    }
+  } while (!TotalFree.compare_exchange_weak(Cur, Cur + 1,
+                                            std::memory_order_relaxed));
+  Accepted.fetch_add(1, std::memory_order_relaxed);
+  Shard &S = Shards[homeShard()];
+  std::lock_guard<std::mutex> Lock(S.M);
+  S.Free.push_back(std::move(Buf));
+}
+
+void PagePool::trim() {
+  for (Shard &S : Shards) {
+    std::vector<std::unique_ptr<uint64_t[]>> Drop;
+    {
+      std::lock_guard<std::mutex> Lock(S.M);
+      Drop.swap(S.Free);
+    }
+    TotalFree.fetch_sub(Drop.size(), std::memory_order_relaxed);
+    Trims.fetch_add(Drop.size(), std::memory_order_relaxed);
+    // Drop's destructor frees the pages outside the lock.
+  }
+}
+
+PagePoolStats PagePool::stats() const {
+  PagePoolStats Out;
+  Out.AcquireHits = Hits.load(std::memory_order_relaxed);
+  Out.AcquireMisses = Misses.load(std::memory_order_relaxed);
+  Out.Releases = Accepted.load(std::memory_order_relaxed);
+  Out.Trims = Trims.load(std::memory_order_relaxed);
+  Out.FreePages = TotalFree.load(std::memory_order_relaxed);
+  Out.Capacity = MaxPages;
+  return Out;
+}

@@ -1,0 +1,127 @@
+//===- rt/PagePool.h - Cross-request shared page pool -----------*- C++ -*-===//
+//
+// Part of RegionML, a reproduction of "Garbage-Collection Safety for
+// Region-Based Type-Polymorphic Programs" (Elsman, PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide pool of standard region pages, shared across the
+/// otherwise-private RegionHeaps of concurrent service workers. Every
+/// `run` builds and tears down its own heap; without the pool each of
+/// those round-trips every 2 KiB page through the system allocator,
+/// and that churn dominates small-request latency. With the pool a
+/// heap's standard pages are recycled into sharded free lists on heap
+/// destruction and handed to the next request's heap on demand.
+///
+/// Design points:
+///
+///  * **Sharded free lists, striped locks.** NumShards independent
+///    vectors, each behind its own mutex; a thread's home shard is a
+///    hash of its thread id, so workers mostly touch distinct shards.
+///    An acquire that finds its home shard empty steals from the
+///    others before reporting a miss.
+///
+///  * **Bounded capacity.** The pool never holds more than MaxPages
+///    pages in total (tracked by one atomic counter); releases beyond
+///    the bound free the page instead (counted as a trim), so a burst
+///    of huge heaps cannot pin memory forever.
+///
+///  * **Standard pages only.** The pool stores raw page buffers of
+///    exactly RegionHeap::PageWords words. Oversized (finite-region)
+///    blocks bypass it entirely — callers only release standard pages.
+///
+///  * **Safety w.r.t. exact dangling detection.** A pooled page must
+///    never be handed out while `RetainReleasedPages` detection could
+///    still attribute it to a dead region: a RegionHeap running with
+///    detection on keeps every released page in its graveyard and
+///    neither feeds the pool nor draws from it (see RegionHeap).
+///
+/// Thread safety: every member function is safe from any thread; the
+/// counters are relaxed atomics (they are statistics, not
+/// synchronisation — the shard mutexes order the page hand-offs).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RML_RT_PAGEPOOL_H
+#define RML_RT_PAGEPOOL_H
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rml::rt {
+
+/// A point-in-time snapshot of the pool's counters.
+struct PagePoolStats {
+  uint64_t AcquireHits = 0;   // acquires served from the pool
+  uint64_t AcquireMisses = 0; // acquires that found the pool empty
+  uint64_t Releases = 0;      // pages accepted into the pool
+  uint64_t Trims = 0;         // pages freed (over capacity, or trim())
+  uint64_t FreePages = 0;     // pages currently pooled
+  uint64_t Capacity = 0;      // the bound (MaxPages)
+
+  /// Fraction of page demand served by reuse, in [0,1].
+  double reuseRatio() const {
+    uint64_t Total = AcquireHits + AcquireMisses;
+    return Total ? static_cast<double>(AcquireHits) / Total : 0.0;
+  }
+};
+
+/// A bounded, sharded free list of standard page buffers.
+class PagePool {
+public:
+  static constexpr size_t NumShards = 8;
+  static constexpr size_t DefaultMaxPages = 1024;
+
+  explicit PagePool(size_t MaxPages = DefaultMaxPages);
+  ~PagePool() = default;
+
+  PagePool(const PagePool &) = delete;
+  PagePool &operator=(const PagePool &) = delete;
+
+  /// A recycled standard page buffer, or null when the pool is empty
+  /// (the caller then allocates fresh). Counts a hit or a miss.
+  std::unique_ptr<uint64_t[]> acquire();
+
+  /// Hands a standard page buffer back. Frees it instead when the pool
+  /// already holds MaxPages pages (counted as a trim). \p Buf must be
+  /// exactly RegionHeap::PageWords words — oversized blocks bypass the
+  /// pool by contract.
+  void release(std::unique_ptr<uint64_t[]> Buf);
+
+  /// Frees every pooled page (counted as trims).
+  void trim();
+
+  PagePoolStats stats() const;
+  size_t freePages() const { return TotalFree.load(std::memory_order_relaxed); }
+  size_t capacity() const { return MaxPages; }
+
+private:
+  /// Padded so two shards' locks never share a cache line.
+  struct alignas(64) Shard {
+    std::mutex M;
+    std::vector<std::unique_ptr<uint64_t[]>> Free;
+  };
+
+  static size_t homeShard();
+
+  const size_t MaxPages;
+  std::array<Shard, NumShards> Shards;
+  /// Pages currently pooled, summed over shards; the capacity bound is
+  /// enforced on this counter so the total never exceeds MaxPages.
+  std::atomic<size_t> TotalFree{0};
+  std::atomic<uint64_t> Hits{0};
+  std::atomic<uint64_t> Misses{0};
+  std::atomic<uint64_t> Accepted{0};
+  std::atomic<uint64_t> Trims{0};
+};
+
+} // namespace rml::rt
+
+#endif // RML_RT_PAGEPOOL_H

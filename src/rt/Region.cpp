@@ -2,6 +2,8 @@
 
 #include "rt/Region.h"
 
+#include "rt/PagePool.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -14,6 +16,22 @@ RegionHeap::RegionHeap() {
   Stats.RegionsCreated = 1;
 }
 
+RegionHeap::~RegionHeap() {
+  // Recycle standard pages into the shared pool so the next request's
+  // heap reuses them. Quarantine under exact dangling detection: a
+  // detecting heap's pages (graveyard and live alike) never enter the
+  // pool, so no other heap can be handed a page the detector could
+  // still attribute to one of this heap's dead regions.
+  if (!SharedPool || RetainReleasedPages)
+    return;
+  for (Region &R : Regions)
+    for (Page &P : R.Pages)
+      if (P.Cap == PageWords)
+        SharedPool->release(std::move(P.Words));
+  for (Page &P : Pool)
+    SharedPool->release(std::move(P.Words));
+}
+
 RegionHeap::Page RegionHeap::newPage(size_t CapWords) {
   if (CapWords == PageWords && !Pool.empty()) {
     Page P = std::move(Pool.back());
@@ -24,6 +42,21 @@ RegionHeap::Page RegionHeap::newPage(size_t CapWords) {
     Stats.PeakHeapWords = std::max(Stats.PeakHeapWords,
                                    Stats.CurrentHeapWords);
     return P;
+  }
+  // The local free list is empty: try the cross-request pool before the
+  // allocator. Standard pages only; finite-region blocks bypass it.
+  if (CapWords == PageWords && SharedPool && !RetainReleasedPages) {
+    if (std::unique_ptr<uint64_t[]> Buf = SharedPool->acquire()) {
+      Page P;
+      P.Words = std::move(Buf);
+      P.Cap = PageWords;
+      P.Used = 0;
+      ++Stats.PagesFromSharedPool;
+      Stats.CurrentHeapWords += PageWords;
+      Stats.PeakHeapWords = std::max(Stats.PeakHeapWords,
+                                     Stats.CurrentHeapWords);
+      return P;
+    }
   }
   Page P;
   P.Words = std::make_unique<uint64_t[]>(CapWords);

@@ -31,6 +31,8 @@
 
 namespace rml::rt {
 
+class PagePool;
+
 /// Per-static-region runtime profile (the MLKit region profiler's
 /// per-region view): how many times the letregion executed and how many
 /// words were allocated into its instances.
@@ -53,7 +55,8 @@ struct HeapStats {
   uint64_t CopiedWords = 0;      // evacuated by the collector
   uint64_t RegionsCreated = 0;
   uint64_t FiniteRegionsCreated = 0;
-  uint64_t PagesAllocated = 0;
+  uint64_t PagesAllocated = 0;       // fresh pages from the allocator
+  uint64_t PagesFromSharedPool = 0;  // standard pages recycled via PagePool
 
   uint64_t peakBytes() const { return PeakHeapWords * 8; }
 };
@@ -85,7 +88,17 @@ public:
   /// with reuse on).
   bool RetainReleasedPages = false;
 
+  /// Optional process-wide pool of standard pages (cross-request reuse;
+  /// see rt/PagePool.h). Standard-page demand that misses the local free
+  /// list is served from here, and on heap destruction the heap's
+  /// standard pages are recycled into it. Quarantined whenever
+  /// RetainReleasedPages is on: exact dangling detection must be able to
+  /// attribute every released page to its dead region, so a detecting
+  /// heap neither feeds the pool nor draws from it.
+  PagePool *SharedPool = nullptr;
+
   explicit RegionHeap();
+  ~RegionHeap();
 
   /// Creates a region; returns its runtime handle. \p FiniteWords != 0
   /// requests a finite region with an exact-size block.

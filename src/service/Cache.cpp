@@ -2,6 +2,8 @@
 
 #include "service/Cache.h"
 
+#include <algorithm>
+
 using namespace rml;
 using namespace rml::service;
 
@@ -13,6 +15,7 @@ CachedCompileRef rml::service::compileShared(std::string_view Source,
   CC->Diagnostics = CC->Owner->diagnostics().str();
   if (CC->Unit)
     CC->Printed = CC->Owner->printProgram(*CC->Unit);
+  CC->Cost = std::max<size_t>(1, CC->Owner->arenaFootprint().total());
   return CC;
 }
 
@@ -33,17 +36,26 @@ void CompileCache::insert(const CacheKey &K, CachedCompileRef V) {
     return;
   std::lock_guard<std::mutex> Lock(M);
   ++C.Insertions;
+  size_t Cost = V ? V->Cost : 1;
   auto It = Map.find(K);
   if (It != Map.end()) {
     // Lost a compile race: keep the freshest value, refresh recency.
+    TotalCost -= It->second->second ? It->second->second->Cost : 1;
+    TotalCost += Cost;
     It->second->second = std::move(V);
     Lru.splice(Lru.begin(), Lru, It->second);
-    return;
+  } else {
+    Lru.emplace_front(K, std::move(V));
+    Map.emplace(Lru.front().first, Lru.begin());
+    TotalCost += Cost;
   }
-  Lru.emplace_front(K, std::move(V));
-  Map.emplace(Lru.front().first, Lru.begin());
-  while (Map.size() > Cap) {
-    Map.erase(Lru.back().first);
+  // Evict by count, then by summed arena footprint; the freshest entry
+  // is never evicted (see the class comment).
+  while (Map.size() > Cap ||
+         (CostCap != 0 && TotalCost > CostCap && Map.size() > 1)) {
+    const Node &Victim = Lru.back();
+    TotalCost -= Victim.second ? Victim.second->Cost : 1;
+    Map.erase(Victim.first);
     Lru.pop_back();
     ++C.Evictions;
   }
@@ -57,6 +69,11 @@ CompileCache::Counters CompileCache::counters() const {
 size_t CompileCache::size() const {
   std::lock_guard<std::mutex> Lock(M);
   return Map.size();
+}
+
+size_t CompileCache::totalCost() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return TotalCost;
 }
 
 std::vector<uint64_t> CompileCache::recencyHashes() const {

@@ -54,6 +54,11 @@ struct CachedCompile {
   std::string Diagnostics;
   /// printProgram() output, rendered once at compile time.
   std::string Printed;
+  /// Eviction weight: the arena nodes the frozen Owner holds
+  /// (Compiler::arenaFootprint().total(), at least 1). The cache bounds
+  /// the sum of these, not the entry count, so one huge program cannot
+  /// pin it.
+  size_t Cost = 1;
 
   bool ok() const { return Unit != nullptr; }
 
@@ -81,6 +86,13 @@ CachedCompileRef compileShared(std::string_view Source,
 /// Thread-safe LRU cache: unordered_map from CacheKey to a node of the
 /// recency list; front of the list is most recently used. Capacity 0
 /// disables caching (every lookup misses, insert is a no-op).
+///
+/// Eviction is cost-aware: besides the entry-count capacity, an
+/// optional CostCapacity bounds the summed CachedCompile::Cost (arena
+/// footprint) of the resident entries, evicting from the LRU end until
+/// the bound holds again. The most recently inserted entry always
+/// stays, even when it alone exceeds the bound — a cache that rejects
+/// its newest entry would re-compile it on every request.
 class CompileCache {
 public:
   struct Counters {
@@ -90,7 +102,8 @@ public:
     uint64_t Evictions = 0;
   };
 
-  explicit CompileCache(size_t Capacity) : Cap(Capacity) {}
+  explicit CompileCache(size_t Capacity, size_t CostCapacity = 0)
+      : Cap(Capacity), CostCap(CostCapacity) {}
 
   /// Returns the cached compilation and refreshes its recency, or null.
   /// Counts a hit or a miss.
@@ -105,6 +118,9 @@ public:
   Counters counters() const;
   size_t size() const;
   size_t capacity() const { return Cap; }
+  size_t costCapacity() const { return CostCap; }
+  /// Summed Cost of the resident entries.
+  size_t totalCost() const;
 
   /// Keys from most to least recently used (testing / introspection).
   std::vector<uint64_t> recencyHashes() const;
@@ -114,7 +130,9 @@ private:
 
   mutable std::mutex M;
   size_t Cap;
-  std::list<Node> Lru; // front = most recent
+  size_t CostCap;       // 0 = unbounded cost
+  size_t TotalCost = 0; // summed Cost of resident entries
+  std::list<Node> Lru;  // front = most recent
   std::unordered_map<CacheKey, std::list<Node>::iterator, CacheKeyHash> Map;
   Counters C;
 };

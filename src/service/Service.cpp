@@ -23,6 +23,13 @@ std::string ServiceStats::json() const {
       << ",\"workers\":" << Workers << ",\"gc_count\":" << TotalGcCount
       << ",\"alloc_words\":" << TotalAllocWords
       << ",\"copied_words\":" << TotalCopiedWords
+      << ",\"pool_hits\":" << PoolAcquireHits
+      << ",\"pool_misses\":" << PoolAcquireMisses
+      << ",\"pool_releases\":" << PoolReleases
+      << ",\"pool_trims\":" << PoolTrims
+      << ",\"pool_free_pages\":" << PoolFreePages
+      << ",\"pool_capacity\":" << PoolCapacity
+      << ",\"pool_reuse\":" << poolReuseRatio()
       << ",\"busy_nanos\":" << BusyNanos << ",\"uptime_nanos\":" << UptimeNanos
       << ",\"utilization\":" << utilization() << "}";
   return Out.str();
@@ -33,8 +40,10 @@ std::string ServiceStats::json() const {
 //===----------------------------------------------------------------------===//
 
 Service::Service(ServiceConfig Cfg)
-    : Cfg(Cfg), Cache(Cfg.CacheCapacity),
+    : Cfg(Cfg), Cache(Cfg.CacheCapacity, Cfg.CacheCostCapacity),
       Started(std::chrono::steady_clock::now()) {
+  if (Cfg.PagePoolPages != 0)
+    Pool = std::make_unique<rt::PagePool>(Cfg.PagePoolPages);
   unsigned N = Cfg.effectiveWorkers();
   Threads.reserve(N);
   for (unsigned I = 0; I < N; ++I)
@@ -157,7 +166,12 @@ Response Service::process(const Request &Req) {
     Resp.Schemes.emplace_back(Name, CC->schemeOf(Name));
 
   if (Req.Run) {
-    rt::RunResult R = CC->run(Req.EvalOpts);
+    rt::EvalOptions EvalOpts = Req.EvalOpts;
+    // Route the run's heap through the shared pool — unless the request
+    // asks for exact dangling detection, which quarantines it.
+    if (Pool && !EvalOpts.RetainReleasedPages)
+      EvalOpts.SharedPool = Pool.get();
+    rt::RunResult R = CC->run(EvalOpts);
     Resp.Ran = true;
     Resp.Outcome = R.Outcome;
     Resp.Output = std::move(R.Output);
@@ -180,6 +194,15 @@ ServiceStats Service::stats() const {
   Out.CacheMisses = CC.Misses;
   Out.CacheEvictions = CC.Evictions;
   Out.Workers = Cfg.effectiveWorkers();
+  if (Pool) {
+    rt::PagePoolStats PS = Pool->stats();
+    Out.PoolAcquireHits = PS.AcquireHits;
+    Out.PoolAcquireMisses = PS.AcquireMisses;
+    Out.PoolReleases = PS.Releases;
+    Out.PoolTrims = PS.Trims;
+    Out.PoolFreePages = PS.FreePages;
+    Out.PoolCapacity = PS.Capacity;
+  }
   {
     std::lock_guard<std::mutex> QLock(QueueMutex);
     Out.QueueDepth = Queue.size();

@@ -16,7 +16,9 @@
 ///                              └────────► immutable CachedCompile)
 ///                                                  │
 ///                                         region runtime + GC
-///                                         (one private heap per run)
+///                                         (one private heap per run;
+///                                          standard pages recycled
+///                                          through a shared PagePool)
 ///
 /// Requests carry source + CompileOptions + optional EvalOptions; the
 /// response carries diagnostics, the printed program, requested scheme
@@ -32,6 +34,8 @@
 #define RML_SERVICE_SERVICE_H
 
 #include "service/Cache.h"
+
+#include "rt/PagePool.h"
 
 #include <condition_variable>
 #include <cstdint>
@@ -86,6 +90,15 @@ struct ServiceConfig {
   size_t QueueCapacity = 256;
   /// LRU compile-cache entries; 0 disables caching.
   size_t CacheCapacity = 128;
+  /// Bound on the cache's summed arena footprint (nodes across frozen
+  /// per-entry Compilers); 0 leaves cost unbounded (entry count only).
+  size_t CacheCostCapacity = 0;
+  /// Standard region pages the cross-request PagePool may hold; worker
+  /// runs draw pages from it and recycle them back on heap teardown.
+  /// 0 disables pooling (every run round-trips the allocator). Requests
+  /// that ask for RetainReleasedPages dangling detection bypass the
+  /// pool regardless (see rt/PagePool.h).
+  size_t PagePoolPages = rt::PagePool::DefaultMaxPages;
 
   unsigned effectiveWorkers() const {
     if (Workers)
@@ -113,9 +126,22 @@ struct ServiceStats {
   uint64_t TotalGcCount = 0;
   uint64_t TotalAllocWords = 0;
   uint64_t TotalCopiedWords = 0;
+  /// Cross-request page pool counters (all zero when pooling is off).
+  uint64_t PoolAcquireHits = 0;
+  uint64_t PoolAcquireMisses = 0;
+  uint64_t PoolReleases = 0;
+  uint64_t PoolTrims = 0;
+  uint64_t PoolFreePages = 0;
+  uint64_t PoolCapacity = 0;
   /// Nanoseconds workers spent processing (vs idle) and service uptime.
   uint64_t BusyNanos = 0;
   uint64_t UptimeNanos = 0;
+
+  /// Fraction of standard-page demand served by pool reuse, in [0,1].
+  double poolReuseRatio() const {
+    uint64_t Total = PoolAcquireHits + PoolAcquireMisses;
+    return Total ? static_cast<double>(PoolAcquireHits) / Total : 0.0;
+  }
 
   /// Fraction of worker-thread time spent processing, in [0,1].
   double utilization() const {
@@ -151,6 +177,8 @@ public:
 
   ServiceStats stats() const;
   const ServiceConfig &config() const { return Cfg; }
+  /// The cross-request page pool (null when PagePoolPages == 0).
+  const rt::PagePool *pagePool() const { return Pool.get(); }
 
 private:
   struct Job {
@@ -163,6 +191,10 @@ private:
 
   ServiceConfig Cfg;
   CompileCache Cache;
+  /// Shared across all workers' run heaps; must outlive every run, so
+  /// it is declared before (destroyed after) the worker threads, and
+  /// shutdown() joins them before any member dies anyway.
+  std::unique_ptr<rt::PagePool> Pool;
   std::vector<std::thread> Threads;
   std::chrono::steady_clock::time_point Started;
 

@@ -2,12 +2,18 @@
 //
 // The example programs under examples/programs/ keep working: the
 // tutorial and primes run clean under rg, and figure1.mml reproduces the
-// paper's crash under rg-.
+// paper's crash under rg-. The differential suite at the bottom runs
+// every shipped .mml under rg and rg-, each with the cross-request page
+// pool on and off, and demands the four configurations agree on every
+// observable.
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/Pipeline.h"
+#include "rt/PagePool.h"
 
+#include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <gtest/gtest.h>
 #include <sstream>
@@ -70,6 +76,67 @@ TEST(MmlFiles, Figure1CrashesUnderRgMinusOnly) {
   auto URgm = CRgm.compile(Src, Opts);
   ASSERT_NE(URgm, nullptr) << CRgm.diagnostics().str();
   EXPECT_EQ(CRgm.run(*URgm, E).Outcome, rt::RunOutcome::DanglingPointer);
+}
+
+//===----------------------------------------------------------------------===//
+// Differential: pool on vs pool off, under rg and rg-.
+//===----------------------------------------------------------------------===//
+
+/// Run `Src` under `Strat`, optionally drawing heap pages from `Pool`.
+rt::RunResult runWithPool(const std::string &Src, Strategy Strat,
+                          rt::PagePool *Pool) {
+  Compiler C;
+  CompileOptions Opts;
+  Opts.Strat = Strat;
+  auto Unit = C.compile(Src, Opts);
+  EXPECT_NE(Unit, nullptr) << C.diagnostics().str();
+  if (!Unit) {
+    rt::RunResult Bad;
+    Bad.Outcome = rt::RunOutcome::RuntimeError;
+    return Bad;
+  }
+  rt::EvalOptions E;
+  E.GcThresholdWords = 2048; // several collections per program
+  E.SharedPool = Pool;
+  return C.run(*Unit, E);
+}
+
+TEST(MmlFiles, EveryProgramAgreesWithAndWithoutThePool) {
+  // Every shipped example, discovered rather than listed, so new .mml
+  // files are covered the day they land.
+  std::vector<std::string> Files;
+  for (const auto &Entry : std::filesystem::directory_iterator(
+           std::string(RML_SOURCE_DIR) + "/examples/programs"))
+    if (Entry.path().extension() == ".mml")
+      Files.push_back(Entry.path().string());
+  std::sort(Files.begin(), Files.end());
+  ASSERT_GE(Files.size(), 3u);
+
+  // One pool across the whole matrix: later programs run on pages the
+  // earlier ones recycled, the cross-request scenario.
+  rt::PagePool SharedPool(512);
+
+  for (const std::string &Path : Files) {
+    SCOPED_TRACE(Path);
+    std::string Src = readFile(Path);
+    for (Strategy Strat : {Strategy::Rg, Strategy::RgMinus}) {
+      SCOPED_TRACE(strategyName(Strat));
+      rt::RunResult Fresh = runWithPool(Src, Strat, nullptr);
+      for (int Rep = 0; Rep < 2; ++Rep) {
+        rt::RunResult Pooled = runWithPool(Src, Strat, &SharedPool);
+        EXPECT_EQ(Pooled.Outcome, Fresh.Outcome) << "rep " << Rep;
+        EXPECT_EQ(Pooled.Output, Fresh.Output) << "rep " << Rep;
+        EXPECT_EQ(Pooled.ResultText, Fresh.ResultText) << "rep " << Rep;
+        EXPECT_EQ(Pooled.Heap.AllocWords, Fresh.Heap.AllocWords)
+            << "rep " << Rep;
+        EXPECT_EQ(Pooled.Heap.GcCount, Fresh.Heap.GcCount) << "rep " << Rep;
+      }
+    }
+  }
+
+  // The matrix genuinely recycled pages across programs.
+  EXPECT_GT(SharedPool.stats().AcquireHits, 0u);
+  EXPECT_LE(SharedPool.freePages(), SharedPool.capacity());
 }
 
 } // namespace

@@ -1,0 +1,160 @@
+//===- tests/rt_stress_test.cpp - Region-runtime stress over a pool -------===//
+//
+// Seeded-PRNG stress for the cross-request page pool: eight threads
+// each run dozens of mixed Figure-9 corpus programs over ONE shared
+// rt::PagePool, with the GC threshold low enough that every run traces
+// (and validates) live pointers across several collections. Every
+// pooled run must be bit-identical to its fresh-heap baseline — same
+// outcome, output, final value, allocation count and GC count — and no
+// run may report a dangling pointer: recycled pages must be
+// indistinguishable from fresh ones. Labelled `pool` in ctest and
+// expected to be clean under -DRML_SANITIZE=thread (the pool is the
+// only state shared between the threads' heaps).
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/PagePool.h"
+
+#include "bench/Programs.h"
+#include "service/Cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+#include <thread>
+
+using namespace rml;
+using namespace rml::service;
+
+namespace {
+
+constexpr int NumThreads = 8;
+constexpr int RunsPerThread = 30; // 240 pooled runs in total
+
+/// Corpus programs small enough for a TSan-instrumented stress run but
+/// allocation-heavy enough to churn pages and trigger collections.
+const char *StressCorpus[] = {"fib", "nrev", "strings", "refs", "hof"};
+
+struct Baseline {
+  rt::RunOutcome Outcome;
+  std::string Output;
+  std::string ResultText;
+  uint64_t AllocWords;
+  uint64_t GcCount;
+  uint64_t Steps;
+};
+
+rt::EvalOptions stressOptions() {
+  rt::EvalOptions E;
+  E.GcThresholdWords = 2048; // several collections per run
+  return E;
+}
+
+TEST(RtStressTest, EightThreadsOneSharedPoolBitIdenticalRuns) {
+  // One frozen compilation per program, shared read-only by all
+  // threads (the service's sharing model), plus a fresh-heap baseline.
+  std::vector<CachedCompileRef> Units;
+  std::vector<Baseline> Baselines;
+  uint64_t TotalBaselineGcs = 0;
+  for (const char *Name : StressCorpus) {
+    const bench::BenchProgram *P = bench::findBenchmark(Name);
+    ASSERT_NE(P, nullptr) << Name;
+    CachedCompileRef CC = compileShared(P->Source, CompileOptions{});
+    ASSERT_TRUE(CC->ok()) << Name << ": " << CC->Diagnostics;
+    rt::RunResult R = CC->run(stressOptions());
+    ASSERT_EQ(R.Outcome, rt::RunOutcome::Ok) << Name << ": " << R.Error;
+    Baselines.push_back({R.Outcome, R.Output, R.ResultText,
+                         R.Heap.AllocWords, R.Heap.GcCount, R.Steps});
+    TotalBaselineGcs += R.Heap.GcCount;
+    Units.push_back(std::move(CC));
+  }
+  ASSERT_GT(TotalBaselineGcs, 0u) << "corpus must exercise the collector";
+
+  rt::PagePool Pool(256);
+  std::atomic<int> Mismatches{0};
+  std::atomic<int> GcFailures{0};
+
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      // Seeded per thread: the schedule is reproducible, the
+      // interleaving is not — which is the point.
+      std::mt19937 Rng(0xE15A + T);
+      for (int I = 0; I < RunsPerThread; ++I) {
+        size_t Idx = Rng() % Units.size();
+        rt::EvalOptions E = stressOptions();
+        E.SharedPool = &Pool;
+        rt::RunResult R = Units[Idx]->run(E);
+        if (R.Outcome == rt::RunOutcome::DanglingPointer) {
+          ++GcFailures;
+          continue;
+        }
+        const Baseline &B = Baselines[Idx];
+        if (R.Outcome != B.Outcome || R.Output != B.Output ||
+            R.ResultText != B.ResultText ||
+            R.Heap.AllocWords != B.AllocWords ||
+            R.Heap.GcCount != B.GcCount || R.Steps != B.Steps)
+          ++Mismatches;
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  EXPECT_EQ(GcFailures.load(), 0) << "recycled pages broke GC validation";
+  EXPECT_EQ(Mismatches.load(), 0);
+
+  rt::PagePoolStats S = Pool.stats();
+  // The pool actually carried the load: later runs reuse earlier runs'
+  // pages, and the bound was respected throughout.
+  EXPECT_GT(S.AcquireHits, 0u);
+  EXPECT_EQ(S.Releases, S.AcquireHits + S.FreePages + 0u)
+      << "every pooled page was either re-acquired or is still free";
+  EXPECT_LE(S.FreePages, S.Capacity);
+  EXPECT_EQ(S.Capacity, 256u);
+}
+
+TEST(RtStressTest, MixedDetectionAndPooledTrafficStaySeparate) {
+  // Half the threads run pooled rg traffic, half run rg- with exact
+  // dangling detection (quarantined from the pool). The detecting runs
+  // must still crash exactly; the pooled runs must still be clean.
+  const bench::BenchProgram *P = bench::findBenchmark("nrev");
+  ASSERT_NE(P, nullptr);
+  CachedCompileRef Ok = compileShared(P->Source, CompileOptions{});
+  ASSERT_TRUE(Ok->ok()) << Ok->Diagnostics;
+  CompileOptions RgMinusOpts;
+  RgMinusOpts.Strat = Strategy::RgMinus;
+  CachedCompileRef Crash =
+      compileShared(bench::danglingPointerProgram(), RgMinusOpts);
+  ASSERT_TRUE(Crash->ok()) << Crash->Diagnostics;
+
+  rt::RunResult OkBase = Ok->run(stressOptions());
+  ASSERT_EQ(OkBase.Outcome, rt::RunOutcome::Ok) << OkBase.Error;
+
+  rt::PagePool Pool(128);
+  std::atomic<int> Failures{0};
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      for (int I = 0; I < 12; ++I) {
+        rt::EvalOptions E = stressOptions();
+        E.SharedPool = &Pool;
+        if (T % 2 == 0) {
+          rt::RunResult R = Ok->run(E);
+          if (R.Outcome != rt::RunOutcome::Ok ||
+              R.ResultText != OkBase.ResultText)
+            ++Failures;
+        } else {
+          E.RetainReleasedPages = true; // quarantines the pool
+          rt::RunResult R = Crash->run(E);
+          if (R.Outcome != rt::RunOutcome::DanglingPointer)
+            ++Failures;
+        }
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Failures.load(), 0);
+}
+
+} // namespace

@@ -197,6 +197,56 @@ TEST(CompileCacheTest, CapacityEvictionOrder) {
   EXPECT_EQ(C.Misses, 1u); // K2 after eviction
 }
 
+TEST(CompileCacheTest, CostAwareEvictionOrder) {
+  CompileOptions Opts;
+  CachedCompileRef Small1 = compileShared("1", Opts);
+  CachedCompileRef Small2 = compileShared("2", Opts);
+  CachedCompileRef Big = compileShared(ComposeProgram, Opts);
+  ASSERT_TRUE(Small1->ok() && Small2->ok() && Big->ok());
+  // Cost is the frozen owner's arena footprint: same-shape programs
+  // weigh the same, and the real program dwarfs the literals.
+  ASSERT_EQ(Small1->Cost, Small2->Cost);
+  ASSERT_GT(Big->Cost, 2 * Small1->Cost);
+
+  // Entry capacity far above what's inserted: only the cost bound can
+  // evict. Room for one small entry plus the big one.
+  CompileCache Cache(10, Small1->Cost + Big->Cost);
+  CacheKey K1 = CacheKey::of("1", Opts), K2 = CacheKey::of("2", Opts),
+           KBig = CacheKey::of(ComposeProgram, Opts);
+  Cache.insert(K1, Small1);
+  Cache.insert(K2, Small2);
+  EXPECT_EQ(Cache.totalCost(), 2 * Small1->Cost);
+  EXPECT_EQ(Cache.counters().Evictions, 0u);
+
+  // Touch K1 so K2 is the LRU victim, then let the big entry blow the
+  // cost budget: K2 goes, K1 stays — eviction follows recency but is
+  // triggered by weight, not count.
+  EXPECT_NE(Cache.lookup(K1), nullptr);
+  Cache.insert(KBig, Big);
+  EXPECT_EQ(Cache.size(), 2u);
+  EXPECT_EQ(Cache.lookup(K2), nullptr);
+  EXPECT_NE(Cache.lookup(K1), nullptr);
+  EXPECT_NE(Cache.lookup(KBig), nullptr);
+  EXPECT_EQ(Cache.counters().Evictions, 1u);
+  EXPECT_EQ(Cache.totalCost(), Small1->Cost + Big->Cost);
+  EXPECT_LE(Cache.totalCost(), Cache.costCapacity());
+}
+
+TEST(CompileCacheTest, FreshestEntrySurvivesAnImpossibleCostBound) {
+  // A bound smaller than any entry: the newest insert still stays
+  // resident (evicting it would force a recompile per request), while
+  // every older entry is pushed out.
+  CompileOptions Opts;
+  CompileCache Cache(10, /*CostCapacity=*/1);
+  CacheKey K1 = CacheKey::of("1", Opts), K2 = CacheKey::of("2", Opts);
+  Cache.insert(K1, compileShared("1", Opts));
+  EXPECT_EQ(Cache.size(), 1u); // alone over budget, but kept
+  Cache.insert(K2, compileShared("2", Opts));
+  EXPECT_EQ(Cache.size(), 1u);
+  EXPECT_EQ(Cache.lookup(K1), nullptr);
+  EXPECT_NE(Cache.lookup(K2), nullptr);
+}
+
 TEST(CompileCacheTest, OptionsEnterTheKey) {
   CompileOptions Rg, RgMinus, NoCheck;
   RgMinus.Strat = Strategy::RgMinus;
@@ -410,7 +460,9 @@ TEST(ServiceTest, StatsJsonShape) {
   for (const char *Key :
        {"\"submitted\":2", "\"completed\":2", "\"cache_hits\":1",
         "\"cache_misses\":1", "\"workers\":1", "\"gc_count\":",
-        "\"alloc_words\":", "\"queue_high_water\":", "\"utilization\":"})
+        "\"alloc_words\":", "\"queue_high_water\":", "\"utilization\":",
+        "\"pool_hits\":", "\"pool_misses\":", "\"pool_releases\":",
+        "\"pool_capacity\":1024", "\"pool_reuse\":"})
     EXPECT_NE(J.find(Key), std::string::npos) << J;
   EXPECT_EQ(J.find('\n'), std::string::npos); // one line
 }
@@ -433,6 +485,52 @@ TEST(ServiceTest, AggregatesGcCountsAcrossRequests) {
   ServiceStats S = Svc.stats();
   EXPECT_EQ(S.TotalGcCount, 6 * Solo.Heap.GcCount);
   EXPECT_EQ(S.TotalAllocWords, 6 * Solo.Heap.AllocWords);
+}
+
+TEST(ServiceTest, RunsRecyclePagesThroughTheSharedPool) {
+  // Sequential requests on one worker: the first run's heap teardown
+  // feeds the pool, the second draws from it.
+  ServiceConfig Cfg;
+  Cfg.Workers = 1;
+  Cfg.QueueCapacity = 4;
+  Cfg.CacheCapacity = 4;
+  Service Svc(Cfg);
+  ASSERT_NE(Svc.pagePool(), nullptr);
+
+  Request Req;
+  Req.Source = ComposeProgram;
+  Req.EvalOpts.GcThresholdWords = 2048;
+  Response First = Svc.submit(Req).get();
+  ASSERT_EQ(First.Outcome, rt::RunOutcome::Ok) << First.Error;
+  ServiceStats S0 = Svc.stats();
+  EXPECT_GT(S0.PoolReleases, 0u) << "teardown recycled no pages";
+
+  Response Second = Svc.submit(Req).get();
+  ASSERT_EQ(Second.Outcome, rt::RunOutcome::Ok) << Second.Error;
+  EXPECT_EQ(Second.ResultText, First.ResultText);
+  EXPECT_EQ(Second.Heap.AllocWords, First.Heap.AllocWords);
+  ServiceStats S1 = Svc.stats();
+  EXPECT_GT(S1.PoolAcquireHits, S0.PoolAcquireHits);
+  EXPECT_GT(S1.poolReuseRatio(), 0.0);
+}
+
+TEST(ServiceTest, PoolingCanBeDisabled) {
+  ServiceConfig Cfg;
+  Cfg.Workers = 1;
+  Cfg.QueueCapacity = 4;
+  Cfg.CacheCapacity = 4;
+  Cfg.PagePoolPages = 0;
+  Service Svc(Cfg);
+  EXPECT_EQ(Svc.pagePool(), nullptr);
+
+  Request Req;
+  Req.Source = ComposeProgram;
+  Req.EvalOpts.GcThresholdWords = 2048;
+  Response R = Svc.submit(Req).get();
+  ASSERT_EQ(R.Outcome, rt::RunOutcome::Ok) << R.Error;
+  ServiceStats S = Svc.stats();
+  EXPECT_EQ(S.PoolAcquireHits + S.PoolAcquireMisses + S.PoolReleases, 0u);
+  EXPECT_EQ(S.PoolCapacity, 0u);
 }
 
 } // namespace

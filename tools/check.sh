@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+#===- tools/check.sh - Tier-1 verify + TSan pool/service gate ------------===#
+#
+# The checks a change must pass before it lands:
+#
+#   1. configure + build + full ctest in build/ (the tier-1 suite), and
+#   2. a -DRML_SANITIZE=thread build in build-tsan/ running the
+#      concurrency-sensitive labels: the service layer and the
+#      cross-request page pool (including the 8-thread region-runtime
+#      stress test).
+#
+# Usage: tools/check.sh            # from anywhere inside the repo
+#
+#===----------------------------------------------------------------------===#
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "== tier 1: build + full test suite =="
+cmake -B "$ROOT/build" -S "$ROOT"
+cmake --build "$ROOT/build" -j "$JOBS"
+ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS"
+
+echo "== tsan: service + pool labels =="
+cmake -B "$ROOT/build-tsan" -S "$ROOT" -DRML_SANITIZE=thread
+cmake --build "$ROOT/build-tsan" -j "$JOBS"
+ctest --test-dir "$ROOT/build-tsan" -L 'service|pool' --output-on-failure
+
+echo "== check.sh: all green =="

@@ -65,7 +65,10 @@ void usage() {
       "  --jobs N               service worker threads (default: one per\n"
       "                         hardware thread)\n"
       "  --cache N              service compile-cache entries "
-      "(default 128)\n");
+      "(default 128)\n"
+      "  --page-pool N          standard pages the cross-request page\n"
+      "                         pool may hold; 0 disables pooling\n"
+      "                         (default 1024; --serve-batch only)\n");
 }
 
 std::optional<std::string> readFile(const char *Path) {
@@ -108,8 +111,8 @@ std::vector<std::string> collectBatchPaths(const std::string &Spec) {
 /// The --serve-batch driver: every program goes through the concurrent
 /// service; results print in submission order.
 int serveBatch(const std::string &Spec, unsigned Jobs, size_t CacheCap,
-               const CompileOptions &Opts, const rt::EvalOptions &EvalOpts,
-               bool Stats) {
+               size_t PoolPages, const CompileOptions &Opts,
+               const rt::EvalOptions &EvalOpts, bool Stats) {
   std::vector<std::string> Paths = collectBatchPaths(Spec);
   if (Paths.empty()) {
     std::fprintf(stderr, "rmlc: --serve-batch '%s' names no .mml programs\n",
@@ -120,6 +123,7 @@ int serveBatch(const std::string &Spec, unsigned Jobs, size_t CacheCap,
   service::ServiceConfig Cfg;
   Cfg.Workers = Jobs;
   Cfg.CacheCapacity = CacheCap;
+  Cfg.PagePoolPages = PoolPages;
   service::Service Svc(Cfg);
 
   std::vector<std::pair<std::string, std::future<service::Response>>> Futures;
@@ -164,14 +168,17 @@ int serveBatch(const std::string &Spec, unsigned Jobs, size_t CacheCap,
   service::ServiceStats S = Svc.stats();
   std::printf("%zu program(s), %d failure(s); %llu cache hit(s), "
               "%llu miss(es); queue high-water %llu; %.0f%% worker "
-              "utilization; %llu gc run(s), %llu words allocated\n",
+              "utilization; %llu gc run(s), %llu words allocated; "
+              "%.0f%% page reuse (%llu pooled page(s) held)\n",
               Paths.size(), Failures,
               static_cast<unsigned long long>(S.CacheHits),
               static_cast<unsigned long long>(S.CacheMisses),
               static_cast<unsigned long long>(S.QueueHighWater),
               100.0 * S.utilization(),
               static_cast<unsigned long long>(S.TotalGcCount),
-              static_cast<unsigned long long>(S.TotalAllocWords));
+              static_cast<unsigned long long>(S.TotalAllocWords),
+              100.0 * S.poolReuseRatio(),
+              static_cast<unsigned long long>(S.PoolFreePages));
   if (Stats)
     std::printf("%s\n", S.json().c_str());
   return Failures == 0 ? 0 : 1;
@@ -189,6 +196,7 @@ int main(int Argc, char **Argv) {
   std::string BatchSpec;
   unsigned Jobs = 0;
   size_t CacheCap = 128;
+  size_t PoolPages = rt::PagePool::DefaultMaxPages; // on by default
 
   for (int I = 1; I < Argc; ++I) {
     const char *A = Argv[I];
@@ -246,6 +254,10 @@ int main(int Argc, char **Argv) {
       Jobs = static_cast<unsigned>(std::strtoul(Next(), nullptr, 10));
     } else if (!std::strcmp(A, "--cache")) {
       CacheCap = std::strtoull(Next(), nullptr, 10);
+    } else if (!std::strcmp(A, "--page-pool")) {
+      PoolPages = std::strtoull(Next(), nullptr, 10);
+    } else if (!std::strncmp(A, "--page-pool=", 12)) {
+      PoolPages = std::strtoull(A + 12, nullptr, 10);
     } else if (!std::strcmp(A, "-e")) {
       Source = Next();
       HaveSource = true;
@@ -267,7 +279,8 @@ int main(int Argc, char **Argv) {
     }
   }
   if (!BatchSpec.empty())
-    return serveBatch(BatchSpec, Jobs, CacheCap, Opts, EvalOpts, Stats);
+    return serveBatch(BatchSpec, Jobs, CacheCap, PoolPages, Opts, EvalOpts,
+                      Stats);
   if (!HaveSource) {
     usage();
     return 2;
