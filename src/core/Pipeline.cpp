@@ -4,52 +4,135 @@
 
 using namespace rml;
 
+//===----------------------------------------------------------------------===//
+// The phase registry and the individual steps
+//===----------------------------------------------------------------------===//
+
+const std::vector<Compiler::PhaseDef> &Compiler::staticPhaseRegistry() {
+  // Const and magic-static-initialised: safe to read from any number of
+  // threads (see the thread-safety contract in Pipeline.h).
+  static const std::vector<PhaseDef> Registry = {
+      {"parse", &Compiler::phaseParse},
+      {"typecheck", &Compiler::phaseTypecheck},
+      {"spurious", &Compiler::phaseSpurious},
+      {"infer", &Compiler::phaseInfer},
+      {"check", &Compiler::phaseCheck},
+      {"multiplicity", &Compiler::phaseMultiplicity},
+      {"kinds", &Compiler::phaseKinds},
+      {"drops", &Compiler::phaseDrops},
+  };
+  return Registry;
+}
+
+std::vector<std::string> Compiler::staticPhaseNames() {
+  std::vector<std::string> Names;
+  Names.reserve(staticPhaseRegistry().size());
+  for (const PhaseDef &PD : staticPhaseRegistry())
+    Names.push_back(PD.Name);
+  return Names;
+}
+
+bool Compiler::phaseParse(std::string_view Source, CompiledUnit &Unit) {
+  std::optional<Program> P = parseString(Source, Ast, Names, Diags);
+  if (!P)
+    return false;
+  Unit.Ast = std::move(*P);
+  return true;
+}
+
+bool Compiler::phaseTypecheck(std::string_view, CompiledUnit &Unit) {
+  return checkProgram(Unit.Ast, Types, Names, Diags, Unit.Types);
+}
+
+bool Compiler::phaseSpurious(std::string_view, CompiledUnit &Unit) {
+  Unit.Spurious = analyzeSpurious(Unit.Ast, Unit.Types);
+  return true;
+}
+
+bool Compiler::phaseInfer(std::string_view, CompiledUnit &Unit) {
+  InferOptions IOpts;
+  IOpts.Strat = Unit.Options.Strat;
+  IOpts.Spurious = Unit.Options.Spurious;
+  std::optional<InferResult> Inf =
+      inferRegions(Unit.Ast, Unit.Types, Unit.Spurious, IOpts, RTypes,
+                   RExprs, Names, Diags);
+  if (!Inf)
+    return false;
+  Unit.Inferred = std::move(*Inf);
+  return true;
+}
+
+bool Compiler::phaseCheck(std::string_view, CompiledUnit &Unit) {
+  // The GC-safety side conditions are exactly what rg guarantees; the
+  // rg- and r strategies produce Tofte-Talpin-correct programs that may
+  // harbour dangling pointers, so they are checked with safety off.
+  GcSafety Safety =
+      Unit.Options.Strat == Strategy::Rg ? GcSafety::On : GcSafety::Off;
+  Unit.Checked =
+      checkRProgram(Unit.Inferred.Prog, RTypes, Names, Diags, Safety);
+  return Unit.Checked.has_value();
+}
+
+bool Compiler::phaseMultiplicity(std::string_view, CompiledUnit &Unit) {
+  Unit.Mult = analyzeMultiplicity(Unit.Inferred.Prog);
+  return true;
+}
+
+bool Compiler::phaseKinds(std::string_view, CompiledUnit &Unit) {
+  Unit.Kinds = analyzeRegionKinds(Unit.Inferred.Prog);
+  return true;
+}
+
+bool Compiler::phaseDrops(std::string_view, CompiledUnit &Unit) {
+  Unit.Drops = analyzeDropRegions(Unit.Inferred.Prog);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// The phase manager
+//===----------------------------------------------------------------------===//
+
 std::unique_ptr<CompiledUnit> Compiler::compile(std::string_view Source,
                                                 const CompileOptions &Opts) {
   Diags.clear();
+  LastProfiles.clear();
   auto Unit = std::make_unique<CompiledUnit>();
   Unit->Options = Opts;
 
-  std::optional<Program> P = parseString(Source, Ast, Names, Diags);
-  if (!P)
-    return nullptr;
-  Unit->Ast = std::move(*P);
-
-  if (!checkProgram(Unit->Ast, Types, Names, Diags, Unit->Types))
-    return nullptr;
-
-  Unit->Spurious = analyzeSpurious(Unit->Ast, Unit->Types);
-
-  InferOptions IOpts;
-  IOpts.Strat = Opts.Strat;
-  IOpts.Spurious = Opts.Spurious;
-  std::optional<InferResult> Inf =
-      inferRegions(Unit->Ast, Unit->Types, Unit->Spurious, IOpts, RTypes,
-                   RExprs, Names, Diags);
-  if (!Inf)
-    return nullptr;
-  Unit->Inferred = std::move(*Inf);
-
-  if (Opts.Check) {
-    // The GC-safety side conditions are exactly what rg guarantees; the
-    // rg- and r strategies produce Tofte-Talpin-correct programs that may
-    // harbour dangling pointers, so they are checked with safety off.
-    GcSafety Safety =
-        Opts.Strat == Strategy::Rg ? GcSafety::On : GcSafety::Off;
-    Unit->Checked = checkRProgram(Unit->Inferred.Prog, RTypes, Names, Diags,
-                                  Safety);
-    if (!Unit->Checked)
-      return nullptr;
+  for (const PhaseDef &PD : staticPhaseRegistry()) {
+    size_t NodesBefore = arenaFootprint().total();
+    size_t DiagsBefore = Diags.all().size();
+    // The checker is the one optional phase; it stays in the profile
+    // list (the phase shape is stable across options) marked Skipped.
+    bool Skip = PD.Run == &Compiler::phaseCheck && !Opts.Check;
+    bool Ok = true;
+    {
+      PhaseTimer Timer(PD.Name, Sink);
+      if (!Skip)
+        Ok = (this->*PD.Run)(Source, *Unit);
+      PhaseProfile &P = Timer.stop();
+      if (Skip) {
+        // A skipped phase costs nothing: the few clock ticks the timer
+        // itself took would otherwise leak into every aggregate.
+        P.Skipped = true;
+        P.WallNanos = 0;
+      }
+      P.DiagnosticsEmitted = Diags.all().size() - DiagsBefore;
+      P.ArenaNodeDelta = arenaFootprint().total() - NodesBefore;
+      LastProfiles.push_back(P);
+      // Timer's destructor forwards the finished profile to the sink.
+    }
+    if (!Ok)
+      return nullptr; // early exit: later phases never run or record
   }
 
-  Unit->Mult = analyzeMultiplicity(Unit->Inferred.Prog);
-  Unit->Kinds = analyzeRegionKinds(Unit->Inferred.Prog);
-  Unit->Drops = analyzeDropRegions(Unit->Inferred.Prog);
+  Unit->Profiles = LastProfiles;
   return Unit;
 }
 
 rt::RunResult Compiler::run(const CompiledUnit &Unit,
                             rt::EvalOptions EvalOpts) const {
+  PhaseTimer Timer(RunPhaseName, Sink);
   if (Unit.Options.Strat == Strategy::R)
     EvalOpts.GcEnabled = false;
   // Exact dangling detection and cross-request page pooling are
@@ -57,8 +140,15 @@ rt::RunResult Compiler::run(const CompiledUnit &Unit,
   // while the detector can still attribute it to a dead region.
   if (EvalOpts.RetainReleasedPages)
     EvalOpts.SharedPool = nullptr;
-  return rt::runProgram(Unit.program(), Unit.rootMu(), Unit.Mult, Unit.Kinds,
-                        Unit.Drops, Names, EvalOpts);
+  rt::RunResult R =
+      rt::runProgram(Unit.program(), Unit.rootMu(), Unit.Mult, Unit.Kinds,
+                     Unit.Drops, Names, EvalOpts);
+  PhaseProfile &P = Timer.stop();
+  P.GcCount = R.Heap.GcCount;
+  P.AllocWords = R.Heap.AllocWords;
+  P.CopiedWords = R.Heap.CopiedWords;
+  R.Phase = P;
+  return R;
 }
 
 CompileAndRunResult Compiler::compileAndRun(std::string_view Source,

@@ -41,6 +41,7 @@
 #include "rt/Eval.h"
 #include "support/Diagnostics.h"
 #include "support/Interner.h"
+#include "support/Trace.h"
 #include "types/Type.h"
 #include "types/TypeCheck.h"
 
@@ -72,6 +73,11 @@ struct CompiledUnit {
   /// Region type and effect of the whole program (from the checker; only
   /// set when Options.Check).
   std::optional<CheckResult> Checked;
+  /// One profile per static phase, in registry order (see
+  /// Compiler::staticPhaseNames()); the "check" entry is marked Skipped
+  /// when Options.Check is off. The runtime phase is not here — each
+  /// run() returns its own profile in rt::RunResult::Phase.
+  std::vector<PhaseProfile> Profiles;
 
   const RProgram &program() const { return Inferred.Prog; }
   const Mu *rootMu() const { return Inferred.RootMu; }
@@ -93,9 +99,11 @@ struct CompileAndRunResult {
 ///  * Two Compiler instances share no mutable state — every arena, the
 ///    interner and the diagnostic engine are per-instance members, and
 ///    the library keeps no mutable globals (the only function-local
-///    statics, in bench/Programs.cpp, are const and initialised under
-///    C++11 magic-statics). Distinct Compilers on distinct threads never
-///    race, and identical inputs produce bit-identical outputs.
+///    statics — the benchmark corpus in bench/Programs.cpp and the
+///    phase registry in core/Pipeline.cpp — are const and initialised
+///    under C++11 magic-statics). Distinct Compilers on distinct
+///    threads never race, and identical inputs produce bit-identical
+///    outputs.
 ///  * compile() mutates this Compiler and must stay on one thread, but
 ///    the mutating entry points are exactly compile()/compileAndRun();
 ///    run(), printProgram() and schemeOf() are const and touch only the
@@ -114,10 +122,36 @@ class Compiler {
 public:
   Compiler() = default;
 
-  /// Runs the static pipeline. Returns nullptr after recording
-  /// diagnostics (see diagnostics()).
+  /// Runs the static pipeline: the registered phases (see
+  /// staticPhaseNames()) in order, stopping at the first phase that
+  /// fails — exactly the historical early-exit-on-diagnostics
+  /// behaviour. Returns nullptr after recording diagnostics (see
+  /// diagnostics()); the profiles of the phases that did run — failed
+  /// compiles stop the list at the failing phase — are available via
+  /// lastPhaseProfiles().
   std::unique_ptr<CompiledUnit> compile(std::string_view Source,
                                         const CompileOptions &Opts = {});
+
+  /// The registered static phases, in execution order. The runtime
+  /// phase (RunPhaseName) is appended by run(), not listed here.
+  static std::vector<std::string> staticPhaseNames();
+
+  /// The name of the runtime phase run() profiles.
+  static constexpr const char *RunPhaseName = "run";
+
+  /// Profiles of the most recent compile() on this instance, in phase
+  /// order; a failed compile records up to and including the failing
+  /// phase and nothing after it.
+  const std::vector<PhaseProfile> &lastPhaseProfiles() const {
+    return LastProfiles;
+  }
+
+  /// Forwards every finished phase profile (static phases and run())
+  /// to \p S. Null (the default) disables forwarding at zero cost.
+  /// The sink must outlive the Compiler and, because run() may be
+  /// called concurrently from several threads, must be thread-safe
+  /// (ChromeTraceSink and NoopTraceSink are).
+  void setTraceSink(TraceSink *S) { Sink = S; }
 
   /// Executes a compiled unit on the region runtime. GC is enabled
   /// unless the unit was compiled with Strategy::R. Const: safe to call
@@ -162,12 +196,33 @@ public:
   ArenaFootprint arenaFootprint() const;
 
 private:
+  /// One named step of the static pipeline; Run returns false to stop
+  /// compilation (the phase has already recorded why in Diags).
+  struct PhaseDef {
+    const char *Name;
+    bool (Compiler::*Run)(std::string_view Source, CompiledUnit &Unit);
+  };
+  /// The ordered phase registry (const function-local static in
+  /// Pipeline.cpp) that compile() drives.
+  static const std::vector<PhaseDef> &staticPhaseRegistry();
+
+  bool phaseParse(std::string_view Source, CompiledUnit &Unit);
+  bool phaseTypecheck(std::string_view Source, CompiledUnit &Unit);
+  bool phaseSpurious(std::string_view Source, CompiledUnit &Unit);
+  bool phaseInfer(std::string_view Source, CompiledUnit &Unit);
+  bool phaseCheck(std::string_view Source, CompiledUnit &Unit);
+  bool phaseMultiplicity(std::string_view Source, CompiledUnit &Unit);
+  bool phaseKinds(std::string_view Source, CompiledUnit &Unit);
+  bool phaseDrops(std::string_view Source, CompiledUnit &Unit);
+
   Interner Names;
   DiagnosticEngine Diags;
   AstArena Ast;
   TypeArena Types;
   RTypeArena RTypes;
   RExprArena RExprs;
+  std::vector<PhaseProfile> LastProfiles;
+  TraceSink *Sink = nullptr;
 };
 
 } // namespace rml

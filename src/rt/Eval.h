@@ -34,6 +34,7 @@
 #include "rt/Region.h"
 #include "rt/Value.h"
 #include "support/Interner.h"
+#include "support/Trace.h"
 
 #include <optional>
 #include <string>
@@ -84,6 +85,10 @@ struct RunResult {
   /// Per-static-region runtime profiles (allocation-heaviest first).
   std::vector<RegionProfile> Regions;
   uint64_t Steps = 0;
+  /// The runtime phase's profile (name Compiler::RunPhaseName, wall
+  /// time, HeapStats fold-in). Filled by Compiler::run, which times the
+  /// whole execution; empty when runProgram is called directly.
+  PhaseProfile Phase;
 };
 
 /// Compiles and runs \p P.

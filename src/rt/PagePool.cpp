@@ -54,6 +54,31 @@ void PagePool::release(std::unique_ptr<uint64_t[]> Buf) {
   S.Free.push_back(std::move(Buf));
 }
 
+size_t PagePool::prewarm(size_t Pages) {
+  size_t Added = 0;
+  while (Added < Pages) {
+    // Reserve a slot under the bound, exactly as release() does, so a
+    // concurrent prewarm/release mix can never overshoot MaxPages.
+    size_t Cur = TotalFree.load(std::memory_order_relaxed);
+    for (;;) {
+      if (Cur >= MaxPages) {
+        Prewarms.fetch_add(Added, std::memory_order_relaxed);
+        return Added;
+      }
+      if (TotalFree.compare_exchange_weak(Cur, Cur + 1,
+                                          std::memory_order_relaxed))
+        break;
+    }
+    auto Buf = std::make_unique<uint64_t[]>(PageWords);
+    Shard &S = Shards[Added % NumShards]; // spread across the shards
+    std::lock_guard<std::mutex> Lock(S.M);
+    S.Free.push_back(std::move(Buf));
+    ++Added;
+  }
+  Prewarms.fetch_add(Added, std::memory_order_relaxed);
+  return Added;
+}
+
 void PagePool::trim() {
   for (Shard &S : Shards) {
     std::vector<std::unique_ptr<uint64_t[]>> Drop;
@@ -73,6 +98,7 @@ PagePoolStats PagePool::stats() const {
   Out.AcquireMisses = Misses.load(std::memory_order_relaxed);
   Out.Releases = Accepted.load(std::memory_order_relaxed);
   Out.Trims = Trims.load(std::memory_order_relaxed);
+  Out.Prewarmed = Prewarms.load(std::memory_order_relaxed);
   Out.FreePages = TotalFree.load(std::memory_order_relaxed);
   Out.Capacity = MaxPages;
   return Out;

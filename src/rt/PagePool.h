@@ -63,6 +63,7 @@ struct PagePoolStats {
   uint64_t AcquireMisses = 0; // acquires that found the pool empty
   uint64_t Releases = 0;      // pages accepted into the pool
   uint64_t Trims = 0;         // pages freed (over capacity, or trim())
+  uint64_t Prewarmed = 0;     // pages allocated eagerly by prewarm()
   uint64_t FreePages = 0;     // pages currently pooled
   uint64_t Capacity = 0;      // the bound (MaxPages)
 
@@ -78,6 +79,10 @@ class PagePool {
 public:
   static constexpr size_t NumShards = 8;
   static constexpr size_t DefaultMaxPages = 1024;
+  /// Words per standard page — the one buffer size the pool stores.
+  /// RegionHeap::PageWords aliases this constant, so the pool and the
+  /// heap can never disagree about the unit.
+  static constexpr size_t PageWords = 256; // 2 KiB
 
   explicit PagePool(size_t MaxPages = DefaultMaxPages);
   ~PagePool() = default;
@@ -97,6 +102,13 @@ public:
 
   /// Frees every pooled page (counted as trims).
   void trim();
+
+  /// Eagerly allocates up to \p Pages standard pages into the free
+  /// lists (spread round-robin across the shards), stopping at the
+  /// capacity bound. A cold service otherwise pays one allocator miss
+  /// per page of the first request wave; a prewarmed pool serves that
+  /// wave entirely from reuse. Returns how many pages were added.
+  size_t prewarm(size_t Pages);
 
   PagePoolStats stats() const;
   size_t freePages() const { return TotalFree.load(std::memory_order_relaxed); }
@@ -120,6 +132,7 @@ private:
   std::atomic<uint64_t> Misses{0};
   std::atomic<uint64_t> Accepted{0};
   std::atomic<uint64_t> Trims{0};
+  std::atomic<uint64_t> Prewarms{0};
 };
 
 } // namespace rml::rt

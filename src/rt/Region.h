@@ -20,6 +20,7 @@
 #define RML_RT_REGION_H
 
 #include "rinfer/RegionKinds.h"
+#include "rt/PagePool.h"
 #include "rt/Value.h"
 
 #include <cstdint>
@@ -30,8 +31,6 @@
 #include <vector>
 
 namespace rml::rt {
-
-class PagePool;
 
 /// Per-static-region runtime profile (the MLKit region profiler's
 /// per-region view): how many times the letregion executed and how many
@@ -63,7 +62,8 @@ struct HeapStats {
 
 class RegionHeap {
 public:
-  static constexpr size_t PageWords = 256; // 2 KiB pages
+  /// 2 KiB pages — the pool's buffer unit is the single source of truth.
+  static constexpr size_t PageWords = PagePool::PageWords;
 
   struct Page {
     std::unique_ptr<uint64_t[]> Words;

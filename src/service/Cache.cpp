@@ -15,6 +15,7 @@ CachedCompileRef rml::service::compileShared(std::string_view Source,
   CC->Diagnostics = CC->Owner->diagnostics().str();
   if (CC->Unit)
     CC->Printed = CC->Owner->printProgram(*CC->Unit);
+  CC->Profiles = CC->Owner->lastPhaseProfiles();
   CC->Cost = std::max<size_t>(1, CC->Owner->arenaFootprint().total());
   return CC;
 }

@@ -54,6 +54,11 @@ struct CachedCompile {
   std::string Diagnostics;
   /// printProgram() output, rendered once at compile time.
   std::string Printed;
+  /// The static phase profiles of the one compile that built this
+  /// entry (Compiler::lastPhaseProfiles(); partial when it failed).
+  /// Cache hits report these names as skipped/zero — the work was
+  /// reused, not redone.
+  std::vector<PhaseProfile> Profiles;
   /// Eviction weight: the arena nodes the frozen Owner holds
   /// (Compiler::arenaFootprint().total(), at least 1). The cache bounds
   /// the sum of these, not the entry count, so one huge program cannot

@@ -13,7 +13,8 @@ using namespace rml::service;
 
 std::string ServiceStats::json() const {
   std::ostringstream Out;
-  Out << "{\"submitted\":" << Submitted << ",\"completed\":" << Completed
+  Out << "{\"submitted\":" << Submitted << ",\"rejected\":" << Rejected
+      << ",\"completed\":" << Completed
       << ",\"compile_errors\":" << CompileErrors << ",\"runs_ok\":" << RunsOk
       << ",\"runs_failed\":" << RunsFailed << ",\"cache_hits\":" << CacheHits
       << ",\"cache_misses\":" << CacheMisses
@@ -27,10 +28,20 @@ std::string ServiceStats::json() const {
       << ",\"pool_misses\":" << PoolAcquireMisses
       << ",\"pool_releases\":" << PoolReleases
       << ",\"pool_trims\":" << PoolTrims
+      << ",\"pool_prewarmed\":" << PoolPrewarmed
       << ",\"pool_free_pages\":" << PoolFreePages
       << ",\"pool_capacity\":" << PoolCapacity
       << ",\"pool_reuse\":" << poolReuseRatio()
-      << ",\"busy_nanos\":" << BusyNanos << ",\"uptime_nanos\":" << UptimeNanos
+      << ",\"phases\":{";
+  for (size_t I = 0; I < Phases.size(); ++I) {
+    if (I)
+      Out << ",";
+    Out << "\"" << Phases[I].Name << "\":{\"sum_nanos\":"
+        << Phases[I].SumNanos << ",\"max_nanos\":" << Phases[I].MaxNanos
+        << ",\"count\":" << Phases[I].Count << "}";
+  }
+  Out << "},\"busy_nanos\":" << BusyNanos
+      << ",\"uptime_nanos\":" << UptimeNanos
       << ",\"utilization\":" << utilization() << "}";
   return Out.str();
 }
@@ -42,8 +53,15 @@ std::string ServiceStats::json() const {
 Service::Service(ServiceConfig Cfg)
     : Cfg(Cfg), Cache(Cfg.CacheCapacity, Cfg.CacheCostCapacity),
       Started(std::chrono::steady_clock::now()) {
-  if (Cfg.PagePoolPages != 0)
+  if (Cfg.PagePoolPages != 0) {
     Pool = std::make_unique<rt::PagePool>(Cfg.PagePoolPages);
+    if (Cfg.PrewarmPool)
+      Pool->prewarm(Cfg.PagePoolPages);
+  }
+  // One aggregate slot per pipeline phase, in stable reporting order.
+  for (const std::string &Name : Compiler::staticPhaseNames())
+    Counters.Phases.push_back({Name, 0, 0, 0});
+  Counters.Phases.push_back({Compiler::RunPhaseName, 0, 0, 0});
   unsigned N = Cfg.effectiveWorkers();
   Threads.reserve(N);
   for (unsigned I = 0; I < N; ++I)
@@ -51,6 +69,18 @@ Service::Service(ServiceConfig Cfg)
 }
 
 Service::~Service() { shutdown(); }
+
+namespace {
+
+Response shutdownResponse() {
+  Response Rej;
+  Rej.Diagnostics = "error: service is shut down";
+  Rej.Outcome = rt::RunOutcome::RuntimeError;
+  Rej.Error = "service is shut down";
+  return Rej;
+}
+
+} // namespace
 
 std::future<Response> Service::submit(Request R) {
   Job J;
@@ -65,12 +95,38 @@ std::future<Response> Service::submit(Request R) {
     // already have seen the queue empty and exited, so a late job could
     // otherwise never resolve.
     if (Stopping) {
-      Response Rej;
-      Rej.Diagnostics = "error: service is shut down";
-      Rej.Outcome = rt::RunOutcome::RuntimeError;
-      Rej.Error = "service is shut down";
-      J.Promise.set_value(std::move(Rej));
+      J.Promise.set_value(shutdownResponse());
       return F;
+    }
+    Queue.push_back(std::move(J));
+    size_t Depth = Queue.size();
+    {
+      std::lock_guard<std::mutex> SLock(StatsMutex);
+      ++Counters.Submitted;
+      if (Depth > Counters.QueueHighWater)
+        Counters.QueueHighWater = Depth;
+    }
+  }
+  NotEmpty.notify_one();
+  return F;
+}
+
+std::optional<std::future<Response>> Service::trySubmit(Request R) {
+  Job J;
+  J.Req = std::move(R);
+  std::future<Response> F = J.Promise.get_future();
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    if (Stopping) {
+      // Terminal, not transient: resolve like submit() so the caller
+      // can tell "retry later" (nullopt) from "never".
+      J.Promise.set_value(shutdownResponse());
+      return F;
+    }
+    if (Queue.size() >= Cfg.QueueCapacity) {
+      std::lock_guard<std::mutex> SLock(StatsMutex);
+      ++Counters.Rejected;
+      return std::nullopt;
     }
     Queue.push_back(std::move(J));
     size_t Depth = Queue.size();
@@ -117,6 +173,13 @@ void Service::workerMain() {
     Response Resp = process(J.Req);
     auto T1 = std::chrono::steady_clock::now();
 
+    // Trace forwarding happens outside the stats lock; the sink is
+    // thread-safe by contract. Skipped profiles carry no timing.
+    if (Cfg.Trace)
+      for (const PhaseProfile &P : Resp.Profiles)
+        if (!P.Skipped)
+          Cfg.Trace->record(P);
+
     {
       std::lock_guard<std::mutex> SLock(StatsMutex);
       ++Counters.Completed;
@@ -130,6 +193,18 @@ void Service::workerMain() {
         Counters.TotalGcCount += Resp.Heap.GcCount;
         Counters.TotalAllocWords += Resp.Heap.AllocWords;
         Counters.TotalCopiedWords += Resp.Heap.CopiedWords;
+      }
+      for (const PhaseProfile &P : Resp.Profiles) {
+        if (P.Skipped)
+          continue;
+        for (ServiceStats::PhaseAggregate &A : Counters.Phases)
+          if (A.Name == P.Name) {
+            A.SumNanos += P.WallNanos;
+            if (P.WallNanos > A.MaxNanos)
+              A.MaxNanos = P.WallNanos;
+            ++A.Count;
+            break;
+          }
       }
       Counters.BusyNanos += static_cast<uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(T1 - T0)
@@ -146,6 +221,18 @@ Response Service::process(const Request &Req) {
   CachedCompileRef CC = Cache.lookup(Key);
   if (CC) {
     Resp.CacheHit = true;
+    // The static work was reused, not redone: report the phase shape
+    // with zeroed, Skipped profiles so per-request accounting stays
+    // honest (only the runtime phase below is fresh on a hit).
+    Resp.Profiles.reserve(CC->Profiles.size() + 1);
+    for (PhaseProfile P : CC->Profiles) {
+      P.Skipped = true;
+      P.StartNanos = 0;
+      P.WallNanos = 0;
+      P.DiagnosticsEmitted = 0;
+      P.ArenaNodeDelta = 0;
+      Resp.Profiles.push_back(std::move(P));
+    }
   } else {
     // Miss: compile on a fresh, dedicated Compiler and freeze it into
     // the cache. Two workers racing on the same key both compile; the
@@ -153,6 +240,7 @@ Response Service::process(const Request &Req) {
     // cache keeps whichever insert lands last.
     CC = compileShared(Req.Source, Req.Opts);
     Cache.insert(Key, CC);
+    Resp.Profiles = CC->Profiles;
   }
 
   Resp.CompileOk = CC->ok();
@@ -179,6 +267,7 @@ Response Service::process(const Request &Req) {
     Resp.Error = std::move(R.Error);
     Resp.Heap = R.Heap;
     Resp.Steps = R.Steps;
+    Resp.Profiles.push_back(std::move(R.Phase));
   }
   return Resp;
 }
@@ -200,6 +289,7 @@ ServiceStats Service::stats() const {
     Out.PoolAcquireMisses = PS.AcquireMisses;
     Out.PoolReleases = PS.Releases;
     Out.PoolTrims = PS.Trims;
+    Out.PoolPrewarmed = PS.Prewarmed;
     Out.PoolFreePages = PS.FreePages;
     Out.PoolCapacity = PS.Capacity;
   }

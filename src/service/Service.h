@@ -41,6 +41,7 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -79,6 +80,11 @@ struct Response {
   std::string Error;      // non-Ok outcome explanation
   rt::HeapStats Heap;
   uint64_t Steps = 0;
+  /// Per-phase profiles for this request: the static phases in registry
+  /// order (on a cache hit they are present but Skipped with zero
+  /// nanos — the work was reused, not redone) followed, when the
+  /// program ran, by a fresh runtime phase.
+  std::vector<PhaseProfile> Profiles;
 };
 
 /// Service configuration.
@@ -99,6 +105,15 @@ struct ServiceConfig {
   /// that ask for RetainReleasedPages dangling detection bypass the
   /// pool regardless (see rt/PagePool.h).
   size_t PagePoolPages = rt::PagePool::DefaultMaxPages;
+  /// Eagerly allocate the pool's PagePoolPages at construction so the
+  /// first request wave runs entirely on recycled pages (a cold pool
+  /// pays one allocator miss per page instead).
+  bool PrewarmPool = false;
+  /// Optional sink receiving every executed phase profile (static
+  /// phases of cold compiles plus each request's runtime phase).
+  /// Non-owning; must be thread-safe (workers record concurrently) and
+  /// outlive the service. Null disables forwarding.
+  TraceSink *Trace = nullptr;
 
   unsigned effectiveWorkers() const {
     if (Workers)
@@ -110,7 +125,20 @@ struct ServiceConfig {
 
 /// A point-in-time statistics snapshot; also renderable as one-line JSON.
 struct ServiceStats {
+  /// Aggregate cost of one pipeline phase across every completed
+  /// request (skipped phases — cache hits, a disabled checker — do not
+  /// contribute): utilization decomposed by phase.
+  struct PhaseAggregate {
+    std::string Name;
+    uint64_t SumNanos = 0;
+    uint64_t MaxNanos = 0;
+    /// Executed (non-skipped) instances of the phase.
+    uint64_t Count = 0;
+  };
+
   uint64_t Submitted = 0;
+  /// trySubmit() calls turned away at a full queue.
+  uint64_t Rejected = 0;
   uint64_t Completed = 0;
   uint64_t CompileErrors = 0;
   uint64_t RunsOk = 0;
@@ -131,11 +159,15 @@ struct ServiceStats {
   uint64_t PoolAcquireMisses = 0;
   uint64_t PoolReleases = 0;
   uint64_t PoolTrims = 0;
+  uint64_t PoolPrewarmed = 0;
   uint64_t PoolFreePages = 0;
   uint64_t PoolCapacity = 0;
   /// Nanoseconds workers spent processing (vs idle) and service uptime.
   uint64_t BusyNanos = 0;
   uint64_t UptimeNanos = 0;
+  /// One aggregate per pipeline phase, in stable order: the static
+  /// phases (Compiler::staticPhaseNames()) then the runtime phase.
+  std::vector<PhaseAggregate> Phases;
 
   /// Fraction of standard-page demand served by pool reuse, in [0,1].
   double poolReuseRatio() const {
@@ -170,6 +202,14 @@ public:
   /// shutdown() the future resolves immediately with a "service is shut
   /// down" diagnostic (the library-wide no-throw convention).
   std::future<Response> submit(Request R);
+
+  /// Non-blocking submit for event-loop frontends: returns std::nullopt
+  /// instead of blocking when the queue is at capacity (counted in
+  /// ServiceStats::Rejected — the caller sheds load or retries). After
+  /// shutdown() it behaves like submit(): an immediately resolved
+  /// "service is shut down" future, never nullopt, so callers can tell
+  /// "retry later" from "never".
+  std::optional<std::future<Response>> trySubmit(Request R);
 
   /// Stops accepting work, finishes every queued request, joins the
   /// workers. Idempotent; the destructor calls it.

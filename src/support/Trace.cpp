@@ -1,0 +1,132 @@
+//===- support/Trace.cpp --------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+using namespace rml;
+
+uint64_t rml::traceNowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+TraceSink::~TraceSink() = default;
+
+NoopTraceSink &NoopTraceSink::instance() {
+  static NoopTraceSink Sink;
+  return Sink;
+}
+
+//===----------------------------------------------------------------------===//
+// ChromeTraceSink
+//===----------------------------------------------------------------------===//
+
+void ChromeTraceSink::record(const PhaseProfile &P) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto [It, New] =
+      Tids.try_emplace(std::this_thread::get_id(), Tids.size() + 1);
+  (void)New;
+  Events.push_back({P, It->second});
+}
+
+namespace {
+
+/// Phase names are identifiers today, but the format must stay valid
+/// JSON whatever a future phase is called.
+void appendEscaped(std::ostream &Out, const std::string &S) {
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out << '\\';
+    if (static_cast<unsigned char>(C) < 0x20)
+      Out << ' ';
+    else
+      Out << C;
+  }
+}
+
+} // namespace
+
+std::string ChromeTraceSink::json() const {
+  std::lock_guard<std::mutex> Lock(M);
+  // Normalise timestamps to the earliest phase so traces start near 0.
+  uint64_t Base = 0;
+  bool HaveBase = false;
+  for (const Event &E : Events)
+    if (!HaveBase || E.P.StartNanos < Base) {
+      Base = E.P.StartNanos;
+      HaveBase = true;
+    }
+
+  std::ostringstream Out;
+  Out << std::fixed << std::setprecision(3);
+  Out << "{\"traceEvents\":[";
+  bool First = true;
+  for (const Event &E : Events) {
+    if (!First)
+      Out << ",";
+    First = false;
+    Out << "{\"name\":\"";
+    appendEscaped(Out, E.P.Name);
+    // "X" complete events; ts/dur are microseconds per the spec.
+    Out << "\",\"cat\":\"phase\",\"ph\":\"X\",\"ts\":"
+        << (E.P.StartNanos - Base) / 1000.0
+        << ",\"dur\":" << E.P.WallNanos / 1000.0
+        << ",\"pid\":1,\"tid\":" << E.Tid
+        << ",\"args\":{\"diagnostics\":" << E.P.DiagnosticsEmitted
+        << ",\"arena_nodes\":" << E.P.ArenaNodeDelta
+        << ",\"gc\":" << E.P.GcCount << ",\"alloc_words\":" << E.P.AllocWords
+        << ",\"copied_words\":" << E.P.CopiedWords
+        << ",\"skipped\":" << (E.P.Skipped ? 1 : 0) << "}}";
+  }
+  Out << "],\"displayTimeUnit\":\"ms\"}";
+  return Out.str();
+}
+
+bool ChromeTraceSink::writeFile(const std::string &Path) const {
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << json() << "\n";
+  return static_cast<bool>(Out);
+}
+
+size_t ChromeTraceSink::eventCount() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Events.size();
+}
+
+//===----------------------------------------------------------------------===//
+// PhaseTimer
+//===----------------------------------------------------------------------===//
+
+PhaseTimer::PhaseTimer(std::string Name, TraceSink *Sink)
+    : Sink(Sink), T0(std::chrono::steady_clock::now()) {
+  P.Name = std::move(Name);
+  P.StartNanos = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          T0.time_since_epoch())
+          .count());
+}
+
+PhaseProfile &PhaseTimer::stop() {
+  if (!Stopped) {
+    P.WallNanos = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - T0)
+            .count());
+    Stopped = true;
+  }
+  return P;
+}
+
+PhaseTimer::~PhaseTimer() {
+  stop();
+  if (Sink)
+    Sink->record(P);
+}

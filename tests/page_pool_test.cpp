@@ -103,6 +103,42 @@ TEST(PagePoolTest, CountersStayConsistentUnderMixedTraffic) {
   EXPECT_EQ(S.AcquireHits + S.AcquireMisses, 18u);
 }
 
+TEST(PagePoolTest, PrewarmFillsToCapacityAndPinsZeroMisses) {
+  PagePool Pool(8);
+  EXPECT_EQ(Pool.prewarm(8), 8u);
+  PagePoolStats S0 = Pool.stats();
+  EXPECT_EQ(S0.Prewarmed, 8u);
+  EXPECT_EQ(S0.FreePages, 8u);
+
+  // The entire first wave of demand is served without one allocator
+  // round-trip: eight hits, zero misses.
+  for (int I = 0; I < 8; ++I)
+    EXPECT_NE(Pool.acquire(), nullptr) << "page " << I;
+  PagePoolStats S1 = Pool.stats();
+  EXPECT_EQ(S1.AcquireHits, 8u);
+  EXPECT_EQ(S1.AcquireMisses, 0u);
+  EXPECT_EQ(S1.FreePages, 0u);
+
+  // Only the ninth acquire — beyond what was prewarmed — misses.
+  EXPECT_EQ(Pool.acquire(), nullptr);
+  EXPECT_EQ(Pool.stats().AcquireMisses, 1u);
+}
+
+TEST(PagePoolTest, PrewarmRespectsTheCapacityBound) {
+  PagePool Pool(4);
+  EXPECT_EQ(Pool.prewarm(100), 4u); // clamped, not overshot
+  EXPECT_EQ(Pool.freePages(), 4u);
+  EXPECT_EQ(Pool.stats().Prewarmed, 4u);
+  EXPECT_EQ(Pool.prewarm(1), 0u); // already full
+  EXPECT_EQ(Pool.freePages(), 4u);
+
+  // Prewarmed pages and released pages share the capacity accounting:
+  // a release into the full pool is trimmed, not stacked on top.
+  Pool.release(standardBuffer());
+  EXPECT_EQ(Pool.freePages(), 4u);
+  EXPECT_EQ(Pool.stats().Trims, 1u);
+}
+
 //===----------------------------------------------------------------------===//
 // RegionHeap integration.
 //===----------------------------------------------------------------------===//

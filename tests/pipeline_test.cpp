@@ -214,4 +214,91 @@ TEST_F(PipelineTest, CheckerValidatesAllStrategies) {
     EXPECT_EQ(runResult(Src, S), "42");
 }
 
+//===----------------------------------------------------------------------===//
+// Phase manager
+//===----------------------------------------------------------------------===//
+
+TEST_F(PipelineTest, PhasesRunInRegistryOrder) {
+  const std::vector<std::string> Expected = {
+      "parse", "typecheck", "spurious", "infer",
+      "check", "multiplicity", "kinds", "drops"};
+  EXPECT_EQ(Compiler::staticPhaseNames(), Expected);
+
+  Compiler C;
+  auto Unit = C.compile("1 + 2");
+  ASSERT_NE(Unit, nullptr);
+  ASSERT_EQ(Unit->Profiles.size(), Expected.size());
+  for (size_t I = 0; I < Expected.size(); ++I) {
+    EXPECT_EQ(Unit->Profiles[I].Name, Expected[I]);
+    EXPECT_FALSE(Unit->Profiles[I].Skipped);
+  }
+  // Profiles are also reachable without the unit (failed compiles).
+  EXPECT_EQ(C.lastPhaseProfiles().size(), Expected.size());
+}
+
+TEST_F(PipelineTest, EarlyExitLeavesLaterPhasesUnrecorded) {
+  Compiler C;
+  ASSERT_EQ(C.compile("1 +"), nullptr); // parse error
+  ASSERT_EQ(C.lastPhaseProfiles().size(), 1u);
+  EXPECT_EQ(C.lastPhaseProfiles()[0].Name, "parse");
+  EXPECT_GE(C.lastPhaseProfiles()[0].DiagnosticsEmitted, 1u);
+
+  ASSERT_EQ(C.compile("1 + \"s\""), nullptr); // type error
+  ASSERT_EQ(C.lastPhaseProfiles().size(), 2u);
+  EXPECT_EQ(C.lastPhaseProfiles()[1].Name, "typecheck");
+  EXPECT_GE(C.lastPhaseProfiles()[1].DiagnosticsEmitted, 1u);
+}
+
+TEST_F(PipelineTest, DisabledCheckerIsRecordedAsSkipped) {
+  Compiler C;
+  CompileOptions Opts;
+  Opts.Check = false;
+  auto Unit = C.compile("1 + 2", Opts);
+  ASSERT_NE(Unit, nullptr);
+  bool SawCheck = false;
+  for (const PhaseProfile &P : Unit->Profiles)
+    if (P.Name == "check") {
+      SawCheck = true;
+      EXPECT_TRUE(P.Skipped); // shape is stable, the work was not done
+      EXPECT_EQ(P.WallNanos, 0u);
+    } else {
+      EXPECT_FALSE(P.Skipped);
+    }
+  EXPECT_TRUE(SawCheck);
+}
+
+TEST_F(PipelineTest, RunFillsRuntimePhaseProfile) {
+  Compiler C;
+  auto Unit = C.compile("work 100000");
+  ASSERT_NE(Unit, nullptr);
+  rt::EvalOptions E;
+  E.GcThresholdWords = 4096;
+  rt::RunResult R = C.run(*Unit, E);
+  ASSERT_EQ(R.Outcome, rt::RunOutcome::Ok) << R.Error;
+  EXPECT_EQ(R.Phase.Name, Compiler::RunPhaseName);
+  EXPECT_GT(R.Phase.WallNanos, 0u);
+  // The runtime phase folds in the run's HeapStats.
+  EXPECT_EQ(R.Phase.GcCount, R.Heap.GcCount);
+  EXPECT_EQ(R.Phase.AllocWords, R.Heap.AllocWords);
+  EXPECT_EQ(R.Phase.CopiedWords, R.Heap.CopiedWords);
+  EXPECT_GT(R.Phase.GcCount, 0u);
+}
+
+TEST_F(PipelineTest, TraceSinkSeesEveryExecutedPhase) {
+  class Names final : public TraceSink {
+  public:
+    void record(const PhaseProfile &P) override { Seen.push_back(P.Name); }
+    std::vector<std::string> Seen;
+  };
+  Names Sink;
+  Compiler C;
+  C.setTraceSink(&Sink);
+  auto Unit = C.compile("1 + 2");
+  ASSERT_NE(Unit, nullptr);
+  C.run(*Unit);
+  std::vector<std::string> Expected = Compiler::staticPhaseNames();
+  Expected.push_back(Compiler::RunPhaseName);
+  EXPECT_EQ(Sink.Seen, Expected);
+}
+
 } // namespace

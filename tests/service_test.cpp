@@ -458,13 +458,125 @@ TEST(ServiceTest, StatsJsonShape) {
   Svc.submit(Req).get();
   std::string J = Svc.stats().json();
   for (const char *Key :
-       {"\"submitted\":2", "\"completed\":2", "\"cache_hits\":1",
-        "\"cache_misses\":1", "\"workers\":1", "\"gc_count\":",
-        "\"alloc_words\":", "\"queue_high_water\":", "\"utilization\":",
-        "\"pool_hits\":", "\"pool_misses\":", "\"pool_releases\":",
-        "\"pool_capacity\":1024", "\"pool_reuse\":"})
+       {"\"submitted\":2", "\"rejected\":0", "\"completed\":2",
+        "\"cache_hits\":1", "\"cache_misses\":1", "\"workers\":1",
+        "\"gc_count\":", "\"alloc_words\":", "\"queue_high_water\":",
+        "\"utilization\":", "\"pool_hits\":", "\"pool_misses\":",
+        "\"pool_releases\":", "\"pool_capacity\":1024", "\"pool_reuse\":",
+        "\"pool_prewarmed\":0", "\"phases\":{", "\"parse\":{\"sum_nanos\":",
+        "\"run\":{\"sum_nanos\":", "\"max_nanos\":", "\"count\":"})
     EXPECT_NE(J.find(Key), std::string::npos) << J;
   EXPECT_EQ(J.find('\n'), std::string::npos); // one line
+}
+
+TEST(ServiceTest, ProfilesReportSkippedStaticPhasesOnCacheHit) {
+  Service Svc({/*Workers=*/1, /*QueueCapacity=*/4, /*CacheCapacity=*/4});
+  Request Req;
+  Req.Source = "1 + 2";
+  Response Miss = Svc.submit(Req).get();
+  Response Hit = Svc.submit(Req).get();
+  ASSERT_FALSE(Miss.CacheHit);
+  ASSERT_TRUE(Hit.CacheHit);
+
+  std::vector<std::string> Expected = Compiler::staticPhaseNames();
+  Expected.push_back(Compiler::RunPhaseName);
+  ASSERT_EQ(Miss.Profiles.size(), Expected.size());
+  ASSERT_EQ(Hit.Profiles.size(), Expected.size());
+  for (size_t I = 0; I < Expected.size(); ++I) {
+    EXPECT_EQ(Miss.Profiles[I].Name, Expected[I]);
+    EXPECT_EQ(Hit.Profiles[I].Name, Expected[I]);
+  }
+  // The miss paid every phase for real.
+  for (const PhaseProfile &P : Miss.Profiles)
+    EXPECT_FALSE(P.Skipped) << P.Name;
+  // The hit reused the static work (Skipped, zero nanos) but paid a
+  // fresh runtime phase.
+  for (size_t I = 0; I + 1 < Hit.Profiles.size(); ++I) {
+    EXPECT_TRUE(Hit.Profiles[I].Skipped) << Hit.Profiles[I].Name;
+    EXPECT_EQ(Hit.Profiles[I].WallNanos, 0u) << Hit.Profiles[I].Name;
+  }
+  const PhaseProfile &HitRun = Hit.Profiles.back();
+  EXPECT_FALSE(HitRun.Skipped);
+  EXPECT_GT(HitRun.WallNanos, 0u);
+  EXPECT_EQ(HitRun.AllocWords, Hit.Heap.AllocWords);
+
+  // The service-level aggregates saw exactly one instance of each
+  // static phase (the miss) and two runs.
+  ServiceStats S = Svc.stats();
+  ASSERT_EQ(S.Phases.size(), Expected.size());
+  for (const ServiceStats::PhaseAggregate &A : S.Phases) {
+    EXPECT_EQ(A.Count, A.Name == Compiler::RunPhaseName ? 2u : 1u)
+        << A.Name;
+    EXPECT_GE(A.SumNanos, A.MaxNanos) << A.Name;
+  }
+}
+
+TEST(ServiceTest, TrySubmitShedsLoadAtAFullQueue) {
+  // One slow worker, a two-slot queue, a fast producer: the queue must
+  // fill within a handful of accepted requests, and every trySubmit
+  // after that is turned away instead of blocking.
+  Service Svc({/*Workers=*/1, /*QueueCapacity=*/2, /*CacheCapacity=*/0});
+  std::vector<std::future<Response>> Accepted;
+  uint64_t Rejections = 0;
+  for (int I = 0; I < 2000 && Rejections == 0; ++I) {
+    Request Req;
+    Req.Source = "1 + " + std::to_string(I);
+    if (auto F = Svc.trySubmit(std::move(Req)))
+      Accepted.push_back(std::move(*F));
+    else
+      ++Rejections;
+  }
+  ASSERT_GT(Rejections, 0u) << "queue never filled";
+
+  // Every accepted future still resolves correctly.
+  for (auto &F : Accepted) {
+    Response R = F.get();
+    EXPECT_TRUE(R.CompileOk) << R.Diagnostics;
+  }
+  ServiceStats S = Svc.stats();
+  EXPECT_EQ(S.Rejected, Rejections);
+  EXPECT_EQ(S.Submitted, Accepted.size());
+  EXPECT_EQ(S.Completed, Accepted.size());
+}
+
+TEST(ServiceTest, TrySubmitAfterShutdownResolvesNotNullopt) {
+  Service Svc({/*Workers=*/1, /*QueueCapacity=*/4, /*CacheCapacity=*/4});
+  Svc.shutdown();
+  auto F = Svc.trySubmit(Request{});
+  ASSERT_TRUE(F.has_value()) << "shutdown is terminal, not 'retry later'";
+  Response R = F->get();
+  EXPECT_FALSE(R.CompileOk);
+  EXPECT_NE(R.Diagnostics.find("shut down"), std::string::npos);
+  EXPECT_EQ(Svc.stats().Rejected, 0u); // not a load-shed
+}
+
+TEST(ServiceTest, PrewarmedPoolServesTheFirstWaveWithoutMisses) {
+  // One worker serialises the runs, so each run's page demand (well
+  // under the pool's capacity at the default GC threshold) is met from
+  // the prewarmed stock, and teardown restocks it before the next run.
+  ServiceConfig Cfg;
+  Cfg.Workers = 1;
+  Cfg.QueueCapacity = 8;
+  Cfg.CacheCapacity = 8;
+  Cfg.PrewarmPool = true;
+  Service Svc(Cfg);
+
+  ServiceStats S0 = Svc.stats();
+  EXPECT_EQ(S0.PoolPrewarmed, Cfg.PagePoolPages);
+  EXPECT_EQ(S0.PoolFreePages, Cfg.PagePoolPages);
+
+  Request Req;
+  Req.Source = ComposeProgram;
+  std::vector<std::future<Response>> Futures;
+  for (int I = 0; I < 4; ++I)
+    Futures.push_back(Svc.submit(Req));
+  for (auto &F : Futures)
+    ASSERT_EQ(F.get().Outcome, rt::RunOutcome::Ok);
+
+  ServiceStats S = Svc.stats();
+  EXPECT_GT(S.PoolAcquireHits, 0u);
+  EXPECT_EQ(S.PoolAcquireMisses, 0u) << "first wave hit the allocator";
+  EXPECT_EQ(S.poolReuseRatio(), 1.0);
 }
 
 TEST(ServiceTest, AggregatesGcCountsAcrossRequests) {

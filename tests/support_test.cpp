@@ -2,8 +2,15 @@
 
 #include "support/Diagnostics.h"
 #include "support/Interner.h"
+#include "support/Trace.h"
 
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
 
 using namespace rml;
 
@@ -76,6 +83,150 @@ TEST(SrcLoc, Rendering) {
   EXPECT_EQ((SrcLoc{12, 34}).str(), "12:34");
   EXPECT_FALSE(SrcLoc().isValid());
   EXPECT_TRUE((SrcLoc{1, 1}).isValid());
+}
+
+/// Counts record() calls; remembers the last profile it saw.
+class CountingSink final : public TraceSink {
+public:
+  void record(const PhaseProfile &P) override {
+    ++Records;
+    Last = P;
+  }
+  unsigned Records = 0;
+  PhaseProfile Last;
+};
+
+TEST(Trace, PhaseTimerMeasuresAndEmitsOnce) {
+  CountingSink Sink;
+  {
+    PhaseTimer T("infer", &Sink);
+    PhaseProfile &P = T.stop();
+    EXPECT_EQ(P.Name, "infer");
+    EXPECT_FALSE(P.Skipped);
+    uint64_t First = P.WallNanos;
+    EXPECT_EQ(&T.stop(), &P); // idempotent: same profile,
+    EXPECT_EQ(P.WallNanos, First); // clock not re-read
+    P.DiagnosticsEmitted = 7; // caller fills deltas after stop()
+    EXPECT_EQ(Sink.Records, 0u); // nothing emitted before destruction
+  }
+  EXPECT_EQ(Sink.Records, 1u);
+  EXPECT_EQ(Sink.Last.Name, "infer");
+  EXPECT_EQ(Sink.Last.DiagnosticsEmitted, 7u);
+}
+
+TEST(Trace, PhaseTimerWithoutSinkIsSafe) {
+  PhaseTimer T("parse");
+  T.stop();
+  EXPECT_EQ(T.profile().Name, "parse");
+}
+
+TEST(Trace, NoopSinkIsShared) {
+  NoopTraceSink &A = NoopTraceSink::instance();
+  NoopTraceSink &B = NoopTraceSink::instance();
+  EXPECT_EQ(&A, &B);
+  A.record(PhaseProfile{}); // and discarding is harmless
+}
+
+TEST(Trace, MonotonicClock) {
+  uint64_t A = traceNowNanos();
+  uint64_t B = traceNowNanos();
+  EXPECT_LE(A, B);
+}
+
+/// Chrome trace-event shape: {"traceEvents":[...],"displayTimeUnit":"ms"}
+/// where every event is an "X" (complete) event carrying name/cat/ph/
+/// ts/dur/pid/tid/args. chrome://tracing and Perfetto both require
+/// exactly this envelope, so the test pins it key by key.
+TEST(Trace, ChromeTraceEventShape) {
+  ChromeTraceSink Sink;
+  PhaseProfile A;
+  A.Name = "parse";
+  A.StartNanos = 5'000;
+  A.WallNanos = 2'500;
+  A.DiagnosticsEmitted = 1;
+  A.ArenaNodeDelta = 42;
+  PhaseProfile B;
+  B.Name = "run";
+  B.StartNanos = 9'000;
+  B.WallNanos = 10'000;
+  B.GcCount = 3;
+  B.AllocWords = 1'000;
+  B.CopiedWords = 250;
+  Sink.record(A);
+  Sink.record(B);
+  ASSERT_EQ(Sink.eventCount(), 2u);
+
+  std::string J = Sink.json();
+  // Envelope.
+  EXPECT_EQ(J.find("{\"traceEvents\":["), 0u);
+  EXPECT_NE(J.find("],\"displayTimeUnit\":\"ms\"}"), std::string::npos);
+  // Balanced structure (the cheap well-formedness proxy).
+  EXPECT_EQ(std::count(J.begin(), J.end(), '{'),
+            std::count(J.begin(), J.end(), '}'));
+  EXPECT_EQ(std::count(J.begin(), J.end(), '['),
+            std::count(J.begin(), J.end(), ']'));
+  // Every event is a complete event with the required keys.
+  EXPECT_EQ(std::count(J.begin(), J.end(), 'X'), 2);
+  for (const char *Key :
+       {"\"name\":", "\"cat\":\"phase\"", "\"ph\":\"X\"", "\"ts\":",
+        "\"dur\":", "\"pid\":1", "\"tid\":", "\"args\":{"})
+    EXPECT_NE(J.find(Key), std::string::npos) << Key;
+  // Timestamps are microseconds normalised to the earliest phase:
+  // A starts the trace at ts 0, B starts 4000ns = 4us later.
+  EXPECT_NE(J.find("\"ts\":0.000,\"dur\":2.500"), std::string::npos);
+  EXPECT_NE(J.find("\"ts\":4.000,\"dur\":10.000"), std::string::npos);
+  // The args carry the profile's counters.
+  EXPECT_NE(J.find("\"diagnostics\":1,\"arena_nodes\":42"),
+            std::string::npos);
+  EXPECT_NE(J.find("\"gc\":3,\"alloc_words\":1000,\"copied_words\":250"),
+            std::string::npos);
+}
+
+TEST(Trace, ChromeSinkEscapesNames) {
+  ChromeTraceSink Sink;
+  PhaseProfile P;
+  P.Name = "we\"ird\\phase\n";
+  Sink.record(P);
+  std::string J = Sink.json();
+  EXPECT_NE(J.find("we\\\"ird\\\\phase "), std::string::npos);
+  EXPECT_EQ(J.find('\n'), std::string::npos);
+}
+
+TEST(Trace, ChromeSinkAssignsOneTidPerThread) {
+  ChromeTraceSink Sink;
+  auto Record = [&Sink](const char *Name) {
+    PhaseProfile P;
+    P.Name = Name;
+    Sink.record(P);
+  };
+  // Both threads alive at once: std::thread::id values may be reused
+  // after a join, which would collapse the two tids into one.
+  std::thread T1([&] { Record("a"); });
+  std::thread T2([&] { Record("b"); });
+  T1.join();
+  T2.join();
+  std::string J = Sink.json();
+  EXPECT_NE(J.find("\"tid\":1"), std::string::npos);
+  EXPECT_NE(J.find("\"tid\":2"), std::string::npos);
+}
+
+TEST(Trace, WriteFileRoundTripsAndFailsGracefully) {
+  ChromeTraceSink Sink;
+  PhaseProfile P;
+  P.Name = "parse";
+  P.WallNanos = 1'000;
+  Sink.record(P);
+
+  std::string Path = ::testing::TempDir() + "rml_trace_test.json";
+  ASSERT_TRUE(Sink.writeFile(Path));
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good());
+  std::ostringstream Got;
+  Got << In.rdbuf();
+  EXPECT_EQ(Got.str(), Sink.json() + "\n"); // file gets a final newline
+  std::remove(Path.c_str());
+
+  EXPECT_FALSE(Sink.writeFile("/nonexistent-dir-rml/trace.json"));
 }
 
 } // namespace

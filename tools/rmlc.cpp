@@ -14,6 +14,8 @@
 //   rmlc -e 'expr'                     compile a one-liner
 //   rmlc --serve-batch D --jobs 4      compile+run every .mml under D
 //                                      through the concurrent service
+//   rmlc --time-phases prog.mml        per-phase wall-time table
+//   rmlc --trace out.json prog.mml     Chrome trace-event dump
 //
 //===----------------------------------------------------------------------===//
 
@@ -68,7 +70,14 @@ void usage() {
       "(default 128)\n"
       "  --page-pool N          standard pages the cross-request page\n"
       "                         pool may hold; 0 disables pooling\n"
-      "                         (default 1024; --serve-batch only)\n");
+      "                         (default 1024; --serve-batch only)\n"
+      "  --prewarm-pool         allocate the page pool eagerly so the\n"
+      "                         first wave runs on recycled pages\n"
+      "                         (--serve-batch only)\n"
+      "  --time-phases          print a per-phase wall-time table (per\n"
+      "                         request, or aggregated in --serve-batch)\n"
+      "  --trace FILE           write a Chrome trace-event JSON of every\n"
+      "                         pipeline phase to FILE\n");
 }
 
 std::optional<std::string> readFile(const char *Path) {
@@ -108,11 +117,62 @@ std::vector<std::string> collectBatchPaths(const std::string &Spec) {
   return Out;
 }
 
+/// One row per phase; the total row is the sum of the rows above it,
+/// i.e. the whole compile+run wall time as the phase manager saw it.
+void printPhaseTable(const std::vector<PhaseProfile> &Profiles) {
+  std::printf("%-14s %12s %8s %14s\n", "phase", "time (ms)", "diags",
+              "arena nodes");
+  uint64_t TotalNanos = 0;
+  for (const PhaseProfile &P : Profiles) {
+    TotalNanos += P.WallNanos;
+    if (P.Skipped) {
+      std::printf("%-14s %12s %8s %14s\n", P.Name.c_str(), "skipped", "-",
+                  "-");
+      continue;
+    }
+    std::printf("%-14s %12.3f %8llu %14llu", P.Name.c_str(),
+                P.WallNanos / 1e6,
+                static_cast<unsigned long long>(P.DiagnosticsEmitted),
+                static_cast<unsigned long long>(P.ArenaNodeDelta));
+    if (P.Name == Compiler::RunPhaseName)
+      std::printf("   (%llu gc, %llu words alloc)",
+                  static_cast<unsigned long long>(P.GcCount),
+                  static_cast<unsigned long long>(P.AllocWords));
+    std::printf("\n");
+  }
+  std::printf("%-14s %12.3f\n", "total", TotalNanos / 1e6);
+}
+
+/// The --serve-batch variant: per-phase aggregates over the whole run.
+void printPhaseAggregates(const service::ServiceStats &S) {
+  std::printf("%-14s %12s %12s %8s\n", "phase", "total (ms)", "max (ms)",
+              "count");
+  uint64_t TotalNanos = 0;
+  for (const service::ServiceStats::PhaseAggregate &A : S.Phases) {
+    TotalNanos += A.SumNanos;
+    std::printf("%-14s %12.3f %12.3f %8llu\n", A.Name.c_str(),
+                A.SumNanos / 1e6, A.MaxNanos / 1e6,
+                static_cast<unsigned long long>(A.Count));
+  }
+  std::printf("%-14s %12.3f\n", "total", TotalNanos / 1e6);
+}
+
+/// Writes the collected trace; non-fatal on failure (the run already
+/// happened).
+void finishTrace(const ChromeTraceSink &Sink, const std::string &Path) {
+  if (Sink.writeFile(Path))
+    std::fprintf(stderr, "[trace: %zu event(s) written to %s]\n",
+                 Sink.eventCount(), Path.c_str());
+  else
+    std::fprintf(stderr, "rmlc: cannot write trace to '%s'\n", Path.c_str());
+}
+
 /// The --serve-batch driver: every program goes through the concurrent
 /// service; results print in submission order.
 int serveBatch(const std::string &Spec, unsigned Jobs, size_t CacheCap,
-               size_t PoolPages, const CompileOptions &Opts,
-               const rt::EvalOptions &EvalOpts, bool Stats) {
+               size_t PoolPages, bool PrewarmPool, const CompileOptions &Opts,
+               const rt::EvalOptions &EvalOpts, bool Stats, bool TimePhases,
+               const std::string &TracePath) {
   std::vector<std::string> Paths = collectBatchPaths(Spec);
   if (Paths.empty()) {
     std::fprintf(stderr, "rmlc: --serve-batch '%s' names no .mml programs\n",
@@ -120,10 +180,14 @@ int serveBatch(const std::string &Spec, unsigned Jobs, size_t CacheCap,
     return 2;
   }
 
+  ChromeTraceSink Trace;
   service::ServiceConfig Cfg;
   Cfg.Workers = Jobs;
   Cfg.CacheCapacity = CacheCap;
   Cfg.PagePoolPages = PoolPages;
+  Cfg.PrewarmPool = PrewarmPool;
+  if (!TracePath.empty())
+    Cfg.Trace = &Trace;
   service::Service Svc(Cfg);
 
   std::vector<std::pair<std::string, std::future<service::Response>>> Futures;
@@ -179,8 +243,12 @@ int serveBatch(const std::string &Spec, unsigned Jobs, size_t CacheCap,
               static_cast<unsigned long long>(S.TotalAllocWords),
               100.0 * S.poolReuseRatio(),
               static_cast<unsigned long long>(S.PoolFreePages));
+  if (TimePhases)
+    printPhaseAggregates(S);
   if (Stats)
     std::printf("%s\n", S.json().c_str());
+  if (!TracePath.empty())
+    finishTrace(Trace, TracePath);
   return Failures == 0 ? 0 : 1;
 }
 
@@ -197,6 +265,8 @@ int main(int Argc, char **Argv) {
   unsigned Jobs = 0;
   size_t CacheCap = 128;
   size_t PoolPages = rt::PagePool::DefaultMaxPages; // on by default
+  bool PrewarmPool = false, TimePhases = false;
+  std::string TracePath;
 
   for (int I = 1; I < Argc; ++I) {
     const char *A = Argv[I];
@@ -258,6 +328,12 @@ int main(int Argc, char **Argv) {
       PoolPages = std::strtoull(Next(), nullptr, 10);
     } else if (!std::strncmp(A, "--page-pool=", 12)) {
       PoolPages = std::strtoull(A + 12, nullptr, 10);
+    } else if (!std::strcmp(A, "--prewarm-pool")) {
+      PrewarmPool = true;
+    } else if (!std::strcmp(A, "--time-phases")) {
+      TimePhases = true;
+    } else if (!std::strcmp(A, "--trace")) {
+      TracePath = Next();
     } else if (!std::strcmp(A, "-e")) {
       Source = Next();
       HaveSource = true;
@@ -279,17 +355,24 @@ int main(int Argc, char **Argv) {
     }
   }
   if (!BatchSpec.empty())
-    return serveBatch(BatchSpec, Jobs, CacheCap, PoolPages, Opts, EvalOpts,
-                      Stats);
+    return serveBatch(BatchSpec, Jobs, CacheCap, PoolPages, PrewarmPool, Opts,
+                      EvalOpts, Stats, TimePhases, TracePath);
   if (!HaveSource) {
     usage();
     return 2;
   }
 
+  ChromeTraceSink Trace;
   Compiler C;
+  if (!TracePath.empty())
+    C.setTraceSink(&Trace);
   auto Unit = C.compile(Source, Opts);
   if (!Unit) {
     std::fprintf(stderr, "%s", C.diagnostics().str().c_str());
+    if (TimePhases)
+      printPhaseTable(C.lastPhaseProfiles());
+    if (!TracePath.empty())
+      finishTrace(Trace, TracePath);
     return 1;
   }
 
@@ -313,26 +396,46 @@ int main(int Argc, char **Argv) {
                 Unit->Drops.TotalFormals, Unit->Spurious.SpuriousFunctions,
                 Unit->Spurious.TotalFunctions);
   }
-  if (!Run)
+  if (!Run) {
+    if (TimePhases)
+      printPhaseTable(C.lastPhaseProfiles());
+    if (!TracePath.empty())
+      finishTrace(Trace, TracePath);
     return 0;
+  }
 
   rt::RunResult R = C.run(*Unit, EvalOpts);
   if (!R.Output.empty())
     std::fputs(R.Output.c_str(), stdout);
+  int RunExit = 0;
   switch (R.Outcome) {
   case rt::RunOutcome::Ok:
     std::printf("val it = %s\n", R.ResultText.c_str());
     break;
   case rt::RunOutcome::UncaughtException:
     std::fprintf(stderr, "rmlc: %s\n", R.Error.c_str());
-    return 1;
+    RunExit = 1;
+    break;
   case rt::RunOutcome::DanglingPointer:
     std::fprintf(stderr, "rmlc: GC failure: %s\n", R.Error.c_str());
-    return 1;
+    RunExit = 1;
+    break;
   case rt::RunOutcome::RuntimeError:
     std::fprintf(stderr, "rmlc: runtime error: %s\n", R.Error.c_str());
-    return 1;
+    RunExit = 1;
+    break;
   }
+  if (TimePhases) {
+    // Static phases then the runtime phase: one row per phase, summing
+    // to the whole compile+run wall time.
+    std::vector<PhaseProfile> All = C.lastPhaseProfiles();
+    All.push_back(R.Phase);
+    printPhaseTable(All);
+  }
+  if (!TracePath.empty())
+    finishTrace(Trace, TracePath);
+  if (RunExit)
+    return RunExit;
   if (Profile) {
     std::fprintf(stderr, "top allocating regions:\n");
     unsigned Shown = 0;
