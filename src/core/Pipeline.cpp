@@ -4,6 +4,8 @@
 
 using namespace rml;
 
+PhaseGovernor::~PhaseGovernor() = default;
+
 //===----------------------------------------------------------------------===//
 // The phase registry and the individual steps
 //===----------------------------------------------------------------------===//
@@ -96,6 +98,7 @@ std::unique_ptr<CompiledUnit> Compiler::compile(std::string_view Source,
                                                 const CompileOptions &Opts) {
   Diags.clear();
   LastProfiles.clear();
+  CutOff = false;
   auto Unit = std::make_unique<CompiledUnit>();
   Unit->Options = Opts;
 
@@ -124,6 +127,13 @@ std::unique_ptr<CompiledUnit> Compiler::compile(std::string_view Source,
     }
     if (!Ok)
       return nullptr; // early exit: later phases never run or record
+    // The budget check sits at the phase boundary: an over-budget phase
+    // finishes (its profile records the real cost) and then the
+    // governor cuts the pipeline off before the next phase starts.
+    if (Governor && !Governor->keepGoing(LastProfiles.back())) {
+      CutOff = true;
+      return nullptr;
+    }
   }
 
   Unit->Profiles = LastProfiles;
@@ -147,6 +157,9 @@ rt::RunResult Compiler::run(const CompiledUnit &Unit,
   P.GcCount = R.Heap.GcCount;
   P.AllocWords = R.Heap.AllocWords;
   P.CopiedWords = R.Heap.CopiedWords;
+  // Fold the run's collector stalls into the profile so the sink (and
+  // anyone reading RunResult::Phase) sees them nested inside this span.
+  P.GcPauses = R.GcPauses;
   R.Phase = P;
   return R;
 }

@@ -51,6 +51,20 @@
 
 namespace rml {
 
+/// Budget policy consulted at phase boundaries. compile() asks after
+/// every finished phase whether to keep going; a refusal stops the
+/// pipeline exactly like a failed phase (nullptr, profiles up to and
+/// including the over-budget phase), but without emitting diagnostics —
+/// the governor owns the messaging. The service's Executor implements
+/// this over ServiceConfig::PhaseBudgets.
+class PhaseGovernor {
+public:
+  virtual ~PhaseGovernor();
+  /// \returns false to cut compilation off at this phase boundary.
+  /// \p P is the finished phase's profile (name, wall nanos, Skipped).
+  virtual bool keepGoing(const PhaseProfile &P) = 0;
+};
+
 /// Options for one compilation.
 struct CompileOptions {
   Strategy Strat = Strategy::Rg;
@@ -153,6 +167,18 @@ public:
   /// (ChromeTraceSink and NoopTraceSink are).
   void setTraceSink(TraceSink *S) { Sink = S; }
 
+  /// Installs (or, with null, removes) the budget policy compile()
+  /// consults at every phase boundary. Non-owning: the governor must
+  /// outlive every compile() it governs, so owners with stack-local
+  /// governors (the service Executor) must clear it before the Compiler
+  /// escapes their scope. wasCutOff() distinguishes a governor stop
+  /// from an ordinary failed compile.
+  void setPhaseGovernor(PhaseGovernor *G) { Governor = G; }
+
+  /// True iff the most recent compile() on this instance was stopped by
+  /// the phase governor rather than finishing or failing on its own.
+  bool wasCutOff() const { return CutOff; }
+
   /// Executes a compiled unit on the region runtime. GC is enabled
   /// unless the unit was compiled with Strategy::R. Const: safe to call
   /// concurrently from several threads on the same unit (each run gets
@@ -223,6 +249,8 @@ private:
   RExprArena RExprs;
   std::vector<PhaseProfile> LastProfiles;
   TraceSink *Sink = nullptr;
+  PhaseGovernor *Governor = nullptr;
+  bool CutOff = false;
 };
 
 } // namespace rml

@@ -212,6 +212,7 @@ public:
     R.Regions = Heap.profiles();
     R.Output = std::move(Output);
     R.Steps = Steps;
+    R.GcPauses = std::move(Pauses);
     if (Fatal) {
       R.Outcome = FatalKind;
       R.Error = FatalMsg;
@@ -274,7 +275,17 @@ private:
       for (Value *Slot : Remembered)
         Roots.push_back(Slot);
     Roots.push_back(&ExnVal);
+    const uint64_t T0 = traceNowNanos();
     GcResult G = collectGarbage(Heap, Roots, Kind, Opts.Generational);
+    GcPauseRecord Pause;
+    Pause.StartNanos = T0;
+    Pause.WallNanos = traceNowNanos() - T0;
+    Pause.Minor = Kind == GcKind::Minor;
+    Pause.CopiedWords = G.CopiedWords;
+    Pause.LiveRegions = G.LiveRegions;
+    Pauses.push_back(Pause);
+    if (Opts.PauseSink)
+      Opts.PauseSink->recordGcPause(Pause);
     // After any collection every survivor is old: remembered slots are
     // obsolete (and, after a major, dangling into from-space).
     Remembered.clear();
@@ -972,6 +983,7 @@ private:
   bool Unwinding = false;
   Value ExnVal = NilValue;
   std::vector<Value *> Remembered; // old-to-young slots (write barrier)
+  std::vector<GcPauseRecord> Pauses; // every collection of this run
   uint64_t GcTick = 0;
   bool Fatal = false;
   RunOutcome FatalKind = RunOutcome::Ok;

@@ -66,6 +66,14 @@ struct EvalOptions {
   /// them back on teardown. Ignored while RetainReleasedPages is on —
   /// exact dangling detection quarantines the pool (see rt/PagePool.h).
   PagePool *SharedPool = nullptr;
+  /// Optional streaming sink for collector pauses (non-owning; must
+  /// outlive the run and be thread-safe if runs share it). Each
+  /// collection delivers one TraceSink::recordGcPause as it ends. The
+  /// pauses also accumulate in RunResult::GcPauses regardless, and
+  /// Compiler::run folds them into the run PhaseProfile — so a sink
+  /// that already records run profiles must NOT also be installed here
+  /// or it would see every pause twice.
+  TraceSink *PauseSink = nullptr;
 };
 
 /// How a run ended.
@@ -85,9 +93,13 @@ struct RunResult {
   /// Per-static-region runtime profiles (allocation-heaviest first).
   std::vector<RegionProfile> Regions;
   uint64_t Steps = 0;
+  /// Every collector stall of the run, in pause order (begin time, wall
+  /// nanos, kind, copied words, live regions).
+  std::vector<GcPauseRecord> GcPauses;
   /// The runtime phase's profile (name Compiler::RunPhaseName, wall
-  /// time, HeapStats fold-in). Filled by Compiler::run, which times the
-  /// whole execution; empty when runProgram is called directly.
+  /// time, HeapStats fold-in, GcPauses fold-in). Filled by
+  /// Compiler::run, which times the whole execution; empty when
+  /// runProgram is called directly.
   PhaseProfile Phase;
 };
 

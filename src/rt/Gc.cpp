@@ -33,7 +33,9 @@ public:
 
     // Detach every live region's (young, for minor collections) pages:
     // they become from-space.
-    for (uint32_t Handle : Heap.liveRegions()) {
+    const std::vector<uint32_t> Live = Heap.liveRegions();
+    Result.LiveRegions = Live.size();
+    for (uint32_t Handle : Live) {
       std::vector<RegionHeap::Page> Pages =
           Heap.detachPages(Handle, Kind == GcKind::Minor);
       for (const RegionHeap::Page &P : Pages) {

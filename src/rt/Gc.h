@@ -38,6 +38,8 @@ struct GcResult {
   bool Ok = true;
   std::string Error; // dangling-pointer diagnostics when !Ok
   uint64_t CopiedWords = 0;
+  /// Live regions the collection traced through (the from-space set).
+  uint64_t LiveRegions = 0;
 };
 
 /// Collection kinds for the generational extension (the paper's [16,17]

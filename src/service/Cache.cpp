@@ -8,10 +8,15 @@ using namespace rml;
 using namespace rml::service;
 
 CachedCompileRef rml::service::compileShared(std::string_view Source,
-                                             const CompileOptions &Opts) {
+                                             const CompileOptions &Opts,
+                                             PhaseGovernor *Governor) {
   auto CC = std::make_shared<CachedCompile>();
   CC->Owner = std::make_unique<Compiler>();
+  CC->Owner->setPhaseGovernor(Governor);
   CC->Unit = CC->Owner->compile(Source, Opts);
+  // Detach before freezing: the governor may die with its caller's
+  // stack frame while the cached entry lives on (wasCutOff() persists).
+  CC->Owner->setPhaseGovernor(nullptr);
   CC->Diagnostics = CC->Owner->diagnostics().str();
   if (CC->Unit)
     CC->Printed = CC->Owner->printProgram(*CC->Unit);

@@ -84,9 +84,15 @@ struct CachedCompile {
 using CachedCompileRef = std::shared_ptr<const CachedCompile>;
 
 /// Compiles \p Source on a fresh, dedicated Compiler and freezes the
-/// result into a shareable CachedCompile.
+/// result into a shareable CachedCompile. An optional \p Governor is
+/// consulted at every phase boundary (per-phase budgets); it is
+/// detached from the Compiler before this returns, so the frozen entry
+/// never outlives a stack-local governor. A governed cut-off looks like
+/// a failed compile here (null Unit, partial Profiles) — callers that
+/// care ask the frozen Owner's wasCutOff().
 CachedCompileRef compileShared(std::string_view Source,
-                               const CompileOptions &Opts);
+                               const CompileOptions &Opts,
+                               PhaseGovernor *Governor = nullptr);
 
 /// Thread-safe LRU cache: unordered_map from CacheKey to a node of the
 /// recency list; front of the list is most recently used. Capacity 0

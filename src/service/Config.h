@@ -1,0 +1,90 @@
+//===- service/Config.h - Service configuration -----------------*- C++ -*-===//
+//
+// Part of RegionML, a reproduction of "Garbage-Collection Safety for
+// Region-Based Type-Polymorphic Programs" (Elsman, PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RML_SERVICE_CONFIG_H
+#define RML_SERVICE_CONFIG_H
+
+#include "rt/PagePool.h"
+#include "support/Trace.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <thread>
+
+namespace rml::service {
+
+/// Which Scheduler the service dequeues with (see service/Scheduler.h).
+enum class SchedPolicy : uint8_t {
+  /// Strict submission order — the default, and the fairness baseline.
+  Fifo,
+  /// Longest-job-first by cost key (source length today): on a
+  /// heterogeneous batch the long compiles start first and the short
+  /// ones fill the trailing capacity, shrinking the tail (p95/p99) the
+  /// way LPT scheduling shrinks makespan.
+  Ljf,
+};
+
+/// \returns "fifo" / "ljf".
+const char *schedPolicyName(SchedPolicy P);
+
+/// Parses "fifo"/"ljf"; false on anything else (\p Out untouched).
+bool parseSchedPolicy(std::string_view Name, SchedPolicy &Out);
+
+/// Service configuration.
+struct ServiceConfig {
+  /// Worker threads; 0 means one per hardware thread (at least 1).
+  unsigned Workers = 0;
+  /// Bounded queue: submit() blocks once this many requests wait
+  /// (backpressure toward the producers).
+  size_t QueueCapacity = 256;
+  /// LRU compile-cache entries; 0 disables caching.
+  size_t CacheCapacity = 128;
+  /// Bound on the cache's summed arena footprint (nodes across frozen
+  /// per-entry Compilers); 0 leaves cost unbounded (entry count only).
+  size_t CacheCostCapacity = 0;
+  /// Standard region pages the cross-request PagePool may hold; worker
+  /// runs draw pages from it and recycle them back on heap teardown.
+  /// 0 disables pooling (every run round-trips the allocator). Requests
+  /// that ask for RetainReleasedPages dangling detection bypass the
+  /// pool regardless (see rt/PagePool.h).
+  size_t PagePoolPages = rt::PagePool::DefaultMaxPages;
+  /// Eagerly allocate the pool's PagePoolPages at construction so the
+  /// first request wave runs entirely on recycled pages (a cold pool
+  /// pays one allocator miss per page instead).
+  bool PrewarmPool = false;
+  /// Optional sink receiving every executed phase profile (static
+  /// phases of cold compiles plus each request's runtime phase, whose
+  /// GcPauses the sink can render nested). Non-owning; must be
+  /// thread-safe (workers record concurrently) and outlive the service.
+  /// Null disables forwarding.
+  TraceSink *Trace = nullptr;
+  /// Dequeue policy (rmlc --sched fifo|ljf).
+  SchedPolicy Policy = SchedPolicy::Fifo;
+  /// Per-phase wall-clock budgets in nanoseconds, keyed by static phase
+  /// name ("parse", "infer", ...; see Compiler::staticPhaseNames()). A
+  /// phase absent from the map is unlimited; a present value (zero
+  /// included) cuts the request off at the next phase boundary once the
+  /// phase's wall time exceeds it — RequestOutcome::Budget, counted in
+  /// ServiceStats::BudgetExceeded. Budgets bind cold compiles only: a
+  /// cache hit reuses finished work and pays no phase time, and the
+  /// runtime "run" phase is not budgeted (interrupting the interpreter
+  /// mid-flight is a different mechanism).
+  std::map<std::string, uint64_t> PhaseBudgets = {};
+
+  unsigned effectiveWorkers() const {
+    if (Workers)
+      return Workers;
+    unsigned H = std::thread::hardware_concurrency();
+    return H ? H : 1;
+  }
+};
+
+} // namespace rml::service
+
+#endif // RML_SERVICE_CONFIG_H

@@ -1,0 +1,56 @@
+//===- service/Executor.h - Per-request execution with budgets --*- C++ -*-===//
+//
+// Part of RegionML, a reproduction of "Garbage-Collection Safety for
+// Region-Based Type-Polymorphic Programs" (Elsman, PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The execution layer: everything that happens to one request after a
+/// worker picks it up — cache lookup, cold compile under the configured
+/// per-phase budgets, scheme rendering, and the region-runtime run
+/// through the shared page pool. Stateless apart from the references it
+/// is built over, so any number of workers share one Executor; the
+/// thread-pool mechanics stay in Service, the dequeue policy in
+/// Scheduler, and this file owns only *what running a request means*.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RML_SERVICE_EXECUTOR_H
+#define RML_SERVICE_EXECUTOR_H
+
+#include "service/Cache.h"
+#include "service/Config.h"
+#include "service/Request.h"
+
+#include "rt/PagePool.h"
+
+namespace rml::service {
+
+/// Runs requests against a compile cache and a page pool under one
+/// ServiceConfig. process() is safe from any number of threads: the
+/// cache and pool are thread-safe, and each cold compile happens on a
+/// fresh per-entry Compiler governed by a stack-local budget governor.
+class Executor {
+public:
+  /// All referents are non-owning and must outlive the Executor.
+  Executor(const ServiceConfig &Cfg, CompileCache &Cache, rt::PagePool *Pool)
+      : Cfg(Cfg), Cache(Cache), Pool(Pool) {}
+
+  /// The whole lifecycle of one request: cache lookup -> (on a miss)
+  /// budgeted cold compile + cache insert -> schemes -> optional run.
+  /// A compile cut off by ServiceConfig::PhaseBudgets returns
+  /// RequestOutcome::Budget with the partial phase profiles and is
+  /// *not* cached (a later, unbudgeted submission must be able to
+  /// finish the work).
+  Response process(const Request &Req) const;
+
+private:
+  const ServiceConfig &Cfg;
+  CompileCache &Cache;
+  rt::PagePool *Pool;
+};
+
+} // namespace rml::service
+
+#endif // RML_SERVICE_EXECUTOR_H

@@ -1,0 +1,93 @@
+//===- service/Request.h - Service request/response types -------*- C++ -*-===//
+//
+// Part of RegionML, a reproduction of "Garbage-Collection Safety for
+// Region-Based Type-Polymorphic Programs" (Elsman, PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The admission-layer vocabulary: what a client hands the service
+/// (Request) and what it gets back (Response). Split out of Service.h so
+/// the Scheduler and Executor layers can speak these types without
+/// seeing the thread pool.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RML_SERVICE_REQUEST_H
+#define RML_SERVICE_REQUEST_H
+
+#include "core/Pipeline.h"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rml::service {
+
+/// One unit of work: compile \p Source with \p Opts, optionally run it.
+struct Request {
+  std::string Source;
+  CompileOptions Opts;
+  /// Execute the program after a successful compile.
+  bool Run = true;
+  rt::EvalOptions EvalOpts;
+  /// Top-level names whose region type schemes the response should
+  /// render (unknown/monomorphic names render as "").
+  std::vector<std::string> SchemeNames;
+};
+
+/// The service-level disposition of a request — orthogonal to the
+/// runtime's rt::RunOutcome (which only describes how an execution
+/// ended, and stays rt::RunOutcome::Ok for requests that never ran).
+enum class RequestOutcome : uint8_t {
+  /// Compiled (and, if requested, ran) cleanly.
+  Ok,
+  /// The static pipeline failed; Response::Diagnostics says why.
+  CompileError,
+  /// Compiled but the execution ended non-Ok (see Response::Outcome).
+  RunFailed,
+  /// Cut off at a phase boundary by a ServiceConfig::PhaseBudgets
+  /// budget; counted in ServiceStats::BudgetExceeded. Never cached, so
+  /// a later submission under a looser budget recompiles from scratch.
+  Budget,
+  /// Rejected because the service was (or began) shutting down.
+  Shutdown,
+};
+
+/// \returns the stable lower-case name ("ok", "budget", ...).
+const char *requestOutcomeName(RequestOutcome O);
+
+/// Everything the service produced for one request.
+struct Response {
+  /// The static pipeline succeeded.
+  bool CompileOk = false;
+  /// The compilation was served from the cache.
+  bool CacheHit = false;
+  /// How the service disposed of the request.
+  RequestOutcome Status = RequestOutcome::Ok;
+  /// Rendered diagnostics (empty on a clean compile).
+  std::string Diagnostics;
+  /// The region-annotated program (Figure 2 style).
+  std::string Printed;
+  /// (name, rendered scheme) for every requested SchemeName, in order.
+  std::vector<std::pair<std::string, std::string>> Schemes;
+  /// True when the program was executed (CompileOk && Request.Run).
+  bool Ran = false;
+  rt::RunOutcome Outcome = rt::RunOutcome::Ok;
+  std::string Output;     // everything print-ed
+  std::string ResultText; // rendered final value
+  std::string Error;      // non-Ok outcome explanation
+  rt::HeapStats Heap;
+  uint64_t Steps = 0;
+  /// Per-phase profiles for this request: the static phases in registry
+  /// order (on a cache hit they are present but Skipped with zero
+  /// nanos — the work was reused, not redone; on a Budget cut-off the
+  /// list stops at the over-budget phase) followed, when the program
+  /// ran, by a fresh runtime phase carrying the run's GcPauses.
+  std::vector<PhaseProfile> Profiles;
+};
+
+} // namespace rml::service
+
+#endif // RML_SERVICE_REQUEST_H

@@ -1,0 +1,95 @@
+//===- service/Scheduler.cpp ----------------------------------------------===//
+
+#include "service/Scheduler.h"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+using namespace rml;
+using namespace rml::service;
+
+Scheduler::~Scheduler() = default;
+
+const char *rml::service::schedPolicyName(SchedPolicy P) {
+  switch (P) {
+  case SchedPolicy::Fifo:
+    return "fifo";
+  case SchedPolicy::Ljf:
+    return "ljf";
+  }
+  return "fifo";
+}
+
+bool rml::service::parseSchedPolicy(std::string_view Name, SchedPolicy &Out) {
+  if (Name == "fifo") {
+    Out = SchedPolicy::Fifo;
+    return true;
+  }
+  if (Name == "ljf") {
+    Out = SchedPolicy::Ljf;
+    return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// Strict submission order.
+class FifoScheduler final : public Scheduler {
+public:
+  void push(ScheduledJob J) override { Jobs.push_back(std::move(J)); }
+
+  ScheduledJob pop() override {
+    ScheduledJob J = std::move(Jobs.front());
+    Jobs.pop_front();
+    return J;
+  }
+
+  size_t size() const override { return Jobs.size(); }
+  const char *policyName() const override { return "fifo"; }
+
+private:
+  std::deque<ScheduledJob> Jobs;
+};
+
+/// Longest-job-first: a binary max-heap on (CostKey, earliest Seq).
+/// std::priority_queue cannot hand out its move-only top, so the heap
+/// lives in a plain vector driven by push_heap/pop_heap — pop_heap
+/// rotates the maximum to the back, where it can be moved from.
+class LjfScheduler final : public Scheduler {
+public:
+  void push(ScheduledJob J) override {
+    Jobs.push_back(std::move(J));
+    std::push_heap(Jobs.begin(), Jobs.end(), Before);
+  }
+
+  ScheduledJob pop() override {
+    std::pop_heap(Jobs.begin(), Jobs.end(), Before);
+    ScheduledJob J = std::move(Jobs.back());
+    Jobs.pop_back();
+    return J;
+  }
+
+  size_t size() const override { return Jobs.size(); }
+  const char *policyName() const override { return "ljf"; }
+
+private:
+  /// Heap "less-than": the top is the largest CostKey; equal costs go
+  /// to the earliest Seq (a larger Seq orders lower).
+  static bool Before(const ScheduledJob &A, const ScheduledJob &B) {
+    if (A.CostKey != B.CostKey)
+      return A.CostKey < B.CostKey;
+    return A.Seq > B.Seq;
+  }
+
+  std::vector<ScheduledJob> Jobs;
+};
+
+} // namespace
+
+std::unique_ptr<Scheduler> rml::service::makeScheduler(SchedPolicy P) {
+  if (P == SchedPolicy::Ljf)
+    return std::make_unique<LjfScheduler>();
+  return std::make_unique<FifoScheduler>();
+}

@@ -1,0 +1,83 @@
+//===- service/Scheduler.h - Pluggable dequeue policies ---------*- C++ -*-===//
+//
+// Part of RegionML, a reproduction of "Garbage-Collection Safety for
+// Region-Based Type-Polymorphic Programs" (Elsman, PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The policy layer between admission and execution: a Scheduler owns
+/// the queued ScheduledJobs and decides which one a free worker takes
+/// next. Implementations are *externally synchronized* — the Service
+/// calls every method under its queue mutex, so a policy is plain data
+/// structure code with no locking of its own (and is trivially
+/// exchangeable for experiments).
+///
+/// Two policies ship today: Fifo (submission order, the fairness
+/// baseline) and Ljf (longest-job-first by cost key — LPT scheduling,
+/// which on a heterogeneous batch starts the long jobs first so the
+/// short ones pack the trailing capacity, shrinking tail latency).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RML_SERVICE_SCHEDULER_H
+#define RML_SERVICE_SCHEDULER_H
+
+#include "service/Config.h"
+#include "service/Request.h"
+
+#include <functional>
+#include <future>
+#include <memory>
+
+namespace rml::service {
+
+/// One admitted request travelling through the service, with exactly
+/// one completion armed: either the promise (future-style submit) or
+/// the callback (event-loop submit). complete() fires whichever it is.
+struct ScheduledJob {
+  Request Req;
+  /// Future-style completion (armed iff Callback is empty).
+  std::promise<Response> Promise;
+  /// Callback-style completion, invoked on the worker thread (or, for
+  /// requests rejected at admission, inline on the submitter's thread).
+  std::function<void(Response)> Callback;
+  /// Scheduling weight, fixed at admission: the source length today, a
+  /// cached cost estimate tomorrow. Only Ljf reads it.
+  uint64_t CostKey = 0;
+  /// Admission sequence number: ties in CostKey resolve to the earliest
+  /// submission, keeping every policy deterministic and starvation-free
+  /// within a batch.
+  uint64_t Seq = 0;
+
+  /// Resolves the armed completion with \p R.
+  void complete(Response R) {
+    if (Callback)
+      Callback(std::move(R));
+    else
+      Promise.set_value(std::move(R));
+  }
+};
+
+/// The dequeue-policy interface. Externally synchronized (see the file
+/// comment): no Scheduler method is thread-safe on its own.
+class Scheduler {
+public:
+  virtual ~Scheduler();
+
+  virtual void push(ScheduledJob J) = 0;
+  /// Removes and returns the next job; undefined when empty.
+  virtual ScheduledJob pop() = 0;
+  virtual size_t size() const = 0;
+  /// The policy's stable name ("fifo", "ljf").
+  virtual const char *policyName() const = 0;
+
+  bool empty() const { return size() == 0; }
+};
+
+/// Builds the Scheduler for \p P.
+std::unique_ptr<Scheduler> makeScheduler(SchedPolicy P);
+
+} // namespace rml::service
+
+#endif // RML_SERVICE_SCHEDULER_H

@@ -2,62 +2,36 @@
 
 #include "service/Service.h"
 
-#include <sstream>
-
 using namespace rml;
 using namespace rml::service;
 
-//===----------------------------------------------------------------------===//
-// ServiceStats
-//===----------------------------------------------------------------------===//
+namespace {
 
-std::string ServiceStats::json() const {
-  std::ostringstream Out;
-  Out << "{\"submitted\":" << Submitted << ",\"rejected\":" << Rejected
-      << ",\"completed\":" << Completed
-      << ",\"compile_errors\":" << CompileErrors << ",\"runs_ok\":" << RunsOk
-      << ",\"runs_failed\":" << RunsFailed << ",\"cache_hits\":" << CacheHits
-      << ",\"cache_misses\":" << CacheMisses
-      << ",\"cache_evictions\":" << CacheEvictions
-      << ",\"queue_depth\":" << QueueDepth
-      << ",\"queue_high_water\":" << QueueHighWater
-      << ",\"workers\":" << Workers << ",\"gc_count\":" << TotalGcCount
-      << ",\"alloc_words\":" << TotalAllocWords
-      << ",\"copied_words\":" << TotalCopiedWords
-      << ",\"pool_hits\":" << PoolAcquireHits
-      << ",\"pool_misses\":" << PoolAcquireMisses
-      << ",\"pool_releases\":" << PoolReleases
-      << ",\"pool_trims\":" << PoolTrims
-      << ",\"pool_prewarmed\":" << PoolPrewarmed
-      << ",\"pool_free_pages\":" << PoolFreePages
-      << ",\"pool_capacity\":" << PoolCapacity
-      << ",\"pool_reuse\":" << poolReuseRatio()
-      << ",\"phases\":{";
-  for (size_t I = 0; I < Phases.size(); ++I) {
-    if (I)
-      Out << ",";
-    Out << "\"" << Phases[I].Name << "\":{\"sum_nanos\":"
-        << Phases[I].SumNanos << ",\"max_nanos\":" << Phases[I].MaxNanos
-        << ",\"count\":" << Phases[I].Count << "}";
-  }
-  Out << "},\"busy_nanos\":" << BusyNanos
-      << ",\"uptime_nanos\":" << UptimeNanos
-      << ",\"utilization\":" << utilization() << "}";
-  return Out.str();
+std::unique_ptr<rt::PagePool> makePool(const ServiceConfig &Cfg) {
+  if (Cfg.PagePoolPages == 0)
+    return nullptr;
+  auto P = std::make_unique<rt::PagePool>(Cfg.PagePoolPages);
+  if (Cfg.PrewarmPool)
+    P->prewarm(Cfg.PagePoolPages);
+  return P;
 }
 
-//===----------------------------------------------------------------------===//
-// Service
-//===----------------------------------------------------------------------===//
+Response shutdownResponse() {
+  Response Rej;
+  Rej.Status = RequestOutcome::Shutdown;
+  Rej.Diagnostics = "error: service is shut down";
+  Rej.Outcome = rt::RunOutcome::RuntimeError;
+  Rej.Error = "service is shut down";
+  return Rej;
+}
 
-Service::Service(ServiceConfig Cfg)
-    : Cfg(Cfg), Cache(Cfg.CacheCapacity, Cfg.CacheCostCapacity),
-      Started(std::chrono::steady_clock::now()) {
-  if (Cfg.PagePoolPages != 0) {
-    Pool = std::make_unique<rt::PagePool>(Cfg.PagePoolPages);
-    if (Cfg.PrewarmPool)
-      Pool->prewarm(Cfg.PagePoolPages);
-  }
+} // namespace
+
+Service::Service(ServiceConfig CfgIn)
+    : Cfg(std::move(CfgIn)), Cache(Cfg.CacheCapacity, Cfg.CacheCostCapacity),
+      Pool(makePool(Cfg)), Exec(Cfg, Cache, Pool.get()),
+      Started(std::chrono::steady_clock::now()),
+      Sched(makeScheduler(Cfg.Policy)) {
   // One aggregate slot per pipeline phase, in stable reporting order.
   for (const std::string &Name : Compiler::staticPhaseNames())
     Counters.Phases.push_back({Name, 0, 0, 0});
@@ -70,72 +44,91 @@ Service::Service(ServiceConfig Cfg)
 
 Service::~Service() { shutdown(); }
 
-namespace {
-
-Response shutdownResponse() {
-  Response Rej;
-  Rej.Diagnostics = "error: service is shut down";
-  Rej.Outcome = rt::RunOutcome::RuntimeError;
-  Rej.Error = "service is shut down";
-  return Rej;
+void Service::enqueue(ScheduledJob J) {
+  // Caller holds QueueMutex and has already checked !Stopping.
+  J.CostKey = J.Req.Source.size();
+  J.Seq = NextSeq++;
+  Sched->push(std::move(J));
+  size_t Depth = Sched->size();
+  std::lock_guard<std::mutex> SLock(StatsMutex);
+  ++Counters.Submitted;
+  if (Depth > Counters.QueueHighWater)
+    Counters.QueueHighWater = Depth;
 }
 
-} // namespace
-
 std::future<Response> Service::submit(Request R) {
-  Job J;
+  ScheduledJob J;
   J.Req = std::move(R);
   std::future<Response> F = J.Promise.get_future();
+  bool Rejected = false;
   {
     std::unique_lock<std::mutex> Lock(QueueMutex);
     NotFull.wait(Lock, [this] {
-      return Queue.size() < Cfg.QueueCapacity || Stopping;
+      return Sched->size() < Cfg.QueueCapacity || Stopping;
     });
     // Reject rather than enqueue once shutdown has begun: a worker may
     // already have seen the queue empty and exited, so a late job could
-    // otherwise never resolve.
-    if (Stopping) {
-      J.Promise.set_value(shutdownResponse());
-      return F;
-    }
-    Queue.push_back(std::move(J));
-    size_t Depth = Queue.size();
-    {
-      std::lock_guard<std::mutex> SLock(StatsMutex);
-      ++Counters.Submitted;
-      if (Depth > Counters.QueueHighWater)
-        Counters.QueueHighWater = Depth;
-    }
+    // otherwise never resolve. This is also the wake-up path for a
+    // producer that was blocked on a full queue when shutdown() fired.
+    if (Stopping)
+      Rejected = true;
+    else
+      enqueue(std::move(J));
+  }
+  if (Rejected) {
+    J.complete(shutdownResponse());
+    return F;
   }
   NotEmpty.notify_one();
   return F;
 }
 
+void Service::submit(Request R, std::function<void(Response)> Done) {
+  ScheduledJob J;
+  J.Req = std::move(R);
+  J.Callback = std::move(Done);
+  bool Rejected = false;
+  {
+    std::unique_lock<std::mutex> Lock(QueueMutex);
+    NotFull.wait(Lock, [this] {
+      return Sched->size() < Cfg.QueueCapacity || Stopping;
+    });
+    if (Stopping)
+      Rejected = true;
+    else
+      enqueue(std::move(J));
+  }
+  // The rejection callback runs outside QueueMutex: it is user code and
+  // may legitimately call stats() or submit more work.
+  if (Rejected) {
+    J.complete(shutdownResponse());
+    return;
+  }
+  NotEmpty.notify_one();
+}
+
 std::optional<std::future<Response>> Service::trySubmit(Request R) {
-  Job J;
+  ScheduledJob J;
   J.Req = std::move(R);
   std::future<Response> F = J.Promise.get_future();
+  bool Rejected = false;
   {
     std::lock_guard<std::mutex> Lock(QueueMutex);
     if (Stopping) {
       // Terminal, not transient: resolve like submit() so the caller
       // can tell "retry later" (nullopt) from "never".
-      J.Promise.set_value(shutdownResponse());
-      return F;
-    }
-    if (Queue.size() >= Cfg.QueueCapacity) {
+      Rejected = true;
+    } else if (Sched->size() >= Cfg.QueueCapacity) {
       std::lock_guard<std::mutex> SLock(StatsMutex);
       ++Counters.Rejected;
       return std::nullopt;
+    } else {
+      enqueue(std::move(J));
     }
-    Queue.push_back(std::move(J));
-    size_t Depth = Queue.size();
-    {
-      std::lock_guard<std::mutex> SLock(StatsMutex);
-      ++Counters.Submitted;
-      if (Depth > Counters.QueueHighWater)
-        Counters.QueueHighWater = Depth;
-    }
+  }
+  if (Rejected) {
+    J.complete(shutdownResponse());
+    return F;
   }
   NotEmpty.notify_one();
   return F;
@@ -144,12 +137,15 @@ std::optional<std::future<Response>> Service::trySubmit(Request R) {
 void Service::shutdown() {
   {
     std::lock_guard<std::mutex> Lock(QueueMutex);
-    if (Stopping && Threads.empty())
-      return;
     Stopping = true;
   }
+  // Wake the workers (to drain and exit) and any producer parked in
+  // submit() on a full queue (to resolve with a Shutdown response).
   NotEmpty.notify_all();
   NotFull.notify_all();
+  // Racing shutdown() calls serialize here; QueueMutex cannot be held
+  // across join because the draining workers take it.
+  std::lock_guard<std::mutex> JLock(JoinMutex);
   for (std::thread &T : Threads)
     if (T.joinable())
       T.join();
@@ -158,19 +154,18 @@ void Service::shutdown() {
 
 void Service::workerMain() {
   for (;;) {
-    Job J;
+    ScheduledJob J;
     {
       std::unique_lock<std::mutex> Lock(QueueMutex);
-      NotEmpty.wait(Lock, [this] { return !Queue.empty() || Stopping; });
-      if (Queue.empty())
+      NotEmpty.wait(Lock, [this] { return !Sched->empty() || Stopping; });
+      if (Sched->empty())
         return; // stopping and drained
-      J = std::move(Queue.front());
-      Queue.pop_front();
+      J = Sched->pop();
     }
     NotFull.notify_one();
 
     auto T0 = std::chrono::steady_clock::now();
-    Response Resp = process(J.Req);
+    Response Resp = Exec.process(J.Req);
     auto T1 = std::chrono::steady_clock::now();
 
     // Trace forwarding happens outside the stats lock; the sink is
@@ -183,7 +178,9 @@ void Service::workerMain() {
     {
       std::lock_guard<std::mutex> SLock(StatsMutex);
       ++Counters.Completed;
-      if (!Resp.CompileOk)
+      if (Resp.Status == RequestOutcome::Budget)
+        ++Counters.BudgetExceeded;
+      else if (!Resp.CompileOk)
         ++Counters.CompileErrors;
       if (Resp.Ran) {
         if (Resp.Outcome == rt::RunOutcome::Ok)
@@ -210,66 +207,8 @@ void Service::workerMain() {
           std::chrono::duration_cast<std::chrono::nanoseconds>(T1 - T0)
               .count());
     }
-    J.Promise.set_value(std::move(Resp));
+    J.complete(std::move(Resp));
   }
-}
-
-Response Service::process(const Request &Req) {
-  Response Resp;
-
-  CacheKey Key = CacheKey::of(Req.Source, Req.Opts);
-  CachedCompileRef CC = Cache.lookup(Key);
-  if (CC) {
-    Resp.CacheHit = true;
-    // The static work was reused, not redone: report the phase shape
-    // with zeroed, Skipped profiles so per-request accounting stays
-    // honest (only the runtime phase below is fresh on a hit).
-    Resp.Profiles.reserve(CC->Profiles.size() + 1);
-    for (PhaseProfile P : CC->Profiles) {
-      P.Skipped = true;
-      P.StartNanos = 0;
-      P.WallNanos = 0;
-      P.DiagnosticsEmitted = 0;
-      P.ArenaNodeDelta = 0;
-      Resp.Profiles.push_back(std::move(P));
-    }
-  } else {
-    // Miss: compile on a fresh, dedicated Compiler and freeze it into
-    // the cache. Two workers racing on the same key both compile; the
-    // results are bit-identical (the pipeline is deterministic) and the
-    // cache keeps whichever insert lands last.
-    CC = compileShared(Req.Source, Req.Opts);
-    Cache.insert(Key, CC);
-    Resp.Profiles = CC->Profiles;
-  }
-
-  Resp.CompileOk = CC->ok();
-  Resp.Diagnostics = CC->Diagnostics;
-  if (!CC->ok())
-    return Resp;
-
-  Resp.Printed = CC->Printed;
-  Resp.Schemes.reserve(Req.SchemeNames.size());
-  for (const std::string &Name : Req.SchemeNames)
-    Resp.Schemes.emplace_back(Name, CC->schemeOf(Name));
-
-  if (Req.Run) {
-    rt::EvalOptions EvalOpts = Req.EvalOpts;
-    // Route the run's heap through the shared pool — unless the request
-    // asks for exact dangling detection, which quarantines it.
-    if (Pool && !EvalOpts.RetainReleasedPages)
-      EvalOpts.SharedPool = Pool.get();
-    rt::RunResult R = CC->run(EvalOpts);
-    Resp.Ran = true;
-    Resp.Outcome = R.Outcome;
-    Resp.Output = std::move(R.Output);
-    Resp.ResultText = std::move(R.ResultText);
-    Resp.Error = std::move(R.Error);
-    Resp.Heap = R.Heap;
-    Resp.Steps = R.Steps;
-    Resp.Profiles.push_back(std::move(R.Phase));
-  }
-  return Resp;
 }
 
 ServiceStats Service::stats() const {
@@ -283,6 +222,7 @@ ServiceStats Service::stats() const {
   Out.CacheMisses = CC.Misses;
   Out.CacheEvictions = CC.Evictions;
   Out.Workers = Cfg.effectiveWorkers();
+  Out.Policy = schedPolicyName(Cfg.Policy);
   if (Pool) {
     rt::PagePoolStats PS = Pool->stats();
     Out.PoolAcquireHits = PS.AcquireHits;
@@ -295,7 +235,7 @@ ServiceStats Service::stats() const {
   }
   {
     std::lock_guard<std::mutex> QLock(QueueMutex);
-    Out.QueueDepth = Queue.size();
+    Out.QueueDepth = Sched->size();
   }
   Out.UptimeNanos = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(

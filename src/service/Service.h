@@ -6,27 +6,27 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The serving layer in front of the pipeline — the shape every later
-/// scaling step (sharding, async I/O, multi-backend) builds on:
+/// The serving layer in front of the pipeline, decomposed into three
+/// layers so each later scaling step (sharding, async I/O,
+/// multi-backend) replaces exactly one of them:
 ///
-///   submit(Request) ──> bounded MPMC queue ──> N worker threads
-///        (backpressure)        │                   │
-///        std::future<Response> │          content-addressed LRU
-///                              │          compile cache (shared,
-///                              └────────► immutable CachedCompile)
-///                                                  │
-///                                         region runtime + GC
-///                                         (one private heap per run;
-///                                          standard pages recycled
-///                                          through a shared PagePool)
+///   admission            policy                 execution
+///   submit/trySubmit ──> Scheduler ──────────> N workers x Executor
+///     (backpressure,      (Fifo | Ljf,           (compile cache,
+///      future- or          externally             per-phase budgets,
+///      callback-style      synchronized)          region runtime + GC,
+///      completion)                                shared PagePool)
 ///
-/// Requests carry source + CompileOptions + optional EvalOptions; the
-/// response carries diagnostics, the printed program, requested scheme
-/// renderings, the run outcome and its HeapStats. Workers respect the
-/// one-Compiler-per-thread constraint by construction: cold compiles go
-/// to a fresh per-entry Compiler that is frozen into the cache (see
-/// service/Cache.h), and cache hits only touch the frozen units through
-/// their const surface.
+/// This file owns the thread-pool mechanics only: the bounded queue
+/// lives behind a Scheduler (service/Scheduler.h) that decides dequeue
+/// order, and everything a worker does to one request is the Executor
+/// (service/Executor.h). Requests carry source + CompileOptions +
+/// optional EvalOptions; the response carries diagnostics, the printed
+/// program, requested scheme renderings, the run outcome and its
+/// HeapStats. Workers respect the one-Compiler-per-thread constraint by
+/// construction: cold compiles go to a fresh per-entry Compiler that is
+/// frozen into the cache (see service/Cache.h), and cache hits only
+/// touch the frozen units through their const surface.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -34,13 +34,19 @@
 #define RML_SERVICE_SERVICE_H
 
 #include "service/Cache.h"
+#include "service/Config.h"
+#include "service/Executor.h"
+#include "service/Request.h"
+#include "service/Scheduler.h"
+#include "service/Stats.h"
 
 #include "rt/PagePool.h"
 
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
+#include <functional>
 #include <future>
+#include <memory>
 #include <optional>
 #include <string>
 #include <thread>
@@ -48,147 +54,9 @@
 
 namespace rml::service {
 
-/// One unit of work: compile \p Source with \p Opts, optionally run it.
-struct Request {
-  std::string Source;
-  CompileOptions Opts;
-  /// Execute the program after a successful compile.
-  bool Run = true;
-  rt::EvalOptions EvalOpts;
-  /// Top-level names whose region type schemes the response should
-  /// render (unknown/monomorphic names render as "").
-  std::vector<std::string> SchemeNames;
-};
-
-/// Everything the service produced for one request.
-struct Response {
-  /// The static pipeline succeeded.
-  bool CompileOk = false;
-  /// The compilation was served from the cache.
-  bool CacheHit = false;
-  /// Rendered diagnostics (empty on a clean compile).
-  std::string Diagnostics;
-  /// The region-annotated program (Figure 2 style).
-  std::string Printed;
-  /// (name, rendered scheme) for every requested SchemeName, in order.
-  std::vector<std::pair<std::string, std::string>> Schemes;
-  /// True when the program was executed (CompileOk && Request.Run).
-  bool Ran = false;
-  rt::RunOutcome Outcome = rt::RunOutcome::Ok;
-  std::string Output;     // everything print-ed
-  std::string ResultText; // rendered final value
-  std::string Error;      // non-Ok outcome explanation
-  rt::HeapStats Heap;
-  uint64_t Steps = 0;
-  /// Per-phase profiles for this request: the static phases in registry
-  /// order (on a cache hit they are present but Skipped with zero
-  /// nanos — the work was reused, not redone) followed, when the
-  /// program ran, by a fresh runtime phase.
-  std::vector<PhaseProfile> Profiles;
-};
-
-/// Service configuration.
-struct ServiceConfig {
-  /// Worker threads; 0 means one per hardware thread (at least 1).
-  unsigned Workers = 0;
-  /// Bounded queue: submit() blocks once this many requests wait
-  /// (backpressure toward the producers).
-  size_t QueueCapacity = 256;
-  /// LRU compile-cache entries; 0 disables caching.
-  size_t CacheCapacity = 128;
-  /// Bound on the cache's summed arena footprint (nodes across frozen
-  /// per-entry Compilers); 0 leaves cost unbounded (entry count only).
-  size_t CacheCostCapacity = 0;
-  /// Standard region pages the cross-request PagePool may hold; worker
-  /// runs draw pages from it and recycle them back on heap teardown.
-  /// 0 disables pooling (every run round-trips the allocator). Requests
-  /// that ask for RetainReleasedPages dangling detection bypass the
-  /// pool regardless (see rt/PagePool.h).
-  size_t PagePoolPages = rt::PagePool::DefaultMaxPages;
-  /// Eagerly allocate the pool's PagePoolPages at construction so the
-  /// first request wave runs entirely on recycled pages (a cold pool
-  /// pays one allocator miss per page instead).
-  bool PrewarmPool = false;
-  /// Optional sink receiving every executed phase profile (static
-  /// phases of cold compiles plus each request's runtime phase).
-  /// Non-owning; must be thread-safe (workers record concurrently) and
-  /// outlive the service. Null disables forwarding.
-  TraceSink *Trace = nullptr;
-
-  unsigned effectiveWorkers() const {
-    if (Workers)
-      return Workers;
-    unsigned H = std::thread::hardware_concurrency();
-    return H ? H : 1;
-  }
-};
-
-/// A point-in-time statistics snapshot; also renderable as one-line JSON.
-struct ServiceStats {
-  /// Aggregate cost of one pipeline phase across every completed
-  /// request (skipped phases — cache hits, a disabled checker — do not
-  /// contribute): utilization decomposed by phase.
-  struct PhaseAggregate {
-    std::string Name;
-    uint64_t SumNanos = 0;
-    uint64_t MaxNanos = 0;
-    /// Executed (non-skipped) instances of the phase.
-    uint64_t Count = 0;
-  };
-
-  uint64_t Submitted = 0;
-  /// trySubmit() calls turned away at a full queue.
-  uint64_t Rejected = 0;
-  uint64_t Completed = 0;
-  uint64_t CompileErrors = 0;
-  uint64_t RunsOk = 0;
-  uint64_t RunsFailed = 0;
-  uint64_t CacheHits = 0;
-  uint64_t CacheMisses = 0;
-  uint64_t CacheEvictions = 0;
-  /// Deepest the queue ever got (backpressure high-water mark).
-  uint64_t QueueHighWater = 0;
-  uint64_t QueueDepth = 0;
-  unsigned Workers = 0;
-  /// Sum over runs of HeapStats counters (the serving-level GC bill).
-  uint64_t TotalGcCount = 0;
-  uint64_t TotalAllocWords = 0;
-  uint64_t TotalCopiedWords = 0;
-  /// Cross-request page pool counters (all zero when pooling is off).
-  uint64_t PoolAcquireHits = 0;
-  uint64_t PoolAcquireMisses = 0;
-  uint64_t PoolReleases = 0;
-  uint64_t PoolTrims = 0;
-  uint64_t PoolPrewarmed = 0;
-  uint64_t PoolFreePages = 0;
-  uint64_t PoolCapacity = 0;
-  /// Nanoseconds workers spent processing (vs idle) and service uptime.
-  uint64_t BusyNanos = 0;
-  uint64_t UptimeNanos = 0;
-  /// One aggregate per pipeline phase, in stable order: the static
-  /// phases (Compiler::staticPhaseNames()) then the runtime phase.
-  std::vector<PhaseAggregate> Phases;
-
-  /// Fraction of standard-page demand served by pool reuse, in [0,1].
-  double poolReuseRatio() const {
-    uint64_t Total = PoolAcquireHits + PoolAcquireMisses;
-    return Total ? static_cast<double>(PoolAcquireHits) / Total : 0.0;
-  }
-
-  /// Fraction of worker-thread time spent processing, in [0,1].
-  double utilization() const {
-    double Denom = static_cast<double>(Workers) *
-                   static_cast<double>(UptimeNanos);
-    return Denom > 0 ? static_cast<double>(BusyNanos) / Denom : 0.0;
-  }
-
-  /// One-line JSON rendering of every counter (stable key order).
-  std::string json() const;
-};
-
 /// A thread-pool compile-and-run service. Construction spawns the
 /// workers; destruction (or shutdown()) drains the queue and joins them.
-/// submit() and stats() are safe from any thread.
+/// submit(), trySubmit() and stats() are safe from any thread.
 class Service {
 public:
   explicit Service(ServiceConfig Cfg = {});
@@ -198,21 +66,31 @@ public:
   Service &operator=(const Service &) = delete;
 
   /// Enqueues a request; the future resolves when a worker finishes it.
-  /// Blocks while the queue is at capacity (backpressure). After
-  /// shutdown() the future resolves immediately with a "service is shut
-  /// down" diagnostic (the library-wide no-throw convention).
+  /// Blocks while the queue is at capacity (backpressure). A producer
+  /// blocked here is woken by shutdown() and — like any submit after
+  /// shutdown — gets an immediately resolved RequestOutcome::Shutdown
+  /// response (the library-wide no-throw convention).
   std::future<Response> submit(Request R);
+
+  /// Callback-style submit for event-loop frontends: no future, no
+  /// thread parked on get() — \p Done runs on the worker thread that
+  /// finished the request (keep it cheap and non-blocking; it must not
+  /// call back into blocking Service methods). Same backpressure and
+  /// shutdown behaviour as the future form, except a shutdown rejection
+  /// invokes \p Done inline on the submitting thread.
+  void submit(Request R, std::function<void(Response)> Done);
 
   /// Non-blocking submit for event-loop frontends: returns std::nullopt
   /// instead of blocking when the queue is at capacity (counted in
   /// ServiceStats::Rejected — the caller sheds load or retries). After
   /// shutdown() it behaves like submit(): an immediately resolved
-  /// "service is shut down" future, never nullopt, so callers can tell
-  /// "retry later" from "never".
+  /// RequestOutcome::Shutdown future, never nullopt, so callers can
+  /// tell "retry later" from "never".
   std::optional<std::future<Response>> trySubmit(Request R);
 
-  /// Stops accepting work, finishes every queued request, joins the
-  /// workers. Idempotent; the destructor calls it.
+  /// Stops accepting work, wakes any producer blocked in submit(),
+  /// finishes every queued request, joins the workers. Idempotent and
+  /// safe to race from several threads; the destructor calls it.
   void shutdown();
 
   ServiceStats stats() const;
@@ -221,13 +99,10 @@ public:
   const rt::PagePool *pagePool() const { return Pool.get(); }
 
 private:
-  struct Job {
-    Request Req;
-    std::promise<Response> Promise;
-  };
-
+  /// Admission: stamps CostKey/Seq, hands the job to the scheduler,
+  /// bumps counters. Caller holds QueueMutex and has checked !Stopping.
+  void enqueue(ScheduledJob J);
   void workerMain();
-  Response process(const Request &Req);
 
   ServiceConfig Cfg;
   CompileCache Cache;
@@ -235,14 +110,23 @@ private:
   /// it is declared before (destroyed after) the worker threads, and
   /// shutdown() joins them before any member dies anyway.
   std::unique_ptr<rt::PagePool> Pool;
+  /// Stateless over Cfg/Cache/Pool; shared by all workers.
+  Executor Exec;
   std::vector<std::thread> Threads;
   std::chrono::steady_clock::time_point Started;
 
   mutable std::mutex QueueMutex;
   std::condition_variable NotEmpty; // workers wait: queue has work/stop
   std::condition_variable NotFull;  // producers wait: queue has room
-  std::deque<Job> Queue;
+  /// The dequeue policy; externally synchronized by QueueMutex.
+  std::unique_ptr<Scheduler> Sched;
+  /// Admission order stamp for ScheduledJob::Seq (under QueueMutex).
+  uint64_t NextSeq = 0;
   bool Stopping = false;
+
+  /// Serializes the join phase of racing shutdown() calls (QueueMutex
+  /// cannot be held across join — workers take it to drain).
+  std::mutex JoinMutex;
 
   mutable std::mutex StatsMutex;
   ServiceStats Counters; // queue/uptime fields filled in stats()

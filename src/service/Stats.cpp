@@ -1,0 +1,47 @@
+//===- service/Stats.cpp --------------------------------------------------===//
+
+#include "service/Stats.h"
+
+#include "support/Trace.h"
+
+#include <sstream>
+
+using namespace rml;
+using namespace rml::service;
+
+std::string ServiceStats::json() const {
+  std::ostringstream Out;
+  Out << "{\"submitted\":" << Submitted << ",\"rejected\":" << Rejected
+      << ",\"completed\":" << Completed
+      << ",\"compile_errors\":" << CompileErrors
+      << ",\"budget_exceeded\":" << BudgetExceeded
+      << ",\"runs_ok\":" << RunsOk << ",\"runs_failed\":" << RunsFailed
+      << ",\"cache_hits\":" << CacheHits << ",\"cache_misses\":" << CacheMisses
+      << ",\"cache_evictions\":" << CacheEvictions
+      << ",\"queue_depth\":" << QueueDepth
+      << ",\"queue_high_water\":" << QueueHighWater
+      << ",\"workers\":" << Workers
+      << ",\"sched\":\"" << jsonEscaped(Policy) << "\""
+      << ",\"gc_count\":" << TotalGcCount
+      << ",\"alloc_words\":" << TotalAllocWords
+      << ",\"copied_words\":" << TotalCopiedWords
+      << ",\"pool_hits\":" << PoolAcquireHits
+      << ",\"pool_misses\":" << PoolAcquireMisses
+      << ",\"pool_releases\":" << PoolReleases
+      << ",\"pool_trims\":" << PoolTrims
+      << ",\"pool_prewarmed\":" << PoolPrewarmed
+      << ",\"pool_free_pages\":" << PoolFreePages
+      << ",\"pool_capacity\":" << PoolCapacity
+      << ",\"pool_reuse\":" << poolReuseRatio() << ",\"phases\":{";
+  for (size_t I = 0; I < Phases.size(); ++I) {
+    if (I)
+      Out << ",";
+    Out << "\"" << jsonEscaped(Phases[I].Name)
+        << "\":{\"sum_nanos\":" << Phases[I].SumNanos
+        << ",\"max_nanos\":" << Phases[I].MaxNanos
+        << ",\"count\":" << Phases[I].Count << "}";
+  }
+  Out << "},\"busy_nanos\":" << BusyNanos << ",\"uptime_nanos\":" << UptimeNanos
+      << ",\"utilization\":" << utilization() << "}";
+  return Out.str();
+}

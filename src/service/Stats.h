@@ -1,0 +1,89 @@
+//===- service/Stats.h - Service statistics ---------------------*- C++ -*-===//
+//
+// Part of RegionML, a reproduction of "Garbage-Collection Safety for
+// Region-Based Type-Polymorphic Programs" (Elsman, PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RML_SERVICE_STATS_H
+#define RML_SERVICE_STATS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rml::service {
+
+/// A point-in-time statistics snapshot; also renderable as one-line JSON
+/// (every string — phase names included — is escaped, so embedded user
+/// source cannot break the line).
+struct ServiceStats {
+  /// Aggregate cost of one pipeline phase across every completed
+  /// request (skipped phases — cache hits, a disabled checker — do not
+  /// contribute): utilization decomposed by phase.
+  struct PhaseAggregate {
+    std::string Name;
+    uint64_t SumNanos = 0;
+    uint64_t MaxNanos = 0;
+    /// Executed (non-skipped) instances of the phase.
+    uint64_t Count = 0;
+  };
+
+  uint64_t Submitted = 0;
+  /// trySubmit() calls turned away at a full queue.
+  uint64_t Rejected = 0;
+  uint64_t Completed = 0;
+  uint64_t CompileErrors = 0;
+  /// Requests cut off by a ServiceConfig::PhaseBudgets budget
+  /// (RequestOutcome::Budget). Disjoint from CompileErrors.
+  uint64_t BudgetExceeded = 0;
+  uint64_t RunsOk = 0;
+  uint64_t RunsFailed = 0;
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  uint64_t CacheEvictions = 0;
+  /// Deepest the queue ever got (backpressure high-water mark).
+  uint64_t QueueHighWater = 0;
+  uint64_t QueueDepth = 0;
+  unsigned Workers = 0;
+  /// The active scheduler's policy name ("fifo", "ljf").
+  std::string Policy;
+  /// Sum over runs of HeapStats counters (the serving-level GC bill).
+  uint64_t TotalGcCount = 0;
+  uint64_t TotalAllocWords = 0;
+  uint64_t TotalCopiedWords = 0;
+  /// Cross-request page pool counters (all zero when pooling is off).
+  uint64_t PoolAcquireHits = 0;
+  uint64_t PoolAcquireMisses = 0;
+  uint64_t PoolReleases = 0;
+  uint64_t PoolTrims = 0;
+  uint64_t PoolPrewarmed = 0;
+  uint64_t PoolFreePages = 0;
+  uint64_t PoolCapacity = 0;
+  /// Nanoseconds workers spent processing (vs idle) and service uptime.
+  uint64_t BusyNanos = 0;
+  uint64_t UptimeNanos = 0;
+  /// One aggregate per pipeline phase, in stable order: the static
+  /// phases (Compiler::staticPhaseNames()) then the runtime phase.
+  std::vector<PhaseAggregate> Phases;
+
+  /// Fraction of standard-page demand served by pool reuse, in [0,1].
+  double poolReuseRatio() const {
+    uint64_t Total = PoolAcquireHits + PoolAcquireMisses;
+    return Total ? static_cast<double>(PoolAcquireHits) / Total : 0.0;
+  }
+
+  /// Fraction of worker-thread time spent processing, in [0,1].
+  double utilization() const {
+    double Denom =
+        static_cast<double>(Workers) * static_cast<double>(UptimeNanos);
+    return Denom > 0 ? static_cast<double>(BusyNanos) / Denom : 0.0;
+  }
+
+  /// One-line JSON rendering of every counter (stable key order).
+  std::string json() const;
+};
+
+} // namespace rml::service
+
+#endif // RML_SERVICE_STATS_H

@@ -18,6 +18,52 @@ uint64_t rml::traceNowNanos() {
 
 TraceSink::~TraceSink() = default;
 
+void rml::appendJsonEscaped(std::string &Out, std::string_view S) {
+  static const char Hex[] = "0123456789abcdef";
+  for (char C : S) {
+    unsigned char U = static_cast<unsigned char>(C);
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      continue;
+    case '\\':
+      Out += "\\\\";
+      continue;
+    case '\b':
+      Out += "\\b";
+      continue;
+    case '\f':
+      Out += "\\f";
+      continue;
+    case '\n':
+      Out += "\\n";
+      continue;
+    case '\r':
+      Out += "\\r";
+      continue;
+    case '\t':
+      Out += "\\t";
+      continue;
+    default:
+      break;
+    }
+    if (U < 0x20) {
+      Out += "\\u00";
+      Out += Hex[U >> 4];
+      Out += Hex[U & 0xf];
+    } else {
+      Out += C;
+    }
+  }
+}
+
+std::string rml::jsonEscaped(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  appendJsonEscaped(Out, S);
+  return Out;
+}
+
 NoopTraceSink &NoopTraceSink::instance() {
   static NoopTraceSink Sink;
   return Sink;
@@ -34,23 +80,6 @@ void ChromeTraceSink::record(const PhaseProfile &P) {
   (void)New;
   Events.push_back({P, It->second});
 }
-
-namespace {
-
-/// Phase names are identifiers today, but the format must stay valid
-/// JSON whatever a future phase is called.
-void appendEscaped(std::ostream &Out, const std::string &S) {
-  for (char C : S) {
-    if (C == '"' || C == '\\')
-      Out << '\\';
-    if (static_cast<unsigned char>(C) < 0x20)
-      Out << ' ';
-    else
-      Out << C;
-  }
-}
-
-} // namespace
 
 std::string ChromeTraceSink::json() const {
   std::lock_guard<std::mutex> Lock(M);
@@ -71,10 +100,9 @@ std::string ChromeTraceSink::json() const {
     if (!First)
       Out << ",";
     First = false;
-    Out << "{\"name\":\"";
-    appendEscaped(Out, E.P.Name);
     // "X" complete events; ts/dur are microseconds per the spec.
-    Out << "\",\"cat\":\"phase\",\"ph\":\"X\",\"ts\":"
+    Out << "{\"name\":\"" << jsonEscaped(E.P.Name)
+        << "\",\"cat\":\"phase\",\"ph\":\"X\",\"ts\":"
         << (E.P.StartNanos - Base) / 1000.0
         << ",\"dur\":" << E.P.WallNanos / 1000.0
         << ",\"pid\":1,\"tid\":" << E.Tid
@@ -83,6 +111,18 @@ std::string ChromeTraceSink::json() const {
         << ",\"gc\":" << E.P.GcCount << ",\"alloc_words\":" << E.P.AllocWords
         << ",\"copied_words\":" << E.P.CopiedWords
         << ",\"skipped\":" << (E.P.Skipped ? 1 : 0) << "}}";
+    // The run phase's collector stalls: same pid/tid as the parent
+    // span, strictly inside its [ts, ts+dur] window, so trace viewers
+    // nest them under the run slice.
+    for (const GcPauseRecord &G : E.P.GcPauses) {
+      Out << ",{\"name\":\"" << (G.Minor ? "gc:minor" : "gc:major")
+          << "\",\"cat\":\"gc\",\"ph\":\"X\",\"ts\":"
+          << (G.StartNanos - Base) / 1000.0
+          << ",\"dur\":" << G.WallNanos / 1000.0
+          << ",\"pid\":1,\"tid\":" << E.Tid
+          << ",\"args\":{\"copied_words\":" << G.CopiedWords
+          << ",\"live_regions\":" << G.LiveRegions << "}}";
+    }
   }
   Out << "],\"displayTimeUnit\":\"ms\"}";
   return Out.str();

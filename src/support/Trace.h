@@ -31,11 +31,26 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 namespace rml {
+
+/// One collector stall inside a run: where the pause sat on the
+/// timeline, which kind of collection it was, and what it moved. The
+/// begin/end pair is carried as (StartNanos, StartNanos + WallNanos).
+struct GcPauseRecord {
+  /// Pause begin on the steady clock (see traceNowNanos()).
+  uint64_t StartNanos = 0;
+  uint64_t WallNanos = 0;
+  /// Minor (young pages only) vs major collection.
+  bool Minor = false;
+  uint64_t CopiedWords = 0;
+  /// Live regions the collector traced through.
+  uint64_t LiveRegions = 0;
+};
 
 /// What one pipeline phase cost. Static phases fill the first group;
 /// the runtime "run" phase additionally folds in its HeapStats (the
@@ -56,11 +71,25 @@ struct PhaseProfile {
   uint64_t GcCount = 0;
   uint64_t AllocWords = 0;
   uint64_t CopiedWords = 0;
+  /// Runtime-phase fold-in of the run's collector stalls, in pause
+  /// order; empty for static phases. ChromeTraceSink renders these as
+  /// events nested inside the run span.
+  std::vector<GcPauseRecord> GcPauses;
 };
 
 /// Nanoseconds on the steady clock (the epoch is arbitrary but fixed
 /// for the process; profiles from different threads are comparable).
 uint64_t traceNowNanos();
+
+/// Appends \p S to \p Out as the body of a JSON string literal:
+/// backslashes and quotes are escaped, control characters become their
+/// short escapes (\n, \t, ...) or \u00XX. Phase diagnostics and future
+/// phase names can embed user source, so every string the trace and
+/// stats renderers emit goes through here.
+void appendJsonEscaped(std::string &Out, std::string_view S);
+
+/// Convenience form of appendJsonEscaped.
+std::string jsonEscaped(std::string_view S);
 
 /// Where finished PhaseProfiles go. Implementations consumed by
 /// concurrent pipelines (the service workers) must be thread-safe.
@@ -68,6 +97,11 @@ class TraceSink {
 public:
   virtual ~TraceSink();
   virtual void record(const PhaseProfile &P) = 0;
+  /// Streaming view of one collector pause, delivered as it ends (the
+  /// evaluator's rt::EvalOptions::PauseSink hook). The default discards
+  /// it: pauses also ride inside the run PhaseProfile's GcPauses, so
+  /// most sinks need only record(). Override for live pause telemetry.
+  virtual void recordGcPause(const GcPauseRecord &) {}
 };
 
 /// Discards every profile. Stateless and trivially thread-safe.
@@ -80,8 +114,11 @@ public:
 
 /// Thread-safe collector rendering the Chrome trace-event format: one
 /// "X" (complete) event per recorded profile, timestamps normalised to
-/// the earliest recorded phase, one tid per recording thread. The JSON
-/// object shape is {"traceEvents":[...],"displayTimeUnit":"ms"}.
+/// the earliest recorded phase, one tid per recording thread. A run
+/// profile's GcPauses render as additional "gc:minor"/"gc:major" events
+/// on the same tid, so viewers nest the collector stalls inside the run
+/// span. The JSON object shape is
+/// {"traceEvents":[...],"displayTimeUnit":"ms"}.
 class ChromeTraceSink final : public TraceSink {
 public:
   void record(const PhaseProfile &P) override;

@@ -284,6 +284,89 @@ TEST_F(PipelineTest, RunFillsRuntimePhaseProfile) {
   EXPECT_GT(R.Phase.GcCount, 0u);
 }
 
+TEST_F(PipelineTest, RunPhaseCarriesPerPauseGcRecords) {
+  Compiler C;
+  auto Unit = C.compile("work 100000");
+  ASSERT_NE(Unit, nullptr);
+  rt::EvalOptions E;
+  E.GcThresholdWords = 4096;
+  rt::RunResult R = C.run(*Unit, E);
+  ASSERT_EQ(R.Outcome, rt::RunOutcome::Ok) << R.Error;
+
+  // One record per collection, folded into the runtime phase profile.
+  ASSERT_GT(R.GcPauses.size(), 0u);
+  EXPECT_EQ(R.GcPauses.size(), R.Heap.GcCount);
+  ASSERT_EQ(R.Phase.GcPauses.size(), R.GcPauses.size());
+
+  uint64_t CopiedSum = 0;
+  for (size_t I = 0; I < R.GcPauses.size(); ++I) {
+    const GcPauseRecord &G = R.GcPauses[I];
+    EXPECT_GT(G.WallNanos, 0u) << "pause " << I;
+    EXPECT_GE(G.StartNanos, R.Phase.StartNanos) << "pause " << I;
+    // Pauses nest inside the run span and arrive in time order.
+    EXPECT_LE(G.StartNanos + G.WallNanos,
+              R.Phase.StartNanos + R.Phase.WallNanos)
+        << "pause " << I;
+    if (I > 0) {
+      EXPECT_GE(G.StartNanos, R.GcPauses[I - 1].StartNanos);
+    }
+    EXPECT_GT(G.LiveRegions, 0u) << "pause " << I;
+    CopiedSum += G.CopiedWords;
+  }
+  EXPECT_EQ(CopiedSum, R.Heap.CopiedWords);
+}
+
+TEST_F(PipelineTest, EvalOptionsPauseSinkSeesEveryPause) {
+  class PauseCounter final : public TraceSink {
+  public:
+    void record(const PhaseProfile &) override {}
+    void recordGcPause(const GcPauseRecord &G) override {
+      ++Pauses;
+      Copied += G.CopiedWords;
+    }
+    unsigned Pauses = 0;
+    uint64_t Copied = 0;
+  };
+  PauseCounter Sink;
+  Compiler C;
+  auto Unit = C.compile("work 100000");
+  ASSERT_NE(Unit, nullptr);
+  rt::EvalOptions E;
+  E.GcThresholdWords = 4096;
+  E.PauseSink = &Sink;
+  rt::RunResult R = C.run(*Unit, E);
+  ASSERT_EQ(R.Outcome, rt::RunOutcome::Ok) << R.Error;
+  EXPECT_EQ(Sink.Pauses, R.GcPauses.size());
+  EXPECT_EQ(Sink.Copied, R.Heap.CopiedWords);
+}
+
+TEST_F(PipelineTest, PhaseGovernorCutsOffAtPhaseBoundary) {
+  /// Stops the pipeline right after the named phase executes.
+  class StopAfter final : public PhaseGovernor {
+  public:
+    explicit StopAfter(std::string Phase) : Phase(std::move(Phase)) {}
+    bool keepGoing(const PhaseProfile &P) override { return P.Name != Phase; }
+    std::string Phase;
+  };
+
+  StopAfter G("typecheck");
+  Compiler C;
+  C.setPhaseGovernor(&G);
+  EXPECT_EQ(C.compile("1 + 2"), nullptr);
+  EXPECT_TRUE(C.wasCutOff());
+  // A governor stop is not a diagnosed failure …
+  EXPECT_FALSE(C.diagnostics().hasErrors());
+  // … and the profile list ends at the phase that tripped it.
+  ASSERT_FALSE(C.lastPhaseProfiles().empty());
+  EXPECT_EQ(C.lastPhaseProfiles().back().Name, "typecheck");
+
+  // Removing the governor restores normal compilation, and a compile
+  // that finishes on its own clears the cut-off flag.
+  C.setPhaseGovernor(nullptr);
+  EXPECT_NE(C.compile("1 + 2"), nullptr);
+  EXPECT_FALSE(C.wasCutOff());
+}
+
 TEST_F(PipelineTest, TraceSinkSeesEveryExecutedPhase) {
   class Names final : public TraceSink {
   public:

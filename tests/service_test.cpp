@@ -450,6 +450,156 @@ TEST(ServiceTest, ShutdownDrainsThenRejects) {
   EXPECT_NE(Late.Diagnostics.find("shut down"), std::string::npos);
 }
 
+TEST(ServiceTest, CallbackSubmitCompletesOnAWorkerThread) {
+  Service Svc({/*Workers=*/2, /*QueueCapacity=*/8, /*CacheCapacity=*/4});
+  std::atomic<bool> Done{false};
+  std::string Result;
+  std::thread::id CallbackThread;
+  Request Req;
+  Req.Source = "6 * 7";
+  Svc.submit(Req, [&](Response R) {
+    EXPECT_EQ(R.Status, RequestOutcome::Ok) << R.Diagnostics;
+    Result = R.ResultText;
+    CallbackThread = std::this_thread::get_id();
+    Done.store(true, std::memory_order_release);
+  });
+  while (!Done.load(std::memory_order_acquire))
+    std::this_thread::yield();
+  EXPECT_EQ(Result, "42");
+  EXPECT_NE(CallbackThread, std::this_thread::get_id());
+  EXPECT_EQ(Svc.stats().Completed, 1u);
+}
+
+TEST(ServiceTest, CallbackSubmitAfterShutdownRejectsInline) {
+  Service Svc({/*Workers=*/1, /*QueueCapacity=*/4, /*CacheCapacity=*/0});
+  Svc.shutdown();
+  bool Invoked = false;
+  std::thread::id CallbackThread;
+  Request Req;
+  Req.Source = "1 + 1";
+  Svc.submit(Req, [&](Response R) {
+    EXPECT_EQ(R.Status, RequestOutcome::Shutdown);
+    EXPECT_NE(R.Diagnostics.find("shut down"), std::string::npos);
+    CallbackThread = std::this_thread::get_id();
+    Invoked = true;
+  });
+  EXPECT_TRUE(Invoked); // resolved by the time submit() returned
+  // Inline on the submitting thread — no worker is left to run it.
+  EXPECT_EQ(CallbackThread, std::this_thread::get_id());
+}
+
+// Satellite regression: a producer blocked in submit() on a full queue
+// must be woken by shutdown() and handed a Shutdown rejection — before
+// this fix it waited on NotFull forever (shutdown only notified the
+// workers' condition variable).
+TEST(ServiceTest, ShutdownWakesProducerBlockedOnFullQueue) {
+  Service Svc({/*Workers=*/1, /*QueueCapacity=*/1, /*CacheCapacity=*/0});
+
+  // Park the only worker inside a callback so the queue cannot drain.
+  std::atomic<bool> Parked{false};
+  std::atomic<bool> Release{false};
+  Request Blocker;
+  Blocker.Source = "0";
+  Blocker.Run = false;
+  Svc.submit(Blocker, [&](Response) {
+    Parked.store(true, std::memory_order_release);
+    while (!Release.load(std::memory_order_acquire))
+      std::this_thread::yield();
+  });
+  while (!Parked.load(std::memory_order_acquire))
+    std::this_thread::yield();
+
+  // Fill the queue (capacity 1) behind the parked worker...
+  Request Queued;
+  Queued.Source = "1 + 1";
+  std::future<Response> QueuedFuture = Svc.submit(Queued);
+
+  // ...so this submission blocks in submit() on backpressure.
+  std::atomic<bool> ProducerReturned{false};
+  std::future<Response> BlockedFuture;
+  std::thread Producer([&] {
+    Request Req;
+    Req.Source = "2 + 2";
+    BlockedFuture = Svc.submit(Req);
+    ProducerReturned.store(true, std::memory_order_release);
+  });
+
+  // shutdown() must wake the producer even while the worker stays
+  // parked; run it on its own thread because it also joins the workers,
+  // which needs the Release below.
+  std::thread Stopper([&] { Svc.shutdown(); });
+  while (!ProducerReturned.load(std::memory_order_acquire))
+    std::this_thread::yield(); // liveness: hangs here without the fix
+  Producer.join();
+  Release.store(true, std::memory_order_release);
+  Stopper.join();
+
+  Response Rejected = BlockedFuture.get();
+  EXPECT_EQ(Rejected.Status, RequestOutcome::Shutdown);
+  EXPECT_FALSE(Rejected.CompileOk);
+  // The request that made it into the queue before shutdown is drained
+  // and served normally.
+  Response Drained = QueuedFuture.get();
+  EXPECT_EQ(Drained.Status, RequestOutcome::Ok) << Drained.Diagnostics;
+  EXPECT_EQ(Drained.ResultText, "2");
+}
+
+//===----------------------------------------------------------------------===//
+// Tentpole: per-phase budgets at the Executor layer.
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceTest, ZeroInferBudgetCutsRequestsOff) {
+  ServiceConfig Cfg;
+  Cfg.Workers = 1;
+  Cfg.QueueCapacity = 4;
+  Cfg.CacheCapacity = 4;
+  Cfg.PhaseBudgets["infer"] = 0; // any executed infer phase is over
+  Service Svc(Cfg);
+
+  Request Req;
+  Req.Source = "1 + 2";
+  Response R = Svc.submit(Req).get();
+  EXPECT_EQ(R.Status, RequestOutcome::Budget);
+  EXPECT_FALSE(R.CompileOk);
+  EXPECT_NE(R.Error.find("'infer'"), std::string::npos) << R.Error;
+  EXPECT_NE(R.Diagnostics.find("exceeded its budget"), std::string::npos);
+  // The profile list stops at the phase that blew the budget.
+  ASSERT_FALSE(R.Profiles.empty());
+  EXPECT_EQ(R.Profiles.back().Name, "infer");
+
+  // Budget cut-offs are never cached: the identical source misses
+  // again (and trips again) instead of replaying a cached rejection.
+  Response R2 = Svc.submit(Req).get();
+  EXPECT_EQ(R2.Status, RequestOutcome::Budget);
+  EXPECT_FALSE(R2.CacheHit);
+
+  ServiceStats S = Svc.stats();
+  EXPECT_EQ(S.BudgetExceeded, 2u);
+  EXPECT_EQ(S.Completed, 2u);
+  EXPECT_EQ(S.CompileErrors, 0u); // over-budget is not a compile error
+  EXPECT_NE(S.json().find("\"budget_exceeded\":2"), std::string::npos);
+}
+
+TEST(ServiceTest, GenerousBudgetsLeaveRequestsAlone) {
+  ServiceConfig Cfg;
+  Cfg.Workers = 1;
+  Cfg.QueueCapacity = 4;
+  Cfg.CacheCapacity = 4;
+  // An hour per phase: present, therefore enforced, but never tripped.
+  Cfg.PhaseBudgets["parse"] = 3'600'000'000'000ull;
+  Cfg.PhaseBudgets["infer"] = 3'600'000'000'000ull;
+  Service Svc(Cfg);
+
+  Request Req;
+  Req.Source = "20 + 22";
+  Response R = Svc.submit(Req).get();
+  EXPECT_EQ(R.Status, RequestOutcome::Ok) << R.Error;
+  EXPECT_EQ(R.ResultText, "42");
+  // Within-budget compiles are cached as usual.
+  EXPECT_TRUE(Svc.submit(Req).get().CacheHit);
+  EXPECT_EQ(Svc.stats().BudgetExceeded, 0u);
+}
+
 TEST(ServiceTest, StatsJsonShape) {
   Service Svc({/*Workers=*/1, /*QueueCapacity=*/4, /*CacheCapacity=*/4});
   Request Req;
@@ -463,7 +613,8 @@ TEST(ServiceTest, StatsJsonShape) {
         "\"gc_count\":", "\"alloc_words\":", "\"queue_high_water\":",
         "\"utilization\":", "\"pool_hits\":", "\"pool_misses\":",
         "\"pool_releases\":", "\"pool_capacity\":1024", "\"pool_reuse\":",
-        "\"pool_prewarmed\":0", "\"phases\":{", "\"parse\":{\"sum_nanos\":",
+        "\"pool_prewarmed\":0", "\"budget_exceeded\":0",
+        "\"sched\":\"fifo\"", "\"phases\":{", "\"parse\":{\"sum_nanos\":",
         "\"run\":{\"sum_nanos\":", "\"max_nanos\":", "\"count\":"})
     EXPECT_NE(J.find(Key), std::string::npos) << J;
   EXPECT_EQ(J.find('\n'), std::string::npos); // one line

@@ -5,7 +5,8 @@
 #
 #   1. configure + build + full ctest in build/ (the tier-1 suite), and
 #   2. a -DRML_SANITIZE=thread build in build-tsan/ running the
-#      concurrency-sensitive labels: the service layer and the
+#      concurrency-sensitive labels: the service layer, the scheduler
+#      policies (completion-order and drain tests), and the
 #      cross-request page pool (including the 8-thread region-runtime
 #      stress test).
 #
@@ -23,9 +24,9 @@ cmake -B "$ROOT/build" -S "$ROOT"
 cmake --build "$ROOT/build" -j "$JOBS"
 ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS"
 
-echo "== tsan: service + pool labels =="
+echo "== tsan: service + pool + sched labels =="
 cmake -B "$ROOT/build-tsan" -S "$ROOT" -DRML_SANITIZE=thread
 cmake --build "$ROOT/build-tsan" -j "$JOBS"
-ctest --test-dir "$ROOT/build-tsan" -L 'service|pool' --output-on-failure
+ctest --test-dir "$ROOT/build-tsan" -L 'service|pool|sched' --output-on-failure
 
 echo "== check.sh: all green =="

@@ -30,6 +30,7 @@
 #include <filesystem>
 #include <fstream>
 #include <future>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -74,6 +75,12 @@ void usage() {
       "  --prewarm-pool         allocate the page pool eagerly so the\n"
       "                         first wave runs on recycled pages\n"
       "                         (--serve-batch only)\n"
+      "  --sched fifo|ljf       service dequeue policy: submission order\n"
+      "                         or longest-job-first by source length\n"
+      "                         (default fifo; --serve-batch only)\n"
+      "  --phase-budget P=NS    cut requests off once static phase P\n"
+      "                         (parse, infer, ...) exceeds NS nanos;\n"
+      "                         repeatable (--serve-batch only)\n"
       "  --time-phases          print a per-phase wall-time table (per\n"
       "                         request, or aggregated in --serve-batch)\n"
       "  --trace FILE           write a Chrome trace-event JSON of every\n"
@@ -170,9 +177,10 @@ void finishTrace(const ChromeTraceSink &Sink, const std::string &Path) {
 /// The --serve-batch driver: every program goes through the concurrent
 /// service; results print in submission order.
 int serveBatch(const std::string &Spec, unsigned Jobs, size_t CacheCap,
-               size_t PoolPages, bool PrewarmPool, const CompileOptions &Opts,
-               const rt::EvalOptions &EvalOpts, bool Stats, bool TimePhases,
-               const std::string &TracePath) {
+               size_t PoolPages, bool PrewarmPool, service::SchedPolicy Policy,
+               const std::map<std::string, uint64_t> &Budgets,
+               const CompileOptions &Opts, const rt::EvalOptions &EvalOpts,
+               bool Stats, bool TimePhases, const std::string &TracePath) {
   std::vector<std::string> Paths = collectBatchPaths(Spec);
   if (Paths.empty()) {
     std::fprintf(stderr, "rmlc: --serve-batch '%s' names no .mml programs\n",
@@ -186,6 +194,8 @@ int serveBatch(const std::string &Spec, unsigned Jobs, size_t CacheCap,
   Cfg.CacheCapacity = CacheCap;
   Cfg.PagePoolPages = PoolPages;
   Cfg.PrewarmPool = PrewarmPool;
+  Cfg.Policy = Policy;
+  Cfg.PhaseBudgets = Budgets;
   if (!TracePath.empty())
     Cfg.Trace = &Trace;
   service::Service Svc(Cfg);
@@ -210,7 +220,11 @@ int serveBatch(const std::string &Spec, unsigned Jobs, size_t CacheCap,
     service::Response R = Fut.get();
     const char *Status;
     std::string Detail;
-    if (!R.CompileOk) {
+    if (R.Status == service::RequestOutcome::Budget) {
+      Status = "over budget";
+      Detail = R.Error;
+      ++Failures;
+    } else if (!R.CompileOk) {
       Status = "compile error";
       Detail = R.Diagnostics;
       ++Failures;
@@ -230,6 +244,9 @@ int serveBatch(const std::string &Spec, unsigned Jobs, size_t CacheCap,
   }
 
   service::ServiceStats S = Svc.stats();
+  if (S.BudgetExceeded)
+    std::printf("[%llu request(s) cut off over phase budget]\n",
+                static_cast<unsigned long long>(S.BudgetExceeded));
   std::printf("%zu program(s), %d failure(s); %llu cache hit(s), "
               "%llu miss(es); queue high-water %llu; %.0f%% worker "
               "utilization; %llu gc run(s), %llu words allocated; "
@@ -266,6 +283,8 @@ int main(int Argc, char **Argv) {
   size_t CacheCap = 128;
   size_t PoolPages = rt::PagePool::DefaultMaxPages; // on by default
   bool PrewarmPool = false, TimePhases = false;
+  service::SchedPolicy Policy = service::SchedPolicy::Fifo;
+  std::map<std::string, uint64_t> Budgets;
   std::string TracePath;
 
   for (int I = 1; I < Argc; ++I) {
@@ -330,6 +349,21 @@ int main(int Argc, char **Argv) {
       PoolPages = std::strtoull(A + 12, nullptr, 10);
     } else if (!std::strcmp(A, "--prewarm-pool")) {
       PrewarmPool = true;
+    } else if (!std::strcmp(A, "--sched")) {
+      const char *S = Next();
+      if (!service::parseSchedPolicy(S, Policy)) {
+        std::fprintf(stderr, "rmlc: unknown scheduler '%s'\n", S);
+        return 2;
+      }
+    } else if (!std::strcmp(A, "--phase-budget")) {
+      const char *S = Next();
+      const char *Eq = std::strchr(S, '=');
+      if (!Eq || Eq == S) {
+        std::fprintf(stderr,
+                     "rmlc: --phase-budget wants PHASE=NANOS, got '%s'\n", S);
+        return 2;
+      }
+      Budgets[std::string(S, Eq)] = std::strtoull(Eq + 1, nullptr, 10);
     } else if (!std::strcmp(A, "--time-phases")) {
       TimePhases = true;
     } else if (!std::strcmp(A, "--trace")) {
@@ -355,8 +389,9 @@ int main(int Argc, char **Argv) {
     }
   }
   if (!BatchSpec.empty())
-    return serveBatch(BatchSpec, Jobs, CacheCap, PoolPages, PrewarmPool, Opts,
-                      EvalOpts, Stats, TimePhases, TracePath);
+    return serveBatch(BatchSpec, Jobs, CacheCap, PoolPages, PrewarmPool,
+                      Policy, Budgets, Opts, EvalOpts, Stats, TimePhases,
+                      TracePath);
   if (!HaveSource) {
     usage();
     return 2;
