@@ -42,6 +42,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
@@ -131,6 +132,50 @@ void runModeTable() {
                 Batch.size() / ColdSecs, Batch.size() / WarmSecs, Reused,
                 static_cast<unsigned long long>(S1.PoolFreePages));
   }
+}
+
+/// The persistent tier's value: a cold *process* (empty memory cache,
+/// empty directory) pays the full compile for every request and writes
+/// through; a second cold process pointed at the same directory serves
+/// the whole batch from disk without compiling. Both services start
+/// with an empty memory tier, so the delta is purely the disk tier.
+void diskTierTable() {
+  namespace fs = std::filesystem;
+  const std::vector<Request> Batch = buildBatch();
+  fs::path Dir = fs::temp_directory_path() / "rml_bench_disk_cache";
+  fs::remove_all(Dir);
+
+  std::printf("\npersistent disk tier (fresh process each row, shared "
+              "--cache-dir, %zu compile requests)\n",
+              Batch.size());
+  std::printf("%-8s %14s %18s %12s %11s\n", "workers", "cold-dir req/s",
+              "warm-dir req/s", "disk hits", "speedup");
+
+  for (unsigned Workers : {1u, 4u, 8u}) {
+    ServiceConfig Cfg;
+    Cfg.Workers = Workers;
+    Cfg.QueueCapacity = Batch.size();
+    Cfg.CacheCapacity = 2 * Batch.size();
+    Cfg.CacheDir = Dir.string();
+
+    fs::remove_all(Dir);
+    double ColdSecs, WarmSecs;
+    uint64_t DiskHits;
+    {
+      Service Cold(Cfg); // empty directory: misses + write-through
+      ColdSecs = submitAll(Cold, Batch);
+    }
+    {
+      Service Warm(Cfg); // fresh memory tier, populated directory
+      WarmSecs = submitAll(Warm, Batch);
+      DiskHits = Warm.stats().DiskHits;
+    }
+    std::printf("%-8u %14.1f %18.1f %9llu/%zu %10.1fx\n", Workers,
+                Batch.size() / ColdSecs, Batch.size() / WarmSecs,
+                static_cast<unsigned long long>(DiskHits), Batch.size(),
+                ColdSecs / WarmSecs);
+  }
+  fs::remove_all(Dir);
 }
 
 /// Where the time goes, per pipeline phase: the cold batch pays every
@@ -385,6 +430,7 @@ int main() {
               std::thread::hardware_concurrency());
 
   runModeTable();
+  diskTierTable();
   phaseBreakdownTable();
   latencyTable();
   return 0;

@@ -2,6 +2,8 @@
 
 #include "core/Pipeline.h"
 
+#include <unordered_set>
+
 using namespace rml;
 
 PhaseGovernor::~PhaseGovernor() = default;
@@ -39,6 +41,20 @@ bool Compiler::phaseParse(std::string_view Source, CompiledUnit &Unit) {
   if (!P)
     return false;
   Unit.Ast = std::move(*P);
+  // Lint: a top-level binding that reuses an earlier top-level name
+  // silently shadows it — legal, but in a serving setting it is almost
+  // always a copy-paste slip, and scheme queries only ever see the
+  // outermost binding. Exceptions declare constructors, not values, so
+  // they are exempt.
+  std::unordered_set<Symbol> Seen;
+  for (const Dec *D : Unit.Ast.Decs) {
+    if (D->K == Dec::Kind::Exn)
+      continue;
+    if (!Seen.insert(D->Name).second)
+      Diags.warning(D->Loc, "top-level binding '" + Names.text(D->Name) +
+                                "' shadows an earlier binding of the same "
+                                "name");
+  }
   return true;
 }
 
@@ -221,4 +237,27 @@ std::string Compiler::schemeOf(const CompiledUnit &Unit,
   if (!Fun)
     return "";
   return printScheme(Fun->Sigma);
+}
+
+std::vector<std::pair<std::string, std::string>>
+Compiler::topLevelSchemes(const CompiledUnit &Unit) const {
+  // The same walk as findTopLevelFun, collecting every function binding;
+  // first-wins dedupe matches its outermost-binding-wins semantics.
+  std::vector<std::pair<std::string, std::string>> Out;
+  std::unordered_set<Symbol> Seen;
+  const RExpr *E = Unit.program().Root;
+  while (E) {
+    if (E->K == RExpr::Kind::LetRegion) {
+      E = E->A;
+      continue;
+    }
+    if (E->K == RExpr::Kind::Let) {
+      if (E->A && E->A->K == RExpr::Kind::FunBind && Seen.insert(E->Name).second)
+        Out.emplace_back(Names.text(E->Name), printScheme(E->A->Sigma));
+      E = E->B;
+      continue;
+    }
+    break;
+  }
+  return Out;
 }

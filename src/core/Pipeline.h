@@ -202,6 +202,14 @@ public:
   /// Purely const (no interning), so safe on shared read-only units.
   std::string schemeOf(const CompiledUnit &Unit, std::string_view Name) const;
 
+  /// Every top-level function binding's (name, rendered scheme),
+  /// outermost first with later rebindings of a name dropped — exactly
+  /// the per-name answers schemeOf() gives, enumerated in one pass.
+  /// Purely const; the service's cache persists this table so scheme
+  /// queries answer byte-identically across tiers and process restarts.
+  std::vector<std::pair<std::string, std::string>>
+  topLevelSchemes(const CompiledUnit &Unit) const;
+
   DiagnosticEngine &diagnostics() { return Diags; }
   Interner &names() { return Names; }
   const Interner &names() const { return Names; }

@@ -2,6 +2,8 @@
 
 #include "service/Cache.h"
 
+#include "service/DiskCache.h"
+
 #include <algorithm>
 
 using namespace rml;
@@ -17,76 +19,150 @@ CachedCompileRef rml::service::compileShared(std::string_view Source,
   // Detach before freezing: the governor may die with its caller's
   // stack frame while the cached entry lives on (wasCutOff() persists).
   CC->Owner->setPhaseGovernor(nullptr);
+  CC->Ok = CC->Unit != nullptr;
   CC->Diagnostics = CC->Owner->diagnostics().str();
-  if (CC->Unit)
+  if (CC->Unit) {
     CC->Printed = CC->Owner->printProgram(*CC->Unit);
+    CC->Schemes = CC->Owner->topLevelSchemes(*CC->Unit);
+  }
   CC->Profiles = CC->Owner->lastPhaseProfiles();
   CC->Cost = std::max<size_t>(1, CC->Owner->arenaFootprint().total());
   return CC;
 }
 
+CompileCache::CompileCache(size_t Capacity, size_t CostCapacity,
+                           DiskCache *DiskTier)
+    : Cap(Capacity), CostCap(CostCapacity), Disk(DiskTier) {
+  // Entry capacity rounds up so tiny aggregate caps still admit one
+  // entry per shard; the cost budget divides evenly (tests pass
+  // multiples of NumShards when they need the bound exact).
+  ShardCap = Cap == 0 ? 0 : (Cap + NumShards - 1) / NumShards;
+  ShardCostCap = CostCap == 0 ? 0 : std::max<size_t>(1, CostCap / NumShards);
+}
+
 CachedCompileRef CompileCache::lookup(const CacheKey &K) {
-  std::lock_guard<std::mutex> Lock(M);
-  auto It = Map.find(K);
-  if (It == Map.end()) {
-    ++C.Misses;
-    return nullptr;
+  Shard &S = Shards[shardOf(K)];
+  {
+    std::lock_guard<std::mutex> Lock(S.M);
+    auto It = S.Map.find(K);
+    if (It != S.Map.end()) {
+      ++S.C.Hits;
+      S.Lru.splice(S.Lru.begin(), S.Lru, It->second); // refresh recency
+      It->second->Stamp = RecencyClock.fetch_add(1) + 1;
+      return It->second->Value;
+    }
+    ++S.C.Misses;
   }
-  ++C.Hits;
-  Lru.splice(Lru.begin(), Lru, It->second); // refresh recency
-  return It->second->second;
+  // Memory miss: consult the persistent tier outside the shard lock —
+  // disk I/O under a striped lock would serialise the very workers the
+  // shards exist to decouple.
+  if (!Disk || Cap == 0)
+    return nullptr;
+  CachedCompileRef FromDisk = Disk->load(K);
+  if (!FromDisk)
+    return nullptr;
+  // Promote without write-through (the bytes just came from that file).
+  std::lock_guard<std::mutex> Lock(S.M);
+  auto It = S.Map.find(K);
+  if (It != S.Map.end()) {
+    // A racing worker populated the slot meanwhile; prefer its entry —
+    // it may already be the hydrated, runnable one.
+    S.Lru.splice(S.Lru.begin(), S.Lru, It->second);
+    It->second->Stamp = RecencyClock.fetch_add(1) + 1;
+    return It->second->Value;
+  }
+  insertLocked(S, K, FromDisk);
+  return FromDisk;
 }
 
 void CompileCache::insert(const CacheKey &K, CachedCompileRef V) {
   if (Cap == 0)
     return;
-  std::lock_guard<std::mutex> Lock(M);
-  ++C.Insertions;
+  bool WriteThrough = Disk && V && !V->FromDisk;
+  Shard &S = Shards[shardOf(K)];
+  {
+    std::lock_guard<std::mutex> Lock(S.M);
+    insertLocked(S, K, V);
+  }
+  if (WriteThrough)
+    Disk->store(K, *V);
+}
+
+void CompileCache::insertLocked(Shard &S, const CacheKey &K,
+                                CachedCompileRef V) {
+  ++S.C.Insertions;
   size_t Cost = V ? V->Cost : 1;
-  auto It = Map.find(K);
-  if (It != Map.end()) {
+  uint64_t Stamp = RecencyClock.fetch_add(1) + 1;
+  auto It = S.Map.find(K);
+  if (It != S.Map.end()) {
     // Lost a compile race: keep the freshest value, refresh recency.
-    TotalCost -= It->second->second ? It->second->second->Cost : 1;
-    TotalCost += Cost;
-    It->second->second = std::move(V);
-    Lru.splice(Lru.begin(), Lru, It->second);
+    S.TotalCost -= It->second->Value ? It->second->Value->Cost : 1;
+    S.TotalCost += Cost;
+    It->second->Value = std::move(V);
+    It->second->Stamp = Stamp;
+    S.Lru.splice(S.Lru.begin(), S.Lru, It->second);
   } else {
-    Lru.emplace_front(K, std::move(V));
-    Map.emplace(Lru.front().first, Lru.begin());
-    TotalCost += Cost;
+    S.Lru.push_front(Node{K, std::move(V), Stamp});
+    S.Map.emplace(S.Lru.front().Key, S.Lru.begin());
+    S.TotalCost += Cost;
   }
   // Evict by count, then by summed arena footprint; the freshest entry
-  // is never evicted (see the class comment).
-  while (Map.size() > Cap ||
-         (CostCap != 0 && TotalCost > CostCap && Map.size() > 1)) {
-    const Node &Victim = Lru.back();
-    TotalCost -= Victim.second ? Victim.second->Cost : 1;
-    Map.erase(Victim.first);
-    Lru.pop_back();
-    ++C.Evictions;
+  // of the shard is never evicted (see the class comment).
+  while (S.Map.size() > ShardCap ||
+         (ShardCostCap != 0 && S.TotalCost > ShardCostCap &&
+          S.Map.size() > 1)) {
+    const Node &Victim = S.Lru.back();
+    S.TotalCost -= Victim.Value ? Victim.Value->Cost : 1;
+    S.Map.erase(Victim.Key);
+    S.Lru.pop_back();
+    ++S.C.Evictions;
   }
 }
 
 CompileCache::Counters CompileCache::counters() const {
-  std::lock_guard<std::mutex> Lock(M);
-  return C;
+  Counters Sum;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    Sum.Hits += S.C.Hits;
+    Sum.Misses += S.C.Misses;
+    Sum.Insertions += S.C.Insertions;
+    Sum.Evictions += S.C.Evictions;
+  }
+  return Sum;
 }
 
 size_t CompileCache::size() const {
-  std::lock_guard<std::mutex> Lock(M);
-  return Map.size();
+  size_t N = 0;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    N += S.Map.size();
+  }
+  return N;
 }
 
 size_t CompileCache::totalCost() const {
-  std::lock_guard<std::mutex> Lock(M);
-  return TotalCost;
+  size_t N = 0;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    N += S.TotalCost;
+  }
+  return N;
 }
 
 std::vector<uint64_t> CompileCache::recencyHashes() const {
-  std::lock_guard<std::mutex> Lock(M);
+  // Shards are locked one at a time; with concurrent writers this is a
+  // snapshot per shard, merged by the global recency stamps.
+  std::vector<std::pair<uint64_t, uint64_t>> Stamped; // (Stamp, Hash)
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    for (const Node &N : S.Lru)
+      Stamped.emplace_back(N.Stamp, N.Key.Hash);
+  }
+  std::sort(Stamped.begin(), Stamped.end(),
+            [](const auto &A, const auto &B) { return A.first > B.first; });
   std::vector<uint64_t> Out;
-  Out.reserve(Lru.size());
-  for (const Node &N : Lru)
-    Out.push_back(N.first.Hash);
+  Out.reserve(Stamped.size());
+  for (const auto &[Stamp, Hash] : Stamped)
+    Out.push_back(Hash);
   return Out;
 }

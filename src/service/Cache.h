@@ -1,4 +1,4 @@
-//===- service/Cache.h - LRU compile cache ----------------------*- C++ -*-===//
+//===- service/Cache.h - Sharded LRU compile cache --------------*- C++ -*-===//
 //
 // Part of RegionML, a reproduction of "Garbage-Collection Safety for
 // Region-Based Type-Polymorphic Programs" (Elsman, PLDI 2023).
@@ -6,8 +6,9 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A thread-safe LRU cache of compilations, content-addressed by
-/// (source, Strategy, SpuriousMode, Check) — see service/Hash.h.
+/// A thread-safe, sharded LRU cache of compilations, content-addressed
+/// by (source, Strategy, SpuriousMode, Check) — see service/Hash.h —
+/// with an optional persistent second tier (service/DiskCache.h).
 ///
 /// **How a CompiledUnit becomes shareable.** A CompiledUnit points into
 /// the arenas of the Compiler that built it, and Compiler::compile()
@@ -19,9 +20,19 @@
 /// Compiler::run(), printProgram() and schemeOf() are const and build
 /// all mutable state (region heap, evaluator stacks) per call — so any
 /// number of worker threads can run the same cached unit concurrently.
-/// (The alternative — serialising the static results out of the arenas —
-/// would copy every scheme and annotation per request; freezing the
-/// owner shares them at zero marginal cost.)
+///
+/// Entries loaded from the disk tier are the exception: they carry the
+/// persisted static products (Printed, Diagnostics, the scheme table)
+/// but no Owner/Unit — runnable() is false — and the first Run=true
+/// request hydrates them by recompiling once (Executor::process).
+///
+/// **Sharding.** The map is split into NumShards key-hash-addressed
+/// shards, each with its own mutex, LRU list and cost budget, so
+/// workers contending on distinct keys proceed in parallel. The
+/// cost-eviction invariant ("the freshest entry is never evicted")
+/// holds per shard; the aggregate surface — counters(), size(),
+/// totalCost(), recencyHashes() — merges the shards, the last in
+/// global recency order via per-entry recency stamps.
 ///
 /// Failed compilations are cached too (Unit == null + rendered
 /// diagnostics): repeated ill-typed submissions are common in a serving
@@ -34,6 +45,8 @@
 
 #include "service/Hash.h"
 
+#include <array>
+#include <atomic>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -41,19 +54,35 @@
 
 namespace rml::service {
 
+class DiskCache;
+
 /// One immutable compilation: the frozen owner Compiler, the unit it
-/// produced (null if compilation failed), and the products that are
-/// cheaper to render once than per request.
+/// produced (null if compilation failed or the entry came from disk),
+/// and the products that are cheaper to render once than per request.
 struct CachedCompile {
   /// The dedicated Compiler whose arenas own Unit. Never compiled on
-  /// again; only its const surface is used after construction.
+  /// again; only its const surface is used after construction. Null for
+  /// disk-tier entries.
   std::unique_ptr<Compiler> Owner;
-  /// Null when compilation failed (then Diagnostics says why).
+  /// Null when compilation failed (then Diagnostics says why) or when
+  /// the entry was loaded from disk (then runnable() is false even for
+  /// a successful compile).
   std::unique_ptr<CompiledUnit> Unit;
+  /// Whether the compile this entry records succeeded. For fresh
+  /// compiles this mirrors Unit != nullptr; for disk-tier entries it is
+  /// the persisted verdict.
+  bool Ok = false;
+  /// Set on entries synthesised by DiskCache::load — they carry static
+  /// products only and are never written back to disk.
+  bool FromDisk = false;
   /// Rendered diagnostics (errors and warnings) of the compile.
   std::string Diagnostics;
   /// printProgram() output, rendered once at compile time.
   std::string Printed;
+  /// Every top-level binding's rendered scheme, outermost first (the
+  /// lookup order of Compiler::schemeOf). Persisted by the disk tier,
+  /// so scheme queries are byte-identical across tiers and restarts.
+  std::vector<std::pair<std::string, std::string>> Schemes;
   /// The static phase profiles of the one compile that built this
   /// entry (Compiler::lastPhaseProfiles(); partial when it failed).
   /// Cache hits report these names as skipped/zero — the work was
@@ -65,17 +94,26 @@ struct CachedCompile {
   /// pin it.
   size_t Cost = 1;
 
-  bool ok() const { return Unit != nullptr; }
+  bool ok() const { return Ok; }
+  /// True when the entry holds a live CompiledUnit — i.e. run() is
+  /// available. Disk-tier entries are ok() but not runnable() until a
+  /// Run=true request hydrates them.
+  bool runnable() const { return Unit != nullptr; }
 
-  /// Read-only run of the cached unit (unit must be non-null). Safe
+  /// Read-only run of the cached unit (runnable() must hold). Safe
   /// concurrently from many threads.
   rt::RunResult run(rt::EvalOptions EvalOpts = {}) const {
     return Owner->run(*Unit, EvalOpts);
   }
 
-  /// Scheme rendering on the frozen interner (const; "" if unknown).
+  /// Scheme of the outermost top-level binding named \p Name, from the
+  /// persisted table ("" if unknown). Identical bytes whether the entry
+  /// is fresh or from disk.
   std::string schemeOf(std::string_view Name) const {
-    return Unit ? Owner->schemeOf(*Unit, Name) : std::string();
+    for (const auto &[N, S] : Schemes)
+      if (N == Name)
+        return S;
+    return std::string();
   }
 };
 
@@ -94,16 +132,23 @@ CachedCompileRef compileShared(std::string_view Source,
                                const CompileOptions &Opts,
                                PhaseGovernor *Governor = nullptr);
 
-/// Thread-safe LRU cache: unordered_map from CacheKey to a node of the
-/// recency list; front of the list is most recently used. Capacity 0
-/// disables caching (every lookup misses, insert is a no-op).
+/// Thread-safe sharded LRU cache: NumShards independent (mutex, LRU
+/// list, map) triples addressed by key hash; front of each list is that
+/// shard's most recently used entry. Capacity 0 disables caching (every
+/// lookup misses, insert is a no-op).
 ///
-/// Eviction is cost-aware: besides the entry-count capacity, an
-/// optional CostCapacity bounds the summed CachedCompile::Cost (arena
-/// footprint) of the resident entries, evicting from the LRU end until
-/// the bound holds again. The most recently inserted entry always
-/// stays, even when it alone exceeds the bound — a cache that rejects
-/// its newest entry would re-compile it on every request.
+/// The entry capacity and the optional CostCapacity are split across
+/// shards (rounding the per-shard entry capacity up, so tiny caps still
+/// admit one entry per shard). Eviction is cost-aware per shard: beyond
+/// the entry count, the per-shard cost budget bounds the summed
+/// CachedCompile::Cost, evicting from the LRU end until the bound holds
+/// again. The most recently inserted entry of a shard always stays,
+/// even when it alone exceeds the budget — a cache that rejects its
+/// newest entry would re-compile it on every request.
+///
+/// With a DiskCache attached, a memory miss consults the disk tier
+/// (outside any shard lock) and promotes a verified hit into the shard;
+/// fresh inserts write through.
 class CompileCache {
 public:
   struct Counters {
@@ -113,39 +158,70 @@ public:
     uint64_t Evictions = 0;
   };
 
-  explicit CompileCache(size_t Capacity, size_t CostCapacity = 0)
-      : Cap(Capacity), CostCap(CostCapacity) {}
+  static constexpr size_t NumShards = 8;
+
+  /// Shard index of \p K: the top bits of a Fibonacci-mixed hash, so
+  /// consecutive FNV values spread instead of clustering. Exposed for
+  /// tests that need same-shard key sets.
+  static size_t shardOf(const CacheKey &K) {
+    return static_cast<size_t>((K.Hash * 0x9E3779B97F4A7C15ull) >> 61);
+  }
+
+  explicit CompileCache(size_t Capacity, size_t CostCapacity = 0,
+                        DiskCache *Disk = nullptr);
 
   /// Returns the cached compilation and refreshes its recency, or null.
-  /// Counts a hit or a miss.
+  /// Counts a hit or a miss; a memory miss falls through to the disk
+  /// tier when one is attached.
   CachedCompileRef lookup(const CacheKey &K);
 
-  /// Inserts (or refreshes) \p K, evicting the least recently used entry
-  /// beyond capacity. Two workers racing to insert the same key is
-  /// benign: the second insert wins the map slot, and the first result
-  /// stays valid for whoever already holds its shared_ptr.
+  /// Inserts (or refreshes) \p K, evicting the least recently used
+  /// entries of its shard beyond the per-shard budgets, and writes the
+  /// entry through to the disk tier. Two workers racing to insert the
+  /// same key is benign: the second insert wins the map slot, and the
+  /// first result stays valid for whoever already holds its shared_ptr.
   void insert(const CacheKey &K, CachedCompileRef V);
 
   Counters counters() const;
   size_t size() const;
   size_t capacity() const { return Cap; }
   size_t costCapacity() const { return CostCap; }
-  /// Summed Cost of the resident entries.
+  /// Summed Cost of the resident entries, across shards.
   size_t totalCost() const;
 
-  /// Keys from most to least recently used (testing / introspection).
+  /// Keys from most to least recently used, merged across shards by
+  /// recency stamp (testing / introspection).
   std::vector<uint64_t> recencyHashes() const;
 
 private:
-  using Node = std::pair<CacheKey, CachedCompileRef>;
+  struct Node {
+    CacheKey Key;
+    CachedCompileRef Value;
+    /// Global recency stamp (RecencyClock at last touch); merges the
+    /// per-shard LRU orders into one global order.
+    uint64_t Stamp = 0;
+  };
 
-  mutable std::mutex M;
-  size_t Cap;
-  size_t CostCap;       // 0 = unbounded cost
-  size_t TotalCost = 0; // summed Cost of resident entries
-  std::list<Node> Lru;  // front = most recent
-  std::unordered_map<CacheKey, std::list<Node>::iterator, CacheKeyHash> Map;
-  Counters C;
+  struct Shard {
+    mutable std::mutex M;
+    size_t TotalCost = 0;
+    std::list<Node> Lru; // front = most recent
+    std::unordered_map<CacheKey, std::list<Node>::iterator, CacheKeyHash> Map;
+    Counters C;
+  };
+
+  /// Inserts into \p S under its lock. WriteThrough distinguishes fresh
+  /// inserts (persist to disk) from disk-tier promotions (already
+  /// persisted).
+  void insertLocked(Shard &S, const CacheKey &K, CachedCompileRef V);
+
+  size_t Cap;        // aggregate entry capacity (0 disables)
+  size_t CostCap;    // aggregate cost capacity (0 = unbounded)
+  size_t ShardCap;   // per-shard entry capacity
+  size_t ShardCostCap; // per-shard cost capacity
+  DiskCache *Disk;   // optional second tier (not owned)
+  std::atomic<uint64_t> RecencyClock{0};
+  std::array<Shard, NumShards> Shards;
 };
 
 } // namespace rml::service

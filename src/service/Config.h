@@ -48,6 +48,15 @@ struct ServiceConfig {
   /// Bound on the cache's summed arena footprint (nodes across frozen
   /// per-entry Compilers); 0 leaves cost unbounded (entry count only).
   size_t CacheCostCapacity = 0;
+  /// Directory for the persistent compile-cache tier (rmlc --cache-dir):
+  /// each successful or failed compile's static products are written as
+  /// one content-hash-named file, and a memory miss consults the
+  /// directory before recompiling, so warm starts survive process
+  /// restarts and the directory may be shared between processes. Empty
+  /// (the default) disables the disk tier; CacheCapacity == 0 disables
+  /// it too (the disk tier sits beneath the memory tier, not beside
+  /// it). See service/DiskCache.h for the format and fail-closed rules.
+  std::string CacheDir;
   /// Standard region pages the cross-request PagePool may hold; worker
   /// runs draw pages from it and recycle them back on heap teardown.
   /// 0 disables pooling (every run round-trips the allocator). Requests

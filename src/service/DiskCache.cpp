@@ -1,0 +1,227 @@
+//===- service/DiskCache.cpp ----------------------------------------------===//
+
+#include "service/DiskCache.h"
+
+#include "service/Cache.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+using namespace rml;
+using namespace rml::service;
+
+namespace fs = std::filesystem;
+
+constexpr char DiskCache::Magic[8];
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Serialisation primitives: explicit little-endian fixed widths, so an
+// entry written on any platform parses on any other (and format drift
+// is caught by the version field, not by silent misreads).
+//===----------------------------------------------------------------------===//
+
+void putU32(std::string &Out, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+void putU64(std::string &Out, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+void putStr(std::string &Out, std::string_view S) {
+  putU64(Out, S.size());
+  Out.append(S.data(), S.size());
+}
+
+/// Bounds-checked reader over a loaded entry. Every get sets Ok = false
+/// on underrun and returns a zero value; the caller checks Ok once at
+/// the end (plus "cursor consumed everything"), so any truncation or
+/// corruption anywhere in the file degrades to one rejection.
+struct Reader {
+  std::string_view Buf;
+  size_t Pos = 0;
+  bool Ok = true;
+
+  bool take(size_t N) {
+    if (!Ok || Buf.size() - Pos < N) {
+      Ok = false;
+      return false;
+    }
+    return true;
+  }
+  uint32_t u32() {
+    if (!take(4))
+      return 0;
+    uint32_t V = 0;
+    for (int I = 0; I < 4; ++I)
+      V |= static_cast<uint32_t>(static_cast<unsigned char>(Buf[Pos++]))
+           << (8 * I);
+    return V;
+  }
+  uint64_t u64() {
+    if (!take(8))
+      return 0;
+    uint64_t V = 0;
+    for (int I = 0; I < 8; ++I)
+      V |= static_cast<uint64_t>(static_cast<unsigned char>(Buf[Pos++]))
+           << (8 * I);
+    return V;
+  }
+  uint8_t u8() {
+    if (!take(1))
+      return 0;
+    return static_cast<unsigned char>(Buf[Pos++]);
+  }
+  std::string str() {
+    uint64_t N = u64();
+    if (!take(N))
+      return std::string();
+    std::string S(Buf.substr(Pos, N));
+    Pos += N;
+    return S;
+  }
+  bool done() const { return Ok && Pos == Buf.size(); }
+};
+
+} // namespace
+
+DiskCache::DiskCache(std::string DirIn) : Dir(std::move(DirIn)) {
+  // Best effort: a directory that cannot exist fails every store (each
+  // counted), and every load misses — the service still serves.
+  std::error_code Ec;
+  fs::create_directories(Dir, Ec);
+}
+
+std::string DiskCache::entryFileName(uint64_t Hash) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%016llx.rmlc",
+                static_cast<unsigned long long>(Hash));
+  return Buf;
+}
+
+void DiskCache::store(const CacheKey &K, const CachedCompile &V) const {
+  if (V.FromDisk)
+    return; // round-tripping a loaded entry would rewrite its own bytes
+  fs::path Final = fs::path(Dir) / entryFileName(K.Hash);
+  std::error_code Ec;
+  if (fs::exists(Final, Ec))
+    return; // determinism: the resident bytes are already this entry
+
+  std::string Buf;
+  Buf.append(Magic, sizeof(Magic));
+  putU32(Buf, FormatVersion);
+  Buf.push_back(static_cast<char>(K.Strat));
+  Buf.push_back(static_cast<char>(K.Spurious));
+  Buf.push_back(K.Check ? 1 : 0);
+  Buf.push_back(V.Ok ? 1 : 0);
+  putU64(Buf, K.Hash);
+  putStr(Buf, K.Source);
+  putStr(Buf, V.Diagnostics);
+  putStr(Buf, V.Printed);
+  putU64(Buf, V.Schemes.size());
+  for (const auto &[Name, Scheme] : V.Schemes) {
+    putStr(Buf, Name);
+    putStr(Buf, Scheme);
+  }
+  putU64(Buf, V.Profiles.size());
+  for (const PhaseProfile &P : V.Profiles)
+    putStr(Buf, P.Name);
+  putU64(Buf, V.Cost);
+
+  // Atomic publish: a private temp file in the same directory, then
+  // rename over the final name. Readers (and racing writers, in this
+  // process or another) see a complete entry or none.
+  fs::path Tmp = fs::path(Dir) /
+                 ("." + entryFileName(K.Hash) + ".tmp." +
+                  std::to_string(TmpCounter.fetch_add(1)) + "." +
+                  std::to_string(reinterpret_cast<uintptr_t>(this) & 0xffff));
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out || !Out.write(Buf.data(), static_cast<std::streamsize>(Buf.size()))) {
+      ++WriteErrors;
+      fs::remove(Tmp, Ec);
+      return;
+    }
+  }
+  fs::rename(Tmp, Final, Ec);
+  if (Ec) {
+    ++WriteErrors;
+    fs::remove(Tmp, Ec);
+  }
+}
+
+CachedCompileRef DiskCache::load(const CacheKey &K) const {
+  fs::path Path = fs::path(Dir) / entryFileName(K.Hash);
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    ++Misses;
+    return nullptr;
+  }
+  std::string Buf((std::istreambuf_iterator<char>(In)),
+                  std::istreambuf_iterator<char>());
+  In.close();
+
+  Reader R{Buf};
+  char FileMagic[sizeof(Magic)];
+  bool MagicOk = R.take(sizeof(Magic));
+  if (MagicOk) {
+    std::memcpy(FileMagic, Buf.data() + R.Pos, sizeof(Magic));
+    R.Pos += sizeof(Magic);
+    MagicOk = std::memcmp(FileMagic, Magic, sizeof(Magic)) == 0;
+  }
+  uint32_t Version = R.u32();
+  uint8_t Strat = R.u8(), Spurious = R.u8(), Check = R.u8(), Ok = R.u8();
+  uint64_t Hash = R.u64();
+  std::string Source = R.str();
+  auto CC = std::make_shared<CachedCompile>();
+  CC->FromDisk = true;
+  CC->Ok = Ok != 0;
+  CC->Diagnostics = R.str();
+  CC->Printed = R.str();
+  uint64_t NumSchemes = R.u64();
+  for (uint64_t I = 0; R.Ok && I < NumSchemes; ++I) {
+    std::string Name = R.str();
+    std::string Scheme = R.str();
+    CC->Schemes.emplace_back(std::move(Name), std::move(Scheme));
+  }
+  uint64_t NumPhases = R.u64();
+  for (uint64_t I = 0; R.Ok && I < NumPhases; ++I) {
+    PhaseProfile P;
+    P.Name = R.str();
+    // The static work happened in some earlier process; this entry
+    // reports the phase shape as reused, exactly like a memory hit.
+    P.Skipped = true;
+    CC->Profiles.push_back(std::move(P));
+  }
+  CC->Cost = std::max<uint64_t>(1, R.u64());
+
+  // Fail closed: structural damage (truncation, trailing bytes, bad
+  // magic/version) and key mismatches — including a genuine FNV-1a
+  // collision, where the hash matches but the embedded source or
+  // option bytes differ — all reject to a miss. Never a wrong answer.
+  if (!R.done() || !MagicOk || Version != FormatVersion ||
+      Hash != K.Hash || Source != K.Source ||
+      Strat != static_cast<uint8_t>(K.Strat) ||
+      Spurious != static_cast<uint8_t>(K.Spurious) ||
+      Check != (K.Check ? 1 : 0)) {
+    ++LoadRejects;
+    return nullptr;
+  }
+  ++Hits;
+  return CC;
+}
+
+DiskCache::Counters DiskCache::counters() const {
+  Counters C;
+  C.Hits = Hits.load(std::memory_order_relaxed);
+  C.Misses = Misses.load(std::memory_order_relaxed);
+  C.WriteErrors = WriteErrors.load(std::memory_order_relaxed);
+  C.LoadRejects = LoadRejects.load(std::memory_order_relaxed);
+  return C;
+}

@@ -1,0 +1,112 @@
+//===- service/DiskCache.h - Persistent compile-cache tier ------*- C++ -*-===//
+//
+// Part of RegionML, a reproduction of "Garbage-Collection Safety for
+// Region-Based Type-Polymorphic Programs" (Elsman, PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The on-disk tier beneath the in-memory CompileCache. The static
+/// pipeline is pure and deterministic per (source, CompileOptions) —
+/// the premise service/Hash.h documents — so the *static* products of a
+/// compilation (printed program, rendered diagnostics, the top-level
+/// scheme table, phase names and the eviction cost) are safe to persist
+/// and reuse across process restarts: the same inputs can only ever
+/// produce the same bytes.
+///
+/// One file per entry under the cache directory, named by the
+/// 16-hex-digit content hash (`<hash>.rmlc`). Writes are atomic —
+/// rendered into a private temp file and rename(2)d over the final
+/// name — so concurrent writers (other workers, other processes
+/// sharing the directory) either see a complete entry or none.
+///
+/// **Fail closed.** A load only succeeds when the versioned header
+/// matches and the entry's embedded source and option bytes equal the
+/// key exactly. FNV-1a collisions (two sources with one hash), format
+/// drift (old/foreign files), truncation and plain corruption all
+/// degrade to a miss — the service recompiles; it never serves a wrong
+/// answer. Rejections and write failures are counted, never thrown.
+///
+/// What is *not* persisted: the runnable CompiledUnit. It is a web of
+/// arena pointers whose serialisation would amount to a second compiler
+/// backend; instead a disk hit serves compile/print/scheme traffic
+/// directly, and the first Run=true request hydrates the entry by
+/// recompiling once (see Executor::process).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RML_SERVICE_DISKCACHE_H
+#define RML_SERVICE_DISKCACHE_H
+
+#include "service/Hash.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace rml::service {
+
+struct CachedCompile;
+using CachedCompileRef = std::shared_ptr<const CachedCompile>;
+
+/// The persistent tier: load/store of static compile products keyed by
+/// CacheKey. Thread-safe (counters are atomics; the filesystem provides
+/// the write atomicity) and safe to share between processes pointed at
+/// the same directory.
+class DiskCache {
+public:
+  struct Counters {
+    /// Verified loads served from disk.
+    uint64_t Hits = 0;
+    /// Loads that found no entry file.
+    uint64_t Misses = 0;
+    /// Entries that failed to persist (unwritable directory, rename
+    /// failure); the request proceeds, only the warm start is lost.
+    uint64_t WriteErrors = 0;
+    /// Entry files rejected at load: bad magic/version, truncation,
+    /// corruption, or a hash collision (embedded source/options differ
+    /// from the key). All degrade to a miss.
+    uint64_t LoadRejects = 0;
+  };
+
+  /// Binds the cache to \p Dir, creating it (and parents) best-effort;
+  /// a directory that cannot be created simply fails every store.
+  explicit DiskCache(std::string Dir);
+
+  /// Loads and verifies the entry for \p K; null on miss or rejection.
+  /// A returned entry has FromDisk set, no Owner/Unit (not runnable),
+  /// and carries the persisted static products.
+  CachedCompileRef load(const CacheKey &K) const;
+
+  /// Persists \p V under \p K's hash, atomically. A no-op when the
+  /// entry file already exists (determinism: the bytes would be
+  /// identical) or when \p V itself came from disk. Best effort:
+  /// failures count WriteErrors and are otherwise swallowed.
+  void store(const CacheKey &K, const CachedCompile &V) const;
+
+  Counters counters() const;
+  const std::string &dir() const { return Dir; }
+
+  /// "<16 hex digits>.rmlc" — the entry file name for \p Hash.
+  static std::string entryFileName(uint64_t Hash);
+
+  /// Current serialisation version; bumped on any format change so old
+  /// files fail closed to a miss instead of being misparsed.
+  static constexpr uint32_t FormatVersion = 1;
+  /// First bytes of every entry file.
+  static constexpr char Magic[8] = {'R', 'M', 'L', 'D', 'C', 'A', 'C', 'H'};
+
+private:
+  std::string Dir;
+  mutable std::atomic<uint64_t> Hits{0};
+  mutable std::atomic<uint64_t> Misses{0};
+  mutable std::atomic<uint64_t> WriteErrors{0};
+  mutable std::atomic<uint64_t> LoadRejects{0};
+  /// Distinguishes temp files of concurrent writers in one process.
+  mutable std::atomic<uint64_t> TmpCounter{0};
+};
+
+} // namespace rml::service
+
+#endif // RML_SERVICE_DISKCACHE_H

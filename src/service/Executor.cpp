@@ -17,6 +17,8 @@ const char *rml::service::requestOutcomeName(RequestOutcome O) {
     return "budget";
   case RequestOutcome::Shutdown:
     return "shutdown";
+  case RequestOutcome::InternalError:
+    return "internal_error";
   }
   return "ok";
 }
@@ -56,6 +58,13 @@ Response Executor::process(const Request &Req) const {
 
   CacheKey Key = CacheKey::of(Req.Source, Req.Opts);
   CachedCompileRef CC = Cache.lookup(Key);
+  // A disk-tier entry carries the static products but no runnable
+  // CompiledUnit. For compile/print/scheme traffic that is the whole
+  // answer; a Run request hydrates by recompiling once below (the
+  // deterministic pipeline reproduces the persisted bytes exactly) and
+  // the insert swaps the runnable entry into the memory tier.
+  if (CC && Req.Run && CC->ok() && !CC->runnable())
+    CC = nullptr;
   if (CC) {
     Resp.CacheHit = true;
     // The static work was reused, not redone: report the phase shape
@@ -86,6 +95,10 @@ Response Executor::process(const Request &Req) const {
       Resp.Status = RequestOutcome::Budget;
       Resp.Error = "phase '" + Gov.tripped() + "' exceeded its budget";
       Resp.Diagnostics = "error: " + Resp.Error;
+      // The phases that did run may have produced real diagnostics
+      // (warnings, notes); the budget line must not erase them.
+      if (!CC->Diagnostics.empty())
+        Resp.Diagnostics += "\n" + CC->Diagnostics;
       return Resp;
     }
     Cache.insert(Key, CC);

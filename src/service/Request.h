@@ -53,6 +53,11 @@ enum class RequestOutcome : uint8_t {
   Budget,
   /// Rejected because the service was (or began) shutting down.
   Shutdown,
+  /// An exception escaped request processing (a throwing trace sink or
+  /// governor, bad_alloc, ...). The worker survives, the response
+  /// carries e.what() in Error, and the event is counted in
+  /// ServiceStats::InternalErrors. Never cached.
+  InternalError,
 };
 
 /// \returns the stable lower-case name ("ok", "budget", ...).

@@ -16,6 +16,24 @@ std::unique_ptr<rt::PagePool> makePool(const ServiceConfig &Cfg) {
   return P;
 }
 
+std::unique_ptr<DiskCache> makeDisk(const ServiceConfig &Cfg) {
+  // The disk tier sits beneath the memory tier; with caching disabled
+  // outright there is nothing for it to back.
+  if (Cfg.CacheDir.empty() || Cfg.CacheCapacity == 0)
+    return nullptr;
+  return std::make_unique<DiskCache>(Cfg.CacheDir);
+}
+
+Response internalErrorResponse(const char *What) {
+  Response Resp;
+  Resp.Status = RequestOutcome::InternalError;
+  Resp.CompileOk = false;
+  Resp.Outcome = rt::RunOutcome::RuntimeError;
+  Resp.Error = What;
+  Resp.Diagnostics = std::string("error: internal error: ") + What;
+  return Resp;
+}
+
 Response shutdownResponse() {
   Response Rej;
   Rej.Status = RequestOutcome::Shutdown;
@@ -28,7 +46,8 @@ Response shutdownResponse() {
 } // namespace
 
 Service::Service(ServiceConfig CfgIn)
-    : Cfg(std::move(CfgIn)), Cache(Cfg.CacheCapacity, Cfg.CacheCostCapacity),
+    : Cfg(std::move(CfgIn)), Disk(makeDisk(Cfg)),
+      Cache(Cfg.CacheCapacity, Cfg.CacheCostCapacity, Disk.get()),
       Pool(makePool(Cfg)), Exec(Cfg, Cache, Pool.get()),
       Started(std::chrono::steady_clock::now()),
       Sched(makeScheduler(Cfg.Policy)) {
@@ -76,6 +95,10 @@ std::future<Response> Service::submit(Request R) {
       enqueue(std::move(J));
   }
   if (Rejected) {
+    {
+      std::lock_guard<std::mutex> SLock(StatsMutex);
+      ++Counters.ShutdownRejected;
+    }
     J.complete(shutdownResponse());
     return F;
   }
@@ -101,6 +124,10 @@ void Service::submit(Request R, std::function<void(Response)> Done) {
   // The rejection callback runs outside QueueMutex: it is user code and
   // may legitimately call stats() or submit more work.
   if (Rejected) {
+    {
+      std::lock_guard<std::mutex> SLock(StatsMutex);
+      ++Counters.ShutdownRejected;
+    }
     J.complete(shutdownResponse());
     return;
   }
@@ -127,6 +154,10 @@ std::optional<std::future<Response>> Service::trySubmit(Request R) {
     }
   }
   if (Rejected) {
+    {
+      std::lock_guard<std::mutex> SLock(StatsMutex);
+      ++Counters.ShutdownRejected;
+    }
     J.complete(shutdownResponse());
     return F;
   }
@@ -165,7 +196,20 @@ void Service::workerMain() {
     NotFull.notify_one();
 
     auto T0 = std::chrono::steady_clock::now();
-    Response Resp = Exec.process(J.Req);
+    // A worker that lets an exception escape takes the whole process
+    // down (std::terminate) and leaves the job's promise forever
+    // unresolved. The library itself never throws, but user-supplied
+    // hooks (trace sinks, GC pause sinks) and the allocator can; turn
+    // anything that escapes into a resolved InternalError response and
+    // keep serving.
+    Response Resp;
+    try {
+      Resp = Exec.process(J.Req);
+    } catch (const std::exception &E) {
+      Resp = internalErrorResponse(E.what());
+    } catch (...) {
+      Resp = internalErrorResponse("unknown exception");
+    }
     auto T1 = std::chrono::steady_clock::now();
 
     // Trace forwarding happens outside the stats lock; the sink is
@@ -180,6 +224,8 @@ void Service::workerMain() {
       ++Counters.Completed;
       if (Resp.Status == RequestOutcome::Budget)
         ++Counters.BudgetExceeded;
+      else if (Resp.Status == RequestOutcome::InternalError)
+        ++Counters.InternalErrors;
       else if (!Resp.CompileOk)
         ++Counters.CompileErrors;
       if (Resp.Ran) {
@@ -221,6 +267,13 @@ ServiceStats Service::stats() const {
   Out.CacheHits = CC.Hits;
   Out.CacheMisses = CC.Misses;
   Out.CacheEvictions = CC.Evictions;
+  if (Disk) {
+    DiskCache::Counters DC = Disk->counters();
+    Out.DiskHits = DC.Hits;
+    Out.DiskMisses = DC.Misses;
+    Out.DiskWriteErrors = DC.WriteErrors;
+    Out.DiskLoadRejects = DC.LoadRejects;
+  }
   Out.Workers = Cfg.effectiveWorkers();
   Out.Policy = schedPolicyName(Cfg.Policy);
   if (Pool) {

@@ -35,6 +35,7 @@
 
 #include "service/Cache.h"
 #include "service/Config.h"
+#include "service/DiskCache.h"
 #include "service/Executor.h"
 #include "service/Request.h"
 #include "service/Scheduler.h"
@@ -105,6 +106,9 @@ private:
   void workerMain();
 
   ServiceConfig Cfg;
+  /// The persistent tier (null when Cfg.CacheDir is empty). Declared
+  /// before Cache, which holds a raw pointer to it.
+  std::unique_ptr<DiskCache> Disk;
   CompileCache Cache;
   /// Shared across all workers' run heaps; must outlive every run, so
   /// it is declared before (destroyed after) the worker threads, and

@@ -12,12 +12,17 @@ using namespace rml::service;
 std::string ServiceStats::json() const {
   std::ostringstream Out;
   Out << "{\"submitted\":" << Submitted << ",\"rejected\":" << Rejected
+      << ",\"shutdown_rejected\":" << ShutdownRejected
       << ",\"completed\":" << Completed
       << ",\"compile_errors\":" << CompileErrors
       << ",\"budget_exceeded\":" << BudgetExceeded
+      << ",\"internal_errors\":" << InternalErrors
       << ",\"runs_ok\":" << RunsOk << ",\"runs_failed\":" << RunsFailed
       << ",\"cache_hits\":" << CacheHits << ",\"cache_misses\":" << CacheMisses
       << ",\"cache_evictions\":" << CacheEvictions
+      << ",\"disk_hits\":" << DiskHits << ",\"disk_misses\":" << DiskMisses
+      << ",\"disk_write_errors\":" << DiskWriteErrors
+      << ",\"disk_load_rejects\":" << DiskLoadRejects
       << ",\"queue_depth\":" << QueueDepth
       << ",\"queue_high_water\":" << QueueHighWater
       << ",\"workers\":" << Workers
@@ -32,7 +37,7 @@ std::string ServiceStats::json() const {
       << ",\"pool_prewarmed\":" << PoolPrewarmed
       << ",\"pool_free_pages\":" << PoolFreePages
       << ",\"pool_capacity\":" << PoolCapacity
-      << ",\"pool_reuse\":" << poolReuseRatio() << ",\"phases\":{";
+      << ",\"pool_reuse\":" << jsonFixed(poolReuseRatio()) << ",\"phases\":{";
   for (size_t I = 0; I < Phases.size(); ++I) {
     if (I)
       Out << ",";
@@ -42,6 +47,6 @@ std::string ServiceStats::json() const {
         << ",\"count\":" << Phases[I].Count << "}";
   }
   Out << "},\"busy_nanos\":" << BusyNanos << ",\"uptime_nanos\":" << UptimeNanos
-      << ",\"utilization\":" << utilization() << "}";
+      << ",\"utilization\":" << jsonFixed(utilization()) << "}";
   return Out.str();
 }

@@ -32,16 +32,31 @@ struct ServiceStats {
   uint64_t Submitted = 0;
   /// trySubmit() calls turned away at a full queue.
   uint64_t Rejected = 0;
+  /// Submissions resolved with RequestOutcome::Shutdown because the
+  /// service was already stopping. Disjoint from Rejected (queue-full):
+  /// these producers were drained, not backpressured.
+  uint64_t ShutdownRejected = 0;
   uint64_t Completed = 0;
   uint64_t CompileErrors = 0;
   /// Requests cut off by a ServiceConfig::PhaseBudgets budget
   /// (RequestOutcome::Budget). Disjoint from CompileErrors.
   uint64_t BudgetExceeded = 0;
+  /// Requests whose processing threw (RequestOutcome::InternalError).
+  /// The worker survived and the caller got a resolved response.
+  uint64_t InternalErrors = 0;
   uint64_t RunsOk = 0;
   uint64_t RunsFailed = 0;
   uint64_t CacheHits = 0;
   uint64_t CacheMisses = 0;
   uint64_t CacheEvictions = 0;
+  /// Persistent-tier counters (all zero when CacheDir is unset): memory
+  /// misses served from disk, disk files absent, entries that failed to
+  /// persist, and entry files rejected at load (corruption, format
+  /// drift, hash collisions — all degraded to a miss).
+  uint64_t DiskHits = 0;
+  uint64_t DiskMisses = 0;
+  uint64_t DiskWriteErrors = 0;
+  uint64_t DiskLoadRejects = 0;
   /// Deepest the queue ever got (backpressure high-water mark).
   uint64_t QueueHighWater = 0;
   uint64_t QueueDepth = 0;

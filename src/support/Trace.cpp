@@ -3,6 +3,8 @@
 #include "support/Trace.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -62,6 +64,24 @@ std::string rml::jsonEscaped(std::string_view S) {
   Out.reserve(S.size());
   appendJsonEscaped(Out, S);
   return Out;
+}
+
+std::string rml::jsonFixed(double V) {
+  if (!std::isfinite(V))
+    V = 0.0;
+  constexpr double Limit = 1e12;
+  V = std::clamp(V, -Limit, Limit);
+  bool Neg = V < 0;
+  // Split into integer and micro parts and print those as integers:
+  // integer formatting ignores the locale, so the output is always
+  // "<digits>.<6 digits>" regardless of the global decimal separator.
+  double Abs = Neg ? -V : V;
+  unsigned long long Scaled =
+      static_cast<unsigned long long>(Abs * 1e6 + 0.5);
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "%s%llu.%06llu", Neg ? "-" : "",
+                Scaled / 1000000ull, Scaled % 1000000ull);
+  return Buf;
 }
 
 NoopTraceSink &NoopTraceSink::instance() {

@@ -91,6 +91,13 @@ void appendJsonEscaped(std::string &Out, std::string_view S);
 /// Convenience form of appendJsonEscaped.
 std::string jsonEscaped(std::string_view S);
 
+/// Renders \p V as a JSON number with six fixed fraction digits,
+/// locale-independently (operator<< for double honours the global
+/// locale's decimal separator and spells non-finite values "nan"/"inf"
+/// — both invalid JSON). Non-finite values clamp to 0, magnitudes
+/// beyond 1e12 to ±1e12; ratios and utilizations live in [0,1] anyway.
+std::string jsonFixed(double V);
+
 /// Where finished PhaseProfiles go. Implementations consumed by
 /// concurrent pipelines (the service workers) must be thread-safe.
 class TraceSink {

@@ -1,0 +1,464 @@
+//===- tests/disk_cache_test.cpp - Persistent compile-cache tier ----------===//
+//
+// The on-disk tier beneath the in-memory compile cache: round-trip
+// fidelity of the persisted static products, fail-closed behaviour under
+// every corruption we can manufacture (truncation, bad magic/version,
+// trailing garbage, forged hash collisions, unwritable directories), and
+// the service-level warm-restart story — a second process pointed at the
+// same --cache-dir serves byte-identical answers from disk. Labelled
+// `disk` in ctest and expected to be clean under -DRML_SANITIZE=thread.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/DiskCache.h"
+#include "service/Service.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace rml;
+using namespace rml::service;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// The polymorphic program the service tests use: two top-level
+/// schemes, letregion placement, enough work to be a realistic entry.
+const char *ComposeProgram = R"(
+fun compose fg = fn x => #1 fg (#2 fg x)
+fun iter n acc =
+  if n = 0 then acc
+  else let val h = compose (fn x => x + 1, fn x => x * 2)
+       in iter (n - 1) acc + h n - h n end
+;iter 600 21
+)";
+
+/// A fresh directory under the test binary's scratch space, removed on
+/// destruction. GTest's TempDir() is per-run, so a per-test suffix
+/// keeps concurrent test shards apart.
+struct ScratchDir {
+  fs::path Path;
+  explicit ScratchDir(const std::string &Name) {
+    Path = fs::path(::testing::TempDir()) / ("rml_disk_" + Name);
+    fs::remove_all(Path);
+    fs::create_directories(Path);
+  }
+  ~ScratchDir() {
+    std::error_code Ec;
+    fs::remove_all(Path, Ec);
+  }
+  std::string str() const { return Path.string(); }
+};
+
+std::string readFileBytes(const fs::path &P) {
+  std::ifstream In(P, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(In),
+                     std::istreambuf_iterator<char>());
+}
+
+void writeFileBytes(const fs::path &P, const std::string &Bytes) {
+  std::ofstream Out(P, std::ios::binary | std::ios::trunc);
+  Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+}
+
+size_t entryCount(const fs::path &Dir) {
+  size_t N = 0;
+  for (const auto &E : fs::directory_iterator(Dir))
+    if (E.path().extension() == ".rmlc")
+      ++N;
+  return N;
+}
+
+TEST(DiskCacheTest, EntryFileNameIsSixteenHexDigits) {
+  EXPECT_EQ(DiskCache::entryFileName(0x1234), "0000000000001234.rmlc");
+  EXPECT_EQ(DiskCache::entryFileName(0xDEADBEEFCAFEF00Dull),
+            "deadbeefcafef00d.rmlc");
+}
+
+TEST(DiskCacheTest, RoundTripIsByteIdentical) {
+  ScratchDir Dir("roundtrip");
+  DiskCache Disk(Dir.str());
+
+  CompileOptions Opts;
+  CacheKey K = CacheKey::of(ComposeProgram, Opts);
+  CachedCompileRef Fresh = compileShared(ComposeProgram, Opts);
+  ASSERT_TRUE(Fresh->ok());
+  ASSERT_FALSE(Fresh->Schemes.empty());
+  Disk.store(K, *Fresh);
+  ASSERT_TRUE(fs::exists(Dir.Path / DiskCache::entryFileName(K.Hash)));
+
+  CachedCompileRef Loaded = Disk.load(K);
+  ASSERT_NE(Loaded, nullptr);
+  EXPECT_TRUE(Loaded->FromDisk);
+  EXPECT_TRUE(Loaded->ok());
+  EXPECT_FALSE(Loaded->runnable()) << "no CompiledUnit is persisted";
+  // The static products are the same bytes, not merely equivalent.
+  EXPECT_EQ(Loaded->Printed, Fresh->Printed);
+  EXPECT_EQ(Loaded->Diagnostics, Fresh->Diagnostics);
+  EXPECT_EQ(Loaded->Schemes, Fresh->Schemes);
+  EXPECT_EQ(Loaded->schemeOf("compose"), Fresh->schemeOf("compose"));
+  EXPECT_EQ(Loaded->Cost, Fresh->Cost);
+  // Phase names survive (as skipped profiles — the work was not redone).
+  ASSERT_EQ(Loaded->Profiles.size(), Fresh->Profiles.size());
+  for (size_t I = 0; I < Loaded->Profiles.size(); ++I) {
+    EXPECT_EQ(Loaded->Profiles[I].Name, Fresh->Profiles[I].Name);
+    EXPECT_TRUE(Loaded->Profiles[I].Skipped);
+  }
+
+  DiskCache::Counters C = Disk.counters();
+  EXPECT_EQ(C.Hits, 1u);
+  EXPECT_EQ(C.Misses, 0u);
+  EXPECT_EQ(C.LoadRejects, 0u);
+  EXPECT_EQ(C.WriteErrors, 0u);
+}
+
+TEST(DiskCacheTest, FailedCompilePersistsItsDiagnostics) {
+  ScratchDir Dir("failed");
+  DiskCache Disk(Dir.str());
+
+  CompileOptions Opts;
+  const std::string Bad = "nosuchvar + 1";
+  CacheKey K = CacheKey::of(Bad, Opts);
+  CachedCompileRef Fresh = compileShared(Bad, Opts);
+  ASSERT_FALSE(Fresh->ok());
+  ASSERT_FALSE(Fresh->Diagnostics.empty());
+  Disk.store(K, *Fresh);
+
+  CachedCompileRef Loaded = Disk.load(K);
+  ASSERT_NE(Loaded, nullptr);
+  EXPECT_FALSE(Loaded->ok()) << "the persisted verdict is the failure";
+  EXPECT_FALSE(Loaded->runnable());
+  EXPECT_EQ(Loaded->Diagnostics, Fresh->Diagnostics);
+}
+
+TEST(DiskCacheTest, MissingEntryIsAMissNotAReject) {
+  ScratchDir Dir("missing");
+  DiskCache Disk(Dir.str());
+  CacheKey K = CacheKey::of("1 + 1", {});
+  EXPECT_EQ(Disk.load(K), nullptr);
+  DiskCache::Counters C = Disk.counters();
+  EXPECT_EQ(C.Misses, 1u);
+  EXPECT_EQ(C.LoadRejects, 0u);
+}
+
+TEST(DiskCacheTest, StoreSkipsExistingAndDiskBornEntries) {
+  ScratchDir Dir("idempotent");
+  DiskCache Disk(Dir.str());
+
+  CompileOptions Opts;
+  CacheKey K = CacheKey::of("1 + 1", Opts);
+  CachedCompileRef Fresh = compileShared("1 + 1", Opts);
+  Disk.store(K, *Fresh);
+  ASSERT_EQ(entryCount(Dir.Path), 1u);
+  fs::path File = Dir.Path / DiskCache::entryFileName(K.Hash);
+  auto FirstWrite = fs::last_write_time(File);
+
+  // A second store is a no-op: determinism means the bytes would be
+  // identical, so the existing file stands.
+  Disk.store(K, *Fresh);
+  EXPECT_EQ(entryCount(Dir.Path), 1u);
+  EXPECT_EQ(fs::last_write_time(File), FirstWrite);
+
+  // An entry that itself came from disk is never written back.
+  CachedCompileRef Loaded = Disk.load(K);
+  ASSERT_NE(Loaded, nullptr);
+  fs::remove(File);
+  Disk.store(K, *Loaded);
+  EXPECT_EQ(entryCount(Dir.Path), 0u);
+  EXPECT_EQ(Disk.counters().WriteErrors, 0u);
+}
+
+/// Stores ComposeProgram and returns (key, path-to-entry-file) so each
+/// corruption test can damage it a different way.
+fs::path storeComposeEntry(DiskCache &Disk, const fs::path &Dir,
+                           CacheKey &KOut) {
+  CompileOptions Opts;
+  KOut = CacheKey::of(ComposeProgram, Opts);
+  CachedCompileRef Fresh = compileShared(ComposeProgram, Opts);
+  Disk.store(KOut, *Fresh);
+  fs::path File = Dir / DiskCache::entryFileName(KOut.Hash);
+  EXPECT_TRUE(fs::exists(File));
+  return File;
+}
+
+TEST(DiskCacheTest, TruncatedEntryRejectsToAMiss) {
+  ScratchDir Dir("truncated");
+  DiskCache Disk(Dir.str());
+  CacheKey K;
+  fs::path File = storeComposeEntry(Disk, Dir.Path, K);
+
+  fs::resize_file(File, fs::file_size(File) / 2);
+  EXPECT_EQ(Disk.load(K), nullptr);
+  EXPECT_EQ(Disk.counters().LoadRejects, 1u);
+
+  // All the way down to an empty file.
+  fs::resize_file(File, 0);
+  EXPECT_EQ(Disk.load(K), nullptr);
+  EXPECT_EQ(Disk.counters().LoadRejects, 2u);
+}
+
+TEST(DiskCacheTest, BadMagicRejectsToAMiss) {
+  ScratchDir Dir("badmagic");
+  DiskCache Disk(Dir.str());
+  CacheKey K;
+  fs::path File = storeComposeEntry(Disk, Dir.Path, K);
+
+  std::string Bytes = readFileBytes(File);
+  ASSERT_GT(Bytes.size(), 8u);
+  Bytes[0] ^= 0x20; // 'R' -> 'r'
+  writeFileBytes(File, Bytes);
+  EXPECT_EQ(Disk.load(K), nullptr);
+  EXPECT_EQ(Disk.counters().LoadRejects, 1u);
+}
+
+TEST(DiskCacheTest, ForeignVersionRejectsToAMiss) {
+  ScratchDir Dir("badversion");
+  DiskCache Disk(Dir.str());
+  CacheKey K;
+  fs::path File = storeComposeEntry(Disk, Dir.Path, K);
+
+  // The format version is the little-endian u32 right after the magic;
+  // pretend a future process wrote version+1.
+  std::string Bytes = readFileBytes(File);
+  ASSERT_GT(Bytes.size(), 12u);
+  Bytes[8] = static_cast<char>(DiskCache::FormatVersion + 1);
+  writeFileBytes(File, Bytes);
+  EXPECT_EQ(Disk.load(K), nullptr);
+  EXPECT_EQ(Disk.counters().LoadRejects, 1u);
+}
+
+TEST(DiskCacheTest, TrailingGarbageRejectsToAMiss) {
+  ScratchDir Dir("trailing");
+  DiskCache Disk(Dir.str());
+  CacheKey K;
+  fs::path File = storeComposeEntry(Disk, Dir.Path, K);
+
+  std::string Bytes = readFileBytes(File);
+  writeFileBytes(File, Bytes + "extra");
+  EXPECT_EQ(Disk.load(K), nullptr) << "a parse must consume every byte";
+  EXPECT_EQ(Disk.counters().LoadRejects, 1u);
+}
+
+TEST(DiskCacheTest, HashCollisionFailsClosed) {
+  ScratchDir Dir("collision");
+  DiskCache Disk(Dir.str());
+  CacheKey K;
+  storeComposeEntry(Disk, Dir.Path, K);
+
+  // Forge the collision FNV-1a cannot rule out: a different source
+  // whose key claims the same 64-bit hash. The load finds the entry
+  // file, sees the embedded source differ, and rejects — the service
+  // recompiles rather than serving another program's products.
+  CacheKey Forged = CacheKey::of("1 + 1", {});
+  Forged.Hash = K.Hash;
+  EXPECT_EQ(Disk.load(Forged), nullptr);
+  EXPECT_EQ(Disk.counters().LoadRejects, 1u);
+
+  // Options are part of the identity too: same source, same hash,
+  // different checker toggle must also fail closed.
+  CacheKey OptForged = K;
+  OptForged.Check = !OptForged.Check;
+  EXPECT_EQ(Disk.load(OptForged), nullptr);
+  EXPECT_EQ(Disk.counters().LoadRejects, 2u);
+}
+
+TEST(DiskCacheTest, UnwritableDirectoryCountsWriteErrors) {
+  ScratchDir Dir("unwritable");
+  // A path nested under a regular *file* can never be created, even
+  // running as root — mkdir fails with ENOTDIR.
+  fs::path Blocker = Dir.Path / "blocker";
+  writeFileBytes(Blocker, "not a directory");
+  DiskCache Disk((Blocker / "sub").string());
+
+  CompileOptions Opts;
+  CacheKey K = CacheKey::of("1 + 1", Opts);
+  CachedCompileRef Fresh = compileShared("1 + 1", Opts);
+  Disk.store(K, *Fresh); // must not throw
+  EXPECT_EQ(Disk.counters().WriteErrors, 1u);
+  EXPECT_EQ(Disk.load(K), nullptr); // and loads just miss
+  EXPECT_EQ(Disk.counters().Misses, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// The two-tier story end to end: Service + CompileCache + DiskCache.
+//===----------------------------------------------------------------------===//
+
+ServiceConfig diskServiceConfig(const std::string &Dir, unsigned Workers) {
+  ServiceConfig Cfg;
+  Cfg.Workers = Workers;
+  Cfg.QueueCapacity = 32;
+  Cfg.CacheCapacity = 32;
+  Cfg.CacheDir = Dir;
+  return Cfg;
+}
+
+TEST(DiskServiceTest, WarmRestartServesByteIdenticalAnswersFromDisk) {
+  ScratchDir Dir("warm_restart");
+
+  Request Req;
+  Req.Source = ComposeProgram;
+  Req.Run = false; // static products only — the disk tier's home turf
+  Req.SchemeNames = {"compose", "iter"};
+
+  // First service: cold, compiles, writes through.
+  Response Cold;
+  {
+    Service Svc(diskServiceConfig(Dir.str(), 1));
+    Cold = Svc.submit(Req).get();
+    ASSERT_EQ(Cold.Status, RequestOutcome::Ok) << Cold.Diagnostics;
+    ASSERT_TRUE(Cold.CompileOk);
+    ASSERT_FALSE(Cold.CacheHit);
+    ServiceStats S = Svc.stats();
+    EXPECT_EQ(S.DiskMisses, 1u);
+    EXPECT_EQ(S.DiskHits, 0u);
+    EXPECT_EQ(S.DiskWriteErrors, 0u);
+  }
+  ASSERT_EQ(entryCount(Dir.Path), 1u) << "the entry must outlive the process";
+
+  // Second service, same directory: the memory tier is empty, the disk
+  // tier answers, and the bytes are identical to the cold compile.
+  {
+    Service Svc(diskServiceConfig(Dir.str(), 1));
+    Response Warm = Svc.submit(Req).get();
+    ASSERT_EQ(Warm.Status, RequestOutcome::Ok) << Warm.Diagnostics;
+    EXPECT_TRUE(Warm.CacheHit) << "a verified disk hit is a cache hit";
+    EXPECT_EQ(Warm.Printed, Cold.Printed);
+    EXPECT_EQ(Warm.Diagnostics, Cold.Diagnostics);
+    EXPECT_EQ(Warm.Schemes, Cold.Schemes);
+    ServiceStats S = Svc.stats();
+    EXPECT_EQ(S.DiskHits, 1u);
+    EXPECT_EQ(S.DiskLoadRejects, 0u);
+    std::string J = S.json();
+    EXPECT_NE(J.find("\"disk_hits\":1"), std::string::npos) << J;
+  }
+}
+
+TEST(DiskServiceTest, RunRequestHydratesADiskEntry) {
+  ScratchDir Dir("hydrate");
+
+  Request Static;
+  Static.Source = ComposeProgram;
+  Static.Run = false;
+  {
+    Service Svc(diskServiceConfig(Dir.str(), 1));
+    ASSERT_EQ(Svc.submit(Static).get().Status, RequestOutcome::Ok);
+  }
+
+  Service Svc(diskServiceConfig(Dir.str(), 1));
+  // A static request is served straight from disk...
+  Response FromDisk = Svc.submit(Static).get();
+  EXPECT_TRUE(FromDisk.CacheHit);
+  ASSERT_EQ(Svc.stats().DiskHits, 1u);
+
+  // ...but a Run request cannot use the unit-less disk entry: it
+  // recompiles once (CacheHit=false), runs, and the hydrated entry
+  // replaces the disk-born one in the memory tier.
+  Request Run;
+  Run.Source = ComposeProgram;
+  Run.EvalOpts.GcThresholdWords = 2048;
+  Response First = Svc.submit(Run).get();
+  EXPECT_EQ(First.Status, RequestOutcome::Ok) << First.Error;
+  EXPECT_FALSE(First.CacheHit) << "hydration is a real compile";
+  EXPECT_EQ(First.ResultText, "21");
+  EXPECT_EQ(First.Printed, FromDisk.Printed);
+
+  Response Second = Svc.submit(Run).get();
+  EXPECT_EQ(Second.Status, RequestOutcome::Ok);
+  EXPECT_TRUE(Second.CacheHit) << "the hydrated entry is runnable";
+  EXPECT_EQ(Second.ResultText, First.ResultText);
+}
+
+TEST(DiskServiceTest, CorruptEntryDegradesToARecompileNeverAWrongAnswer) {
+  ScratchDir Dir("degrade");
+
+  Request Req;
+  Req.Source = ComposeProgram;
+  Req.Run = false;
+  Response Cold;
+  {
+    Service Svc(diskServiceConfig(Dir.str(), 1));
+    Cold = Svc.submit(Req).get();
+    ASSERT_EQ(Cold.Status, RequestOutcome::Ok);
+  }
+
+  // Smash the entry: flip the magic of the one file in the directory.
+  CacheKey K = CacheKey::of(Req.Source, Req.Opts);
+  fs::path File = Dir.Path / DiskCache::entryFileName(K.Hash);
+  std::string Bytes = readFileBytes(File);
+  ASSERT_FALSE(Bytes.empty());
+  Bytes[0] ^= 0xFF;
+  writeFileBytes(File, Bytes);
+
+  Service Svc(diskServiceConfig(Dir.str(), 1));
+  Response R = Svc.submit(Req).get();
+  EXPECT_EQ(R.Status, RequestOutcome::Ok) << R.Diagnostics;
+  EXPECT_FALSE(R.CacheHit) << "the reject fell through to a compile";
+  EXPECT_EQ(R.Printed, Cold.Printed) << "recompiled, byte-identical";
+  ServiceStats S = Svc.stats();
+  EXPECT_EQ(S.DiskLoadRejects, 1u);
+  EXPECT_EQ(S.DiskHits, 0u);
+}
+
+TEST(DiskServiceTest, CacheDirWithoutMemoryTierStaysDisabled) {
+  ScratchDir Dir("disabled");
+  ServiceConfig Cfg = diskServiceConfig((Dir.Path / "sub").string(), 1);
+  Cfg.CacheCapacity = 0; // no memory tier -> no disk tier either
+  Service Svc(Cfg);
+
+  Request Req;
+  Req.Source = "1 + 1";
+  EXPECT_EQ(Svc.submit(Req).get().Status, RequestOutcome::Ok);
+  ServiceStats S = Svc.stats();
+  EXPECT_EQ(S.DiskHits + S.DiskMisses + S.DiskWriteErrors, 0u);
+  EXPECT_FALSE(fs::exists(Dir.Path / "sub")) << "no directory is created";
+}
+
+TEST(DiskServiceTest, ConcurrentServicesShareOneDirectory) {
+  // Two multi-worker services racing on one cache directory: atomic
+  // temp+rename publication means every entry file is complete, every
+  // response correct, and a third (cold) service warm-starts from what
+  // they left behind. TSan-checked.
+  ScratchDir Dir("shared");
+  std::vector<std::string> Sources;
+  for (int I = 0; I < 12; ++I)
+    Sources.push_back("10 + " + std::to_string(I));
+
+  {
+    Service A(diskServiceConfig(Dir.str(), 4));
+    Service B(diskServiceConfig(Dir.str(), 4));
+    std::vector<std::future<Response>> Futures;
+    for (const std::string &S : Sources) {
+      Request Req;
+      Req.Source = S;
+      Req.Run = false;
+      Futures.push_back(A.submit(Req));
+      Futures.push_back(B.submit(Req));
+    }
+    for (auto &F : Futures) {
+      Response R = F.get();
+      EXPECT_EQ(R.Status, RequestOutcome::Ok) << R.Diagnostics;
+      EXPECT_TRUE(R.CompileOk);
+    }
+    EXPECT_EQ(A.stats().DiskWriteErrors + B.stats().DiskWriteErrors, 0u);
+  }
+  EXPECT_EQ(entryCount(Dir.Path), Sources.size());
+
+  Service C(diskServiceConfig(Dir.str(), 2));
+  std::vector<std::future<Response>> Futures;
+  for (const std::string &S : Sources) {
+    Request Req;
+    Req.Source = S;
+    Req.Run = false;
+    Futures.push_back(C.submit(Req));
+  }
+  for (auto &F : Futures)
+    EXPECT_TRUE(F.get().CacheHit);
+  EXPECT_EQ(C.stats().DiskHits, Sources.size());
+}
+
+} // namespace

@@ -16,6 +16,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <set>
 #include <thread>
 
 using namespace rml;
@@ -163,27 +164,48 @@ TEST(CompilerReuse, CompileAndRunConvenience) {
 }
 
 //===----------------------------------------------------------------------===//
-// Satellite: the LRU compile cache.
+// Satellite: the sharded LRU compile cache.
 //===----------------------------------------------------------------------===//
 
-TEST(CompileCacheTest, CapacityEvictionOrder) {
-  CompileCache Cache(3);
-  CompileOptions Opts;
-  CacheKey K1 = CacheKey::of("1", Opts), K2 = CacheKey::of("2", Opts),
-           K3 = CacheKey::of("3", Opts), K4 = CacheKey::of("4", Opts);
+/// The first \p N integer-literal programs (all valid MiniML) whose
+/// cache keys land in \p Anchor's shard. The cache is sharded by key
+/// hash, so per-shard LRU and eviction semantics are only observable
+/// through keys that collide on one shard.
+std::vector<std::string> sameShardSources(size_t N, const CompileOptions &Opts,
+                                          const std::string &Anchor) {
+  size_t Target = CompileCache::shardOf(CacheKey::of(Anchor, Opts));
+  std::vector<std::string> Out;
+  for (int I = 0; Out.size() < N; ++I) {
+    std::string S = std::to_string(I);
+    if (S != Anchor &&
+        CompileCache::shardOf(CacheKey::of(S, Opts)) == Target)
+      Out.push_back(S);
+  }
+  return Out;
+}
 
-  Cache.insert(K1, compileShared("1", Opts));
-  Cache.insert(K2, compileShared("2", Opts));
-  Cache.insert(K3, compileShared("3", Opts));
+TEST(CompileCacheTest, CapacityEvictionOrderWithinAShard) {
+  // Aggregate capacity 3 per shard; four keys in one shard exercise
+  // exactly the old single-list LRU semantics inside that shard.
+  CompileCache Cache(3 * CompileCache::NumShards);
+  CompileOptions Opts;
+  std::vector<std::string> Src = sameShardSources(4, Opts, "0");
+  CacheKey K1 = CacheKey::of(Src[0], Opts), K2 = CacheKey::of(Src[1], Opts),
+           K3 = CacheKey::of(Src[2], Opts), K4 = CacheKey::of(Src[3], Opts);
+
+  Cache.insert(K1, compileShared(Src[0], Opts));
+  Cache.insert(K2, compileShared(Src[1], Opts));
+  Cache.insert(K3, compileShared(Src[2], Opts));
   EXPECT_EQ(Cache.size(), 3u);
-  // Recency is front-first: K3, K2, K1.
+  // Recency is front-first: K3, K2, K1 (one shard populated, so the
+  // global merge is exactly the shard's order).
   EXPECT_EQ(Cache.recencyHashes(),
             (std::vector<uint64_t>{K3.Hash, K2.Hash, K1.Hash}));
 
   // Touching K1 promotes it, so K2 is now least recently used...
   EXPECT_NE(Cache.lookup(K1), nullptr);
-  // ...and inserting a fourth entry evicts K2, not K1.
-  Cache.insert(K4, compileShared("4", Opts));
+  // ...and inserting a fourth same-shard entry evicts K2, not K1.
+  Cache.insert(K4, compileShared(Src[3], Opts));
   EXPECT_EQ(Cache.size(), 3u);
   EXPECT_EQ(Cache.lookup(K2), nullptr);
   EXPECT_NE(Cache.lookup(K1), nullptr);
@@ -197,10 +219,13 @@ TEST(CompileCacheTest, CapacityEvictionOrder) {
   EXPECT_EQ(C.Misses, 1u); // K2 after eviction
 }
 
-TEST(CompileCacheTest, CostAwareEvictionOrder) {
+TEST(CompileCacheTest, CostAwareEvictionOrderWithinAShard) {
   CompileOptions Opts;
-  CachedCompileRef Small1 = compileShared("1", Opts);
-  CachedCompileRef Small2 = compileShared("2", Opts);
+  // The two literals must share the big program's shard for the cost
+  // budget (a per-shard bound) to weigh them against each other.
+  std::vector<std::string> Src = sameShardSources(2, Opts, ComposeProgram);
+  CachedCompileRef Small1 = compileShared(Src[0], Opts);
+  CachedCompileRef Small2 = compileShared(Src[1], Opts);
   CachedCompileRef Big = compileShared(ComposeProgram, Opts);
   ASSERT_TRUE(Small1->ok() && Small2->ok() && Big->ok());
   // Cost is the frozen owner's arena footprint: same-shape programs
@@ -209,9 +234,11 @@ TEST(CompileCacheTest, CostAwareEvictionOrder) {
   ASSERT_GT(Big->Cost, 2 * Small1->Cost);
 
   // Entry capacity far above what's inserted: only the cost bound can
-  // evict. Room for one small entry plus the big one.
-  CompileCache Cache(10, Small1->Cost + Big->Cost);
-  CacheKey K1 = CacheKey::of("1", Opts), K2 = CacheKey::of("2", Opts),
+  // evict. The aggregate cost capacity divides by NumShards, leaving
+  // each shard room for one small entry plus the big one.
+  CompileCache Cache(10 * CompileCache::NumShards,
+                     CompileCache::NumShards * (Small1->Cost + Big->Cost));
+  CacheKey K1 = CacheKey::of(Src[0], Opts), K2 = CacheKey::of(Src[1], Opts),
            KBig = CacheKey::of(ComposeProgram, Opts);
   Cache.insert(K1, Small1);
   Cache.insert(K2, Small2);
@@ -219,8 +246,8 @@ TEST(CompileCacheTest, CostAwareEvictionOrder) {
   EXPECT_EQ(Cache.counters().Evictions, 0u);
 
   // Touch K1 so K2 is the LRU victim, then let the big entry blow the
-  // cost budget: K2 goes, K1 stays — eviction follows recency but is
-  // triggered by weight, not count.
+  // shard's cost budget: K2 goes, K1 stays — eviction follows recency
+  // but is triggered by weight, not count.
   EXPECT_NE(Cache.lookup(K1), nullptr);
   Cache.insert(KBig, Big);
   EXPECT_EQ(Cache.size(), 2u);
@@ -233,18 +260,96 @@ TEST(CompileCacheTest, CostAwareEvictionOrder) {
 }
 
 TEST(CompileCacheTest, FreshestEntrySurvivesAnImpossibleCostBound) {
-  // A bound smaller than any entry: the newest insert still stays
-  // resident (evicting it would force a recompile per request), while
-  // every older entry is pushed out.
+  // A bound smaller than any entry: the newest insert in a shard still
+  // stays resident (evicting it would force a recompile per request),
+  // while every older same-shard entry is pushed out.
   CompileOptions Opts;
-  CompileCache Cache(10, /*CostCapacity=*/1);
-  CacheKey K1 = CacheKey::of("1", Opts), K2 = CacheKey::of("2", Opts);
-  Cache.insert(K1, compileShared("1", Opts));
+  // Aggregate NumShards -> one cost unit per shard.
+  CompileCache Cache(10 * CompileCache::NumShards, CompileCache::NumShards);
+  std::vector<std::string> Src = sameShardSources(2, Opts, "0");
+  CacheKey K1 = CacheKey::of(Src[0], Opts), K2 = CacheKey::of(Src[1], Opts);
+  Cache.insert(K1, compileShared(Src[0], Opts));
   EXPECT_EQ(Cache.size(), 1u); // alone over budget, but kept
-  Cache.insert(K2, compileShared("2", Opts));
+  Cache.insert(K2, compileShared(Src[1], Opts));
   EXPECT_EQ(Cache.size(), 1u);
   EXPECT_EQ(Cache.lookup(K1), nullptr);
   EXPECT_NE(Cache.lookup(K2), nullptr);
+}
+
+TEST(CompileCacheTest, KeysSpreadAcrossShards) {
+  // Fibonacci mixing must not funnel consecutive FNV hashes into one
+  // shard: a hundred tiny programs should touch most of the 8 shards.
+  CompileOptions Opts;
+  std::set<size_t> Used;
+  for (int I = 0; I < 100; ++I)
+    Used.insert(CompileCache::shardOf(CacheKey::of(std::to_string(I), Opts)));
+  EXPECT_GE(Used.size(), 4u);
+}
+
+TEST(CompileCacheTest, RecencyMergesAcrossShards) {
+  // Keys landing in different shards still report one global
+  // most-to-least-recent order (per-entry stamps, not list position).
+  CompileCache Cache(64);
+  CompileOptions Opts;
+  std::vector<CacheKey> Keys;
+  for (int I = 0; I < 12; ++I) {
+    std::string S = std::to_string(I);
+    Keys.push_back(CacheKey::of(S, Opts));
+    Cache.insert(Keys.back(), compileShared(S, Opts));
+  }
+  std::vector<uint64_t> Expect;
+  for (auto It = Keys.rbegin(); It != Keys.rend(); ++It)
+    Expect.push_back(It->Hash);
+  EXPECT_EQ(Cache.recencyHashes(), Expect);
+
+  // A lookup refreshes the entry to the global front even when fresher
+  // entries live in other shards.
+  EXPECT_NE(Cache.lookup(Keys[0]), nullptr);
+  EXPECT_EQ(Cache.recencyHashes().front(), Keys[0].Hash);
+}
+
+TEST(CompileCacheTest, ShardedStressUnderContention) {
+  // Eight threads hammer one sharded cache with overlapping keys and a
+  // cost bound tight enough to keep evicting. TSan-checked; afterwards
+  // the aggregate invariants must hold.
+  CompileOptions Opts;
+  CachedCompileRef Probe = compileShared("0", Opts);
+  ASSERT_TRUE(Probe->ok());
+  // Room for ~3 literal-sized entries per shard by cost.
+  CompileCache Cache(4 * CompileCache::NumShards,
+                     3 * Probe->Cost * CompileCache::NumShards);
+
+  constexpr int Threads = 8, Iters = 120, KeySpace = 24;
+  std::atomic<int> Failures{0};
+  std::vector<std::thread> Pool;
+  for (int T = 0; T < Threads; ++T)
+    Pool.emplace_back([&, T] {
+      for (int I = 0; I < Iters; ++I) {
+        std::string S = std::to_string((T * 7 + I) % KeySpace);
+        CacheKey K = CacheKey::of(S, Opts);
+        CachedCompileRef CC = Cache.lookup(K);
+        if (!CC) {
+          CC = compileShared(S, Opts);
+          Cache.insert(K, CC);
+        }
+        if (!CC || !CC->ok())
+          ++Failures;
+      }
+    });
+  for (std::thread &T : Pool)
+    T.join();
+
+  EXPECT_EQ(Failures.load(), 0);
+  EXPECT_LE(Cache.size(), Cache.capacity());
+  CompileCache::Counters C = Cache.counters();
+  EXPECT_EQ(C.Hits + C.Misses, uint64_t(Threads) * Iters);
+  EXPECT_GE(C.Insertions, C.Misses > 0 ? 1u : 0u);
+  // recencyHashes() is consistent after the dust settles: every
+  // resident key exactly once.
+  std::vector<uint64_t> Order = Cache.recencyHashes();
+  EXPECT_EQ(Order.size(), Cache.size());
+  std::sort(Order.begin(), Order.end());
+  EXPECT_EQ(std::adjacent_find(Order.begin(), Order.end()), Order.end());
 }
 
 TEST(CompileCacheTest, OptionsEnterTheKey) {
@@ -614,10 +719,32 @@ TEST(ServiceTest, StatsJsonShape) {
         "\"utilization\":", "\"pool_hits\":", "\"pool_misses\":",
         "\"pool_releases\":", "\"pool_capacity\":1024", "\"pool_reuse\":",
         "\"pool_prewarmed\":0", "\"budget_exceeded\":0",
-        "\"sched\":\"fifo\"", "\"phases\":{", "\"parse\":{\"sum_nanos\":",
-        "\"run\":{\"sum_nanos\":", "\"max_nanos\":", "\"count\":"})
+        "\"shutdown_rejected\":0", "\"internal_errors\":0",
+        "\"disk_hits\":0", "\"disk_misses\":0", "\"disk_write_errors\":0",
+        "\"disk_load_rejects\":0", "\"sched\":\"fifo\"", "\"phases\":{",
+        "\"parse\":{\"sum_nanos\":", "\"run\":{\"sum_nanos\":",
+        "\"max_nanos\":", "\"count\":"})
     EXPECT_NE(J.find(Key), std::string::npos) << J;
   EXPECT_EQ(J.find('\n'), std::string::npos); // one line
+  // The ratio fields render through jsonFixed: six fixed fraction
+  // digits, '.' decimal separator, never a bare nan/inf value ("nan"
+  // appears inside "sum_nanos", so match the value position).
+  EXPECT_EQ(J.find(":nan"), std::string::npos);
+  EXPECT_EQ(J.find(":inf"), std::string::npos);
+  EXPECT_EQ(J.find(":-nan"), std::string::npos);
+}
+
+TEST(ServiceTest, ZeroUptimeStatsRenderFiniteJson) {
+  // A default-constructed snapshot (zero uptime, zero workers) used to
+  // push NaN/inf through operator<< on the ratio fields; jsonFixed
+  // clamps them to 0 and keeps the document parseable.
+  ServiceStats S;
+  std::string J = S.json();
+  EXPECT_NE(J.find("\"utilization\":0.000000"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"pool_reuse\":0.000000"), std::string::npos) << J;
+  EXPECT_EQ(J.find(":nan"), std::string::npos);
+  EXPECT_EQ(J.find(":inf"), std::string::npos);
+  EXPECT_EQ(J.find(":-nan"), std::string::npos);
 }
 
 TEST(ServiceTest, ProfilesReportSkippedStaticPhasesOnCacheHit) {
@@ -794,6 +921,120 @@ TEST(ServiceTest, PoolingCanBeDisabled) {
   ServiceStats S = Svc.stats();
   EXPECT_EQ(S.PoolAcquireHits + S.PoolAcquireMisses + S.PoolReleases, 0u);
   EXPECT_EQ(S.PoolCapacity, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Satellite: service-hardening regressions.
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceTest, ShutdownRejectionsAreCountedSeparately) {
+  Service Svc({/*Workers=*/1, /*QueueCapacity=*/4, /*CacheCapacity=*/4});
+  Svc.shutdown();
+
+  Request Req;
+  Req.Source = "1 + 1";
+  // All three submission paths reject after shutdown, and each bump is
+  // visible as shutdown_rejected — distinct from load-shed Rejected.
+  Response R1 = Svc.submit(Req).get();
+  EXPECT_EQ(R1.Status, RequestOutcome::Shutdown);
+  std::atomic<int> CallbackSeen{0};
+  Svc.submit(Req, [&](Response R2) {
+    EXPECT_EQ(R2.Status, RequestOutcome::Shutdown);
+    ++CallbackSeen;
+  });
+  EXPECT_EQ(CallbackSeen.load(), 1);
+  auto F = Svc.trySubmit(Req);
+  ASSERT_TRUE(F.has_value());
+  EXPECT_EQ(F->get().Status, RequestOutcome::Shutdown);
+
+  ServiceStats S = Svc.stats();
+  EXPECT_EQ(S.ShutdownRejected, 3u);
+  EXPECT_EQ(S.Rejected, 0u) << "shutdown is not a load-shed";
+  EXPECT_EQ(S.Submitted, 0u);
+  EXPECT_NE(S.json().find("\"shutdown_rejected\":3"), std::string::npos);
+}
+
+/// A pause sink that throws from inside the evaluator's GC hook —
+/// stand-in for any faulty user-supplied callback.
+class ThrowingPauseSink final : public TraceSink {
+public:
+  void record(const PhaseProfile &) override {}
+  void recordGcPause(const GcPauseRecord &) override {
+    throw std::runtime_error("pause sink exploded");
+  }
+};
+
+TEST(ServiceTest, WorkerSurvivesAThrowingRequestHook) {
+  ServiceConfig Cfg;
+  Cfg.Workers = 1; // one worker: if it dies, nothing below completes
+  Cfg.QueueCapacity = 4;
+  Cfg.CacheCapacity = 4;
+  Cfg.PagePoolPages = 0; // keep the unwound heap away from the pool
+  Service Svc(Cfg);
+
+  ThrowingPauseSink Sink;
+  Request Bad;
+  Bad.Source = ComposeProgram;
+  Bad.EvalOpts.GcThresholdWords = 2048; // guarantees a GC, hence a throw
+  Bad.EvalOpts.PauseSink = &Sink;
+  Response R = Svc.submit(Bad).get();
+  EXPECT_EQ(R.Status, RequestOutcome::InternalError);
+  EXPECT_FALSE(R.CompileOk);
+  EXPECT_NE(R.Error.find("pause sink exploded"), std::string::npos)
+      << R.Error;
+  EXPECT_NE(R.Diagnostics.find("internal error"), std::string::npos);
+
+  // The lone worker is still alive and serving.
+  Request Good;
+  Good.Source = "20 + 22";
+  Response R2 = Svc.submit(Good).get();
+  EXPECT_EQ(R2.Status, RequestOutcome::Ok) << R2.Error;
+  EXPECT_EQ(R2.ResultText, "42");
+
+  ServiceStats S = Svc.stats();
+  EXPECT_EQ(S.InternalErrors, 1u);
+  EXPECT_EQ(S.CompileErrors, 0u) << "an escaped hook is not a compile error";
+  EXPECT_EQ(S.Completed, 2u);
+  EXPECT_NE(S.json().find("\"internal_errors\":1"), std::string::npos);
+}
+
+TEST(ServiceTest, BudgetResponseKeepsEarlierPhaseDiagnostics) {
+  ServiceConfig Cfg;
+  Cfg.Workers = 1;
+  Cfg.QueueCapacity = 4;
+  Cfg.CacheCapacity = 4;
+  Cfg.PhaseBudgets["infer"] = 0; // parse runs, infer trips
+  Service Svc(Cfg);
+
+  Request Req;
+  // The duplicate top-level binding draws a shadowing warning from the
+  // parse phase — diagnostics produced before the budget trips.
+  Req.Source = "fun f x = x + 1\nfun f x = x + 2\n;f 1";
+  Response R = Svc.submit(Req).get();
+  EXPECT_EQ(R.Status, RequestOutcome::Budget);
+  // The budget line leads, and the earlier warning survives behind it.
+  EXPECT_NE(R.Diagnostics.find("exceeded its budget"), std::string::npos)
+      << R.Diagnostics;
+  EXPECT_NE(R.Diagnostics.find("shadows an earlier binding"),
+            std::string::npos)
+      << R.Diagnostics;
+  EXPECT_LT(R.Diagnostics.find("exceeded its budget"),
+            R.Diagnostics.find("shadows an earlier binding"));
+}
+
+TEST(ServiceTest, ShadowedBindingWarnsButStillRuns) {
+  // Without a budget the same program compiles, warns, and runs; the
+  // innermost (latest) binding wins at evaluation time.
+  Service Svc({/*Workers=*/1, /*QueueCapacity=*/4, /*CacheCapacity=*/4});
+  Request Req;
+  Req.Source = "fun f x = x + 1\nfun f x = x + 2\n;f 1";
+  Response R = Svc.submit(Req).get();
+  EXPECT_EQ(R.Status, RequestOutcome::Ok) << R.Diagnostics;
+  EXPECT_TRUE(R.CompileOk);
+  EXPECT_EQ(R.ResultText, "3");
+  EXPECT_NE(R.Diagnostics.find("shadows an earlier binding"),
+            std::string::npos)
+      << R.Diagnostics;
 }
 
 } // namespace

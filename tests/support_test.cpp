@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <thread>
 
@@ -271,6 +272,26 @@ TEST(Trace, WriteFileRoundTripsAndFailsGracefully) {
   std::remove(Path.c_str());
 
   EXPECT_FALSE(Sink.writeFile("/nonexistent-dir-rml/trace.json"));
+}
+
+TEST(Trace, JsonFixedRendersLocaleIndependentNumbers) {
+  EXPECT_EQ(jsonFixed(0.0), "0.000000");
+  EXPECT_EQ(jsonFixed(0.5), "0.500000");
+  EXPECT_EQ(jsonFixed(1.0), "1.000000");
+  EXPECT_EQ(jsonFixed(-0.25), "-0.250000");
+  EXPECT_EQ(jsonFixed(1.0 / 3.0), "0.333333");
+  // Rounds, not truncates.
+  EXPECT_EQ(jsonFixed(0.9999995), "1.000000");
+}
+
+TEST(Trace, JsonFixedClampsNonFiniteAndHugeValues) {
+  // operator<< would spell these "nan"/"inf" — invalid JSON; jsonFixed
+  // clamps instead so stats documents always parse.
+  EXPECT_EQ(jsonFixed(std::numeric_limits<double>::quiet_NaN()), "0.000000");
+  EXPECT_EQ(jsonFixed(std::numeric_limits<double>::infinity()), "0.000000");
+  EXPECT_EQ(jsonFixed(-std::numeric_limits<double>::infinity()), "0.000000");
+  EXPECT_EQ(jsonFixed(1e300), "1000000000000.000000");
+  EXPECT_EQ(jsonFixed(-1e300), "-1000000000000.000000");
 }
 
 } // namespace

@@ -8,7 +8,8 @@
 #      concurrency-sensitive labels: the service layer, the scheduler
 #      policies (completion-order and drain tests), and the
 #      cross-request page pool (including the 8-thread region-runtime
-#      stress test).
+#      stress test), and the persistent disk cache (shared-directory
+#      multi-service stress).
 #
 # Usage: tools/check.sh            # from anywhere inside the repo
 #
@@ -24,9 +25,9 @@ cmake -B "$ROOT/build" -S "$ROOT"
 cmake --build "$ROOT/build" -j "$JOBS"
 ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS"
 
-echo "== tsan: service + pool + sched labels =="
+echo "== tsan: service + pool + sched + disk labels =="
 cmake -B "$ROOT/build-tsan" -S "$ROOT" -DRML_SANITIZE=thread
 cmake --build "$ROOT/build-tsan" -j "$JOBS"
-ctest --test-dir "$ROOT/build-tsan" -L 'service|pool|sched' --output-on-failure
+ctest --test-dir "$ROOT/build-tsan" -L 'service|pool|sched|disk' --output-on-failure
 
 echo "== check.sh: all green =="

@@ -69,6 +69,12 @@ void usage() {
       "                         hardware thread)\n"
       "  --cache N              service compile-cache entries "
       "(default 128)\n"
+      "  --cache-dir DIR        persistent compile-cache directory: the\n"
+      "                         static products of every compile are\n"
+      "                         written there (one content-hash-named\n"
+      "                         file each) and reused across process\n"
+      "                         restarts; safe to share between\n"
+      "                         processes (--serve-batch only)\n"
       "  --page-pool N          standard pages the cross-request page\n"
       "                         pool may hold; 0 disables pooling\n"
       "                         (default 1024; --serve-batch only)\n"
@@ -177,7 +183,8 @@ void finishTrace(const ChromeTraceSink &Sink, const std::string &Path) {
 /// The --serve-batch driver: every program goes through the concurrent
 /// service; results print in submission order.
 int serveBatch(const std::string &Spec, unsigned Jobs, size_t CacheCap,
-               size_t PoolPages, bool PrewarmPool, service::SchedPolicy Policy,
+               const std::string &CacheDir, size_t PoolPages, bool PrewarmPool,
+               service::SchedPolicy Policy,
                const std::map<std::string, uint64_t> &Budgets,
                const CompileOptions &Opts, const rt::EvalOptions &EvalOpts,
                bool Stats, bool TimePhases, const std::string &TracePath) {
@@ -192,6 +199,7 @@ int serveBatch(const std::string &Spec, unsigned Jobs, size_t CacheCap,
   service::ServiceConfig Cfg;
   Cfg.Workers = Jobs;
   Cfg.CacheCapacity = CacheCap;
+  Cfg.CacheDir = CacheDir;
   Cfg.PagePoolPages = PoolPages;
   Cfg.PrewarmPool = PrewarmPool;
   Cfg.Policy = Policy;
@@ -247,6 +255,13 @@ int serveBatch(const std::string &Spec, unsigned Jobs, size_t CacheCap,
   if (S.BudgetExceeded)
     std::printf("[%llu request(s) cut off over phase budget]\n",
                 static_cast<unsigned long long>(S.BudgetExceeded));
+  if (!CacheDir.empty())
+    std::printf("[disk cache '%s': %llu hit(s), %llu miss(es), %llu "
+                "reject(s), %llu write error(s)]\n",
+                CacheDir.c_str(), static_cast<unsigned long long>(S.DiskHits),
+                static_cast<unsigned long long>(S.DiskMisses),
+                static_cast<unsigned long long>(S.DiskLoadRejects),
+                static_cast<unsigned long long>(S.DiskWriteErrors));
   std::printf("%zu program(s), %d failure(s); %llu cache hit(s), "
               "%llu miss(es); queue high-water %llu; %.0f%% worker "
               "utilization; %llu gc run(s), %llu words allocated; "
@@ -281,6 +296,7 @@ int main(int Argc, char **Argv) {
   std::string BatchSpec;
   unsigned Jobs = 0;
   size_t CacheCap = 128;
+  std::string CacheDir;
   size_t PoolPages = rt::PagePool::DefaultMaxPages; // on by default
   bool PrewarmPool = false, TimePhases = false;
   service::SchedPolicy Policy = service::SchedPolicy::Fifo;
@@ -343,6 +359,8 @@ int main(int Argc, char **Argv) {
       Jobs = static_cast<unsigned>(std::strtoul(Next(), nullptr, 10));
     } else if (!std::strcmp(A, "--cache")) {
       CacheCap = std::strtoull(Next(), nullptr, 10);
+    } else if (!std::strcmp(A, "--cache-dir")) {
+      CacheDir = Next();
     } else if (!std::strcmp(A, "--page-pool")) {
       PoolPages = std::strtoull(Next(), nullptr, 10);
     } else if (!std::strncmp(A, "--page-pool=", 12)) {
@@ -389,9 +407,9 @@ int main(int Argc, char **Argv) {
     }
   }
   if (!BatchSpec.empty())
-    return serveBatch(BatchSpec, Jobs, CacheCap, PoolPages, PrewarmPool,
-                      Policy, Budgets, Opts, EvalOpts, Stats, TimePhases,
-                      TracePath);
+    return serveBatch(BatchSpec, Jobs, CacheCap, CacheDir, PoolPages,
+                      PrewarmPool, Policy, Budgets, Opts, EvalOpts, Stats,
+                      TimePhases, TracePath);
   if (!HaveSource) {
     usage();
     return 2;
