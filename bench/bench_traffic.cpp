@@ -1,0 +1,395 @@
+//===- bench/bench_traffic.cpp - Open-loop load driver for rmld -----------===//
+//
+// Drive an rmld daemon with an open-loop arrival process and report the
+// latency distribution and shed rate:
+//
+//   bench_traffic --port P --rate 200 --duration 5
+//   bench_traffic --port P --rate 500 --conns 8 --mix 1:8:1 --poisson
+//   bench_traffic --port P --hot 4 --hot-ratio 0.9   (cache-hit heavy)
+//
+// Open-loop means arrivals are scheduled by the clock, not by
+// completions: when the daemon saturates, requests queue (and shed)
+// instead of the driver politely slowing down — which is exactly the
+// regime the admission-control path (Service::trySubmit + WireStatus::
+// Shed) exists for. Closed-loop drivers hide that cliff; this one is
+// built to find it.
+//
+// Requests are numbered 0..N-1 and the id is echoed by the server, so
+// one receiver per connection matches out-of-order completions to their
+// send timestamps without any cross-thread bookkeeping. After the last
+// send the driver half-closes every connection (SHUT_WR) and reads
+// until EOF: the daemon's half-close handling flushes every owed
+// response before closing.
+//
+// The last stdout line is a one-line JSON summary for scripts
+// (tools/smoke_net.sh greps the shed count out of it).
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Protocol.h"
+
+#include <algorithm>
+#include <arpa/inet.h>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <random>
+#include <string>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace rml;
+using namespace rml::net;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct Options {
+  std::string Host = "127.0.0.1";
+  uint16_t Port = 0;
+  double Rate = 100.0;     // requests per second
+  double Duration = 5.0;   // seconds of arrivals
+  unsigned Conns = 4;      // connections (requests round-robin)
+  unsigned MixCompile = 1; // --mix c:r:s weights
+  unsigned MixRun = 8;
+  unsigned MixScheme = 1;
+  unsigned HotPrograms = 4;  // size of the hot (cache-friendly) set
+  double HotRatio = 0.8;     // probability a request draws from it
+  bool Poisson = false;      // exponential inter-arrivals vs fixed pace
+  uint64_t Seed = 1;
+  unsigned DrainTimeoutSecs = 30; // receive timeout after the last send
+};
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: bench_traffic --port P [options]\n"
+      "  --host ADDR            daemon address (default 127.0.0.1)\n"
+      "  --port N               daemon port (required)\n"
+      "  --rate R               arrivals per second (default 100)\n"
+      "  --duration S           seconds of arrivals (default 5)\n"
+      "  --conns N              client connections (default 4)\n"
+      "  --mix C:R:S            weight of compile-only, compile+run and\n"
+      "                         scheme-query requests (default 1:8:1)\n"
+      "  --hot K                hot program set size (default 4)\n"
+      "  --hot-ratio F          fraction of requests drawn from the hot\n"
+      "                         set; the rest are unique cold sources\n"
+      "                         (default 0.8)\n"
+      "  --poisson              exponential inter-arrival gaps instead\n"
+      "                         of a fixed pace\n"
+      "  --seed N               RNG seed (default 1)\n"
+      "  --drain-timeout S      give up on missing responses after S\n"
+      "                         seconds past the last send (default 30)\n");
+}
+
+/// The service_test workhorse program family: polymorphic closures and
+/// enough allocation to exercise GC. \p Salt specializes literals so
+/// distinct salts are distinct cache keys (cold traffic); equal salts
+/// hit the compile cache (hot traffic).
+std::string programSource(uint64_t Salt) {
+  return "fun compose fg = fn x => #1 fg (#2 fg x)\n"
+         "fun iter n acc =\n"
+         "  if n = 0 then acc\n"
+         "  else let val h = compose (fn x => x + " +
+         std::to_string(1 + Salt % 7) +
+         ", fn x => x * 2)\n"
+         "       in iter (n - 1) acc + h n - h n end\n"
+         ";iter " +
+         std::to_string(60 + Salt % 40) + " " + std::to_string(Salt % 1000) +
+         "\n";
+}
+
+int connectTo(const std::string &Host, uint16_t Port, unsigned RcvTimeoutSecs,
+              std::string &Err) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (Fd < 0) {
+    Err = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1) {
+    Err = "bad address: " + Host;
+    ::close(Fd);
+    return -1;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    Err = std::string("connect: ") + std::strerror(errno);
+    ::close(Fd);
+    return -1;
+  }
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  timeval Tv{};
+  Tv.tv_sec = RcvTimeoutSecs;
+  ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv));
+  return Fd;
+}
+
+bool sendAll(int Fd, const std::string &Bytes) {
+  size_t Off = 0;
+  while (Off < Bytes.size()) {
+    ssize_t N = ::send(Fd, Bytes.data() + Off, Bytes.size() - Off,
+                       MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+struct Received {
+  uint64_t Id;
+  uint64_t RecvNanos;
+  WireStatus Status;
+};
+
+/// Reads responses off one connection until EOF/timeout; purely local
+/// state, merged after join.
+void receiverMain(int Fd, Clock::time_point T0, std::vector<Received> &Out) {
+  std::string Buf;
+  char Chunk[64 * 1024];
+  for (;;) {
+    ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N <= 0)
+      return; // EOF, timeout or error: the tally below reports shortfalls
+    Buf.append(Chunk, static_cast<size_t>(N));
+    size_t Used = 0;
+    for (;;) {
+      WireResponse R;
+      std::string Err;
+      size_t Consumed = 0;
+      Decode D = decodeResponse(std::string_view(Buf).substr(Used), Consumed,
+                                R, Err);
+      if (D != Decode::Frame)
+        break;
+      Used += Consumed;
+      uint64_t Nanos = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                               T0)
+              .count());
+      Out.push_back({R.Id, Nanos, R.Status});
+    }
+    Buf.erase(0, Used);
+  }
+}
+
+double percentileMs(const std::vector<uint64_t> &SortedNanos, double P) {
+  if (SortedNanos.empty())
+    return 0.0;
+  size_t Idx = static_cast<size_t>(P * static_cast<double>(SortedNanos.size()));
+  if (Idx >= SortedNanos.size())
+    Idx = SortedNanos.size() - 1;
+  return static_cast<double>(SortedNanos[Idx]) / 1e6;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opt;
+  for (int I = 1; I < Argc; ++I) {
+    const char *A = Argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "bench_traffic: %s needs an argument\n", A);
+        std::exit(2);
+      }
+      return Argv[++I];
+    };
+    if (!std::strcmp(A, "--host")) {
+      Opt.Host = Next();
+    } else if (!std::strcmp(A, "--port")) {
+      Opt.Port = static_cast<uint16_t>(std::strtoul(Next(), nullptr, 10));
+    } else if (!std::strcmp(A, "--rate")) {
+      Opt.Rate = std::strtod(Next(), nullptr);
+    } else if (!std::strcmp(A, "--duration")) {
+      Opt.Duration = std::strtod(Next(), nullptr);
+    } else if (!std::strcmp(A, "--conns")) {
+      Opt.Conns = static_cast<unsigned>(std::strtoul(Next(), nullptr, 10));
+    } else if (!std::strcmp(A, "--mix")) {
+      const char *S = Next();
+      if (std::sscanf(S, "%u:%u:%u", &Opt.MixCompile, &Opt.MixRun,
+                      &Opt.MixScheme) != 3 ||
+          Opt.MixCompile + Opt.MixRun + Opt.MixScheme == 0) {
+        std::fprintf(stderr, "bench_traffic: --mix wants C:R:S, got '%s'\n",
+                     S);
+        return 2;
+      }
+    } else if (!std::strcmp(A, "--hot")) {
+      Opt.HotPrograms =
+          static_cast<unsigned>(std::strtoul(Next(), nullptr, 10));
+    } else if (!std::strcmp(A, "--hot-ratio")) {
+      Opt.HotRatio = std::strtod(Next(), nullptr);
+    } else if (!std::strcmp(A, "--poisson")) {
+      Opt.Poisson = true;
+    } else if (!std::strcmp(A, "--seed")) {
+      Opt.Seed = std::strtoull(Next(), nullptr, 10);
+    } else if (!std::strcmp(A, "--drain-timeout")) {
+      Opt.DrainTimeoutSecs =
+          static_cast<unsigned>(std::strtoul(Next(), nullptr, 10));
+    } else if (!std::strcmp(A, "--help") || !std::strcmp(A, "-h")) {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "bench_traffic: unknown option '%s'\n", A);
+      usage();
+      return 2;
+    }
+  }
+  if (Opt.Port == 0) {
+    std::fprintf(stderr, "bench_traffic: --port is required\n");
+    usage();
+    return 2;
+  }
+  if (Opt.Conns == 0)
+    Opt.Conns = 1;
+  if (Opt.HotPrograms == 0)
+    Opt.HotPrograms = 1;
+  uint64_t N = static_cast<uint64_t>(Opt.Rate * Opt.Duration);
+  if (N == 0)
+    N = 1;
+
+  // Connect the whole fleet before the first arrival.
+  std::vector<int> Fds;
+  for (unsigned I = 0; I < Opt.Conns; ++I) {
+    std::string Err;
+    int Fd = connectTo(Opt.Host, Opt.Port, Opt.DrainTimeoutSecs, Err);
+    if (Fd < 0) {
+      std::fprintf(stderr, "bench_traffic: %s\n", Err.c_str());
+      for (int F : Fds)
+        ::close(F);
+      return 1;
+    }
+    Fds.push_back(Fd);
+  }
+
+  Clock::time_point T0 = Clock::now();
+  std::vector<std::vector<Received>> PerConn(Opt.Conns);
+  std::vector<std::thread> Receivers;
+  for (unsigned I = 0; I < Opt.Conns; ++I)
+    Receivers.emplace_back(
+        [&, I] { receiverMain(Fds[I], T0, PerConn[I]); });
+
+  // The open-loop sender: arrival i is scheduled at T0 + sum of gaps
+  // (fixed 1/rate, or exponential with mean 1/rate), regardless of how
+  // the daemon is doing.
+  std::mt19937_64 Rng(Opt.Seed);
+  std::exponential_distribution<double> Gap(Opt.Rate);
+  std::uniform_real_distribution<double> Unit(0.0, 1.0);
+  unsigned MixTotal = Opt.MixCompile + Opt.MixRun + Opt.MixScheme;
+  std::vector<uint64_t> SendNanos(N, 0);
+  uint64_t SendFailures = 0;
+  std::vector<uint64_t> SentKind(3, 0);
+  double DueSecs = 0.0;
+  for (uint64_t I = 0; I < N; ++I) {
+    DueSecs += Opt.Poisson ? Gap(Rng) : 1.0 / Opt.Rate;
+    std::this_thread::sleep_until(
+        T0 + std::chrono::duration_cast<Clock::duration>(
+                 std::chrono::duration<double>(DueSecs)));
+
+    WireRequest Req;
+    Req.Id = I;
+    unsigned Pick =
+        static_cast<unsigned>(Unit(Rng) * static_cast<double>(MixTotal));
+    if (Pick < Opt.MixCompile) {
+      Req.Kind = MsgKind::Compile;
+    } else if (Pick < Opt.MixCompile + Opt.MixRun) {
+      Req.Kind = MsgKind::CompileRun;
+    } else {
+      Req.Kind = MsgKind::SchemeQuery;
+      Req.SchemeNames = {"compose", "iter"};
+    }
+    ++SentKind[static_cast<unsigned>(Req.Kind)];
+    // Hot draws repeat a small salt set (compile-cache hits); cold
+    // draws salt by a per-request unique value (guaranteed misses).
+    bool Hot = Unit(Rng) < Opt.HotRatio;
+    Req.Source = programSource(Hot ? Rng() % Opt.HotPrograms : 1000 + I);
+
+    std::string Frame;
+    encodeRequest(Req, Frame);
+    SendNanos[I] = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - T0)
+            .count());
+    if (!sendAll(Fds[I % Opt.Conns], Frame))
+      ++SendFailures;
+  }
+  // Half-close: "no more requests", but keep reading until the daemon
+  // has flushed every owed response.
+  for (int Fd : Fds)
+    ::shutdown(Fd, SHUT_WR);
+  for (std::thread &T : Receivers)
+    T.join();
+  double WallSecs =
+      std::chrono::duration<double>(Clock::now() - T0).count();
+  for (int Fd : Fds)
+    ::close(Fd);
+
+  // Merge and tally.
+  uint64_t Responses = 0, Sheds = 0, Ok = 0, Errors = 0;
+  std::vector<uint64_t> LatNanos;
+  for (const std::vector<Received> &V : PerConn)
+    for (const Received &R : V) {
+      ++Responses;
+      if (R.Status == WireStatus::Shed) {
+        ++Sheds;
+        continue; // shed responses are instant; keep them out of latency
+      }
+      if (R.Status == WireStatus::Ok)
+        ++Ok;
+      else
+        ++Errors;
+      if (R.Id < N && R.RecvNanos >= SendNanos[R.Id])
+        LatNanos.push_back(R.RecvNanos - SendNanos[R.Id]);
+    }
+  std::sort(LatNanos.begin(), LatNanos.end());
+  double P50 = percentileMs(LatNanos, 0.50);
+  double P95 = percentileMs(LatNanos, 0.95);
+  double P99 = percentileMs(LatNanos, 0.99);
+  double Throughput =
+      WallSecs > 0 ? static_cast<double>(Responses - Sheds) / WallSecs : 0.0;
+  double ShedRate =
+      N > 0 ? static_cast<double>(Sheds) / static_cast<double>(N) : 0.0;
+
+  std::printf("bench_traffic: %llu arrivals over %.2fs (%s pace, "
+              "%.0f/s target, %u conns, mix c:r:s = %llu:%llu:%llu)\n",
+              static_cast<unsigned long long>(N), WallSecs,
+              Opt.Poisson ? "poisson" : "fixed", Opt.Rate, Opt.Conns,
+              static_cast<unsigned long long>(SentKind[0]),
+              static_cast<unsigned long long>(SentKind[1]),
+              static_cast<unsigned long long>(SentKind[2]));
+  std::printf("  responses %llu (ok %llu, errors %llu, shed %llu"
+              ", send failures %llu, missing %lld)\n",
+              static_cast<unsigned long long>(Responses),
+              static_cast<unsigned long long>(Ok),
+              static_cast<unsigned long long>(Errors),
+              static_cast<unsigned long long>(Sheds),
+              static_cast<unsigned long long>(SendFailures),
+              static_cast<long long>(N - Responses - SendFailures));
+  std::printf("  served throughput %.1f/s, shed rate %.1f%%\n", Throughput,
+              100.0 * ShedRate);
+  std::printf("  latency p50 %.2fms p95 %.2fms p99 %.2fms (n=%zu)\n", P50,
+              P95, P99, LatNanos.size());
+  std::printf("{\"sent\":%llu,\"responses\":%llu,\"ok\":%llu,"
+              "\"errors\":%llu,\"shed\":%llu,\"shed_rate\":%.4f,"
+              "\"throughput_rps\":%.1f,\"p50_ms\":%.2f,\"p95_ms\":%.2f,"
+              "\"p99_ms\":%.2f}\n",
+              static_cast<unsigned long long>(N),
+              static_cast<unsigned long long>(Responses),
+              static_cast<unsigned long long>(Ok),
+              static_cast<unsigned long long>(Errors),
+              static_cast<unsigned long long>(Sheds), ShedRate, Throughput,
+              P50, P95, P99);
+  // Missing responses (beyond sheds and send failures) mean the daemon
+  // broke its contract; make scripts notice.
+  return Responses + SendFailures >= N ? 0 : 1;
+}

@@ -1,0 +1,169 @@
+//===- net/Connection.cpp -------------------------------------------------===//
+
+#include "net/Connection.h"
+#include "net/Server.h"
+
+#include <cerrno>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace rml;
+using namespace rml::net;
+
+Connection::Connection(Server &Srv, int Fd, uint64_t Id)
+    : Srv(Srv), Fd(Fd), ConnId(Id) {}
+
+Connection::~Connection() {
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+void Connection::onIo(uint32_t Events) {
+  if (Closed)
+    return;
+  if (Events & (EPOLLHUP | EPOLLERR)) {
+    Srv.closeConn(*this);
+    return;
+  }
+  if (Events & EPOLLIN) {
+    readable();
+    if (Closed)
+      return;
+  }
+  if (Events & EPOLLOUT)
+    writable();
+}
+
+void Connection::readable() {
+  char Buf[16 * 1024];
+  for (;;) {
+    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    if (N > 0) {
+      // Once the connection is condemned (protocol error pending flush)
+      // or the server is draining, input is discarded rather than
+      // parsed: no new work is admitted, but a client that keeps
+      // streaming cannot pin the level-triggered loop at 100%.
+      if (!CloseAfterFlush && !Srv.draining()) {
+        if (RdBuf.size() + static_cast<size_t>(N) >
+            MaxBodyBytes + MaxHttpHeaderBytes + 64) {
+          Srv.onProtocolError(*this, "read buffer overflow");
+          return;
+        }
+        RdBuf.append(Buf, static_cast<size_t>(N));
+      }
+      continue;
+    }
+    if (N == 0) {
+      // Half-close: the peer is done sending but may still be reading
+      // our responses. Anything already buffered still gets parsed and
+      // answered below; the close happens only once nothing is owed.
+      PeerClosed = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      break;
+    if (errno == EINTR)
+      continue;
+    Srv.closeConn(*this);
+    return;
+  }
+  if (!RdBuf.empty())
+    parse();
+  if (!Closed && PeerClosed && Pending == 0 && writeIdle())
+    Srv.closeConn(*this);
+}
+
+void Connection::parse() {
+  if (M == Mode::Detect) {
+    // Binary frames start with their big-endian length prefix, and
+    // Protocol.h caps bodies below 2^24, so a legitimate first byte is
+    // always 0x00. Anything else is (possibly malformed) HTTP.
+    M = static_cast<uint8_t>(RdBuf[0]) == 0x00 ? Mode::Binary : Mode::Http;
+  }
+  if (M == Mode::Binary) {
+    size_t Used = 0;
+    while (Used < RdBuf.size()) {
+      WireRequest Req;
+      std::string DecodeErr;
+      size_t Consumed = 0;
+      Decode D = decodeRequest(std::string_view(RdBuf).substr(Used), Consumed,
+                               Req, DecodeErr);
+      if (D == Decode::NeedMore)
+        break;
+      if (D == Decode::Bad) {
+        RdBuf.clear();
+        Srv.onProtocolError(*this, DecodeErr);
+        return;
+      }
+      Used += Consumed;
+      Srv.onRequest(*this, std::move(Req));
+      if (Closed)
+        return;
+      if (CloseAfterFlush) {
+        RdBuf.clear();
+        return;
+      }
+    }
+    RdBuf.erase(0, Used);
+    return;
+  }
+  // HTTP: one request, one response, close (Connection: close).
+  HttpRequest Req;
+  std::string ParseErr;
+  size_t Consumed = 0;
+  Decode D = parseHttpRequest(RdBuf, Consumed, Req, ParseErr);
+  if (D == Decode::NeedMore)
+    return;
+  RdBuf.clear();
+  if (D == Decode::Bad) {
+    Srv.onProtocolError(*this, ParseErr);
+    return;
+  }
+  Srv.onHttp(*this, Req);
+}
+
+void Connection::sendBytes(std::string Bytes) {
+  if (Closed)
+    return;
+  if (WrBuf.empty())
+    WrBuf = std::move(Bytes);
+  else
+    WrBuf += Bytes;
+  writable();
+}
+
+void Connection::writable() {
+  while (WrOff < WrBuf.size()) {
+    ssize_t N = ::send(Fd, WrBuf.data() + WrOff, WrBuf.size() - WrOff,
+                       MSG_NOSIGNAL);
+    if (N > 0) {
+      WrOff += static_cast<size_t>(N);
+      continue;
+    }
+    if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Reclaim flushed prefix once it dominates the buffer.
+      if (WrOff > 64 * 1024 && WrOff > WrBuf.size() / 2) {
+        WrBuf.erase(0, WrOff);
+        WrOff = 0;
+      }
+      if (!WantWrite) {
+        WantWrite = true;
+        Srv.loop().mod(Fd, EPOLLIN | EPOLLOUT, this);
+      }
+      return;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    Srv.closeConn(*this);
+    return;
+  }
+  WrBuf.clear();
+  WrOff = 0;
+  if (WantWrite) {
+    WantWrite = false;
+    Srv.loop().mod(Fd, EPOLLIN, this);
+  }
+  if (CloseAfterFlush || (PeerClosed && Pending == 0))
+    Srv.closeConn(*this);
+}

@@ -1,0 +1,98 @@
+//===- net/Connection.h - One client connection's state machine -*- C++ -*-===//
+//
+// Part of RegionML, a reproduction of "Garbage-Collection Safety for
+// Region-Based Type-Polymorphic Programs" (Elsman, PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One accepted socket, owned by the Server and driven by the event
+/// loop. The first byte decides the dialect — 0x00 is a binary frame's
+/// length prefix (net/Protocol.h caps bodies below 2^24), anything else
+/// is treated as an HTTP request line (net/Http.h) — after which the
+/// connection parses frames out of its read buffer and hands them up:
+///
+///   Detect ──0x00──> Binary ── decodeRequest loop ──> Server::onRequest
+///       └───else───> Http ──── parseHttpRequest ────> Server::onHttp
+///
+/// Any malformed input fails closed: Server::onProtocolError queues a
+/// final ProtocolError frame (or a 400) and the connection closes once
+/// it flushes. Writes are buffered with EPOLLOUT armed only while a
+/// partial write is outstanding. A client may half-close (shutdown its
+/// write side) after pipelining requests: the read side records the
+/// EOF, responses still flush, and the connection closes once nothing
+/// is pending. While the server drains (SIGTERM), reads are discarded
+/// instead of parsed so no new work is admitted but backpressured
+/// clients cannot wedge the loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RML_NET_CONNECTION_H
+#define RML_NET_CONNECTION_H
+
+#include "net/EventLoop.h"
+
+#include <cstdint>
+#include <string>
+
+namespace rml::net {
+
+class Server;
+
+/// One client connection. Construction takes ownership of the fd;
+/// destruction closes it. All methods run on the loop thread.
+class Connection final : public IoHandler {
+public:
+  Connection(Server &Srv, int Fd, uint64_t Id);
+  ~Connection() override;
+
+  Connection(const Connection &) = delete;
+  Connection &operator=(const Connection &) = delete;
+
+  void onIo(uint32_t Events) override;
+
+  uint64_t id() const { return ConnId; }
+  int fd() const { return Fd; }
+
+  /// Queues \p Bytes and flushes as far as the socket allows; arms
+  /// EPOLLOUT for the remainder. May close the connection (write
+  /// error, or a close-after-flush falling due).
+  void sendBytes(std::string Bytes);
+
+  /// No queued response bytes waiting to flush.
+  bool writeIdle() const { return WrOff == WrBuf.size(); }
+
+private:
+  friend class Server;
+
+  enum class Mode : uint8_t { Detect, Binary, Http };
+
+  void readable();
+  void writable();
+  void parse();
+
+  Server &Srv;
+  int Fd;
+  uint64_t ConnId;
+  Mode M = Mode::Detect;
+  std::string RdBuf;
+  std::string WrBuf;
+  size_t WrOff = 0;
+  /// Requests admitted into the service whose responses have not yet
+  /// been queued on this connection.
+  uint32_t Pending = 0;
+  /// The peer half-closed (EOF on read); responses may still flush.
+  bool PeerClosed = false;
+  /// Close as soon as the write buffer drains (protocol error, HTTP
+  /// response sent, or drain finishing).
+  bool CloseAfterFlush = false;
+  /// EPOLLOUT is currently armed.
+  bool WantWrite = false;
+  /// Set by Server::closeConn: the connection is logically gone (its
+  /// destruction is deferred to the end of the loop batch).
+  bool Closed = false;
+};
+
+} // namespace rml::net
+
+#endif // RML_NET_CONNECTION_H

@@ -1,0 +1,70 @@
+//===- net/EventLoop.cpp --------------------------------------------------===//
+
+#include "net/EventLoop.h"
+
+#include <cerrno>
+#include <sys/epoll.h>
+#include <unistd.h>
+
+using namespace rml;
+using namespace rml::net;
+
+IoHandler::~IoHandler() = default;
+
+EventLoop::EventLoop() : Ep(::epoll_create1(EPOLL_CLOEXEC)) {}
+
+EventLoop::~EventLoop() {
+  if (Ep >= 0)
+    ::close(Ep);
+}
+
+bool EventLoop::add(int Fd, uint32_t Events, IoHandler *H) {
+  if (Ep < 0 || Fd < 0 || !H)
+    return false;
+  epoll_event Ev{};
+  Ev.events = Events;
+  Ev.data.fd = Fd;
+  if (::epoll_ctl(Ep, EPOLL_CTL_ADD, Fd, &Ev) != 0)
+    return false;
+  Handlers[Fd] = H;
+  return true;
+}
+
+bool EventLoop::mod(int Fd, uint32_t Events, IoHandler *H) {
+  if (Ep < 0 || Fd < 0 || !H)
+    return false;
+  epoll_event Ev{};
+  Ev.events = Events;
+  Ev.data.fd = Fd;
+  if (::epoll_ctl(Ep, EPOLL_CTL_MOD, Fd, &Ev) != 0)
+    return false;
+  Handlers[Fd] = H;
+  return true;
+}
+
+void EventLoop::del(int Fd) {
+  if (Ep < 0 || Fd < 0)
+    return;
+  ::epoll_ctl(Ep, EPOLL_CTL_DEL, Fd, nullptr);
+  Handlers.erase(Fd);
+}
+
+int EventLoop::runOnce(int TimeoutMs) {
+  if (Ep < 0)
+    return -1;
+  epoll_event Evs[64];
+  int N = ::epoll_wait(Ep, Evs, 64, TimeoutMs);
+  if (N < 0)
+    return errno == EINTR ? 0 : -1;
+  int Dispatched = 0;
+  for (int I = 0; I < N; ++I) {
+    // Look the handler up now, not at wait time: an earlier handler in
+    // this batch may have del()ed this fd.
+    auto It = Handlers.find(Evs[I].data.fd);
+    if (It == Handlers.end())
+      continue;
+    It->second->onIo(Evs[I].events);
+    ++Dispatched;
+  }
+  return Dispatched;
+}

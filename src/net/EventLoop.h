@@ -1,0 +1,75 @@
+//===- net/EventLoop.h - Single-threaded epoll dispatcher -------*- C++ -*-===//
+//
+// Part of RegionML, a reproduction of "Garbage-Collection Safety for
+// Region-Based Type-Polymorphic Programs" (Elsman, PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thin, single-threaded epoll wrapper: file descriptors register an
+/// IoHandler, runOnce() dispatches one epoll_wait batch. Dispatch looks
+/// handlers up by fd at delivery time, so a handler that del()s another
+/// fd mid-batch (a connection closing a peer, the completion drain
+/// closing a finished connection) simply causes the stale event to be
+/// skipped — no dangling handler pointer is ever invoked. The one
+/// residual race — an fd number closed and re-accept()ed inside a
+/// single batch — delivers at worst a spurious readable event to the
+/// new owner, which a non-blocking read answers with EAGAIN.
+///
+/// Everything here is loop-thread-only. Cross-thread wake-ups are the
+/// owner's business (the Server uses eventfds; see net/Server.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RML_NET_EVENTLOOP_H
+#define RML_NET_EVENTLOOP_H
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+namespace rml::net {
+
+/// Something dispatchable: one registered fd's event callback.
+class IoHandler {
+public:
+  virtual ~IoHandler();
+  /// \p Events is the epoll event mask (EPOLLIN | EPOLLOUT | ...).
+  virtual void onIo(uint32_t Events) = 0;
+};
+
+/// The dispatcher. Not thread-safe by design (see the file comment).
+class EventLoop {
+public:
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop &) = delete;
+  EventLoop &operator=(const EventLoop &) = delete;
+
+  /// epoll_create1 succeeded; when false every other call is a no-op
+  /// (the owner reports construction failure its own way).
+  bool ok() const { return Ep >= 0; }
+
+  bool add(int Fd, uint32_t Events, IoHandler *H);
+  bool mod(int Fd, uint32_t Events, IoHandler *H);
+  /// Deregisters \p Fd; pending events for it in the current batch are
+  /// dropped. Does not close the fd.
+  void del(int Fd);
+
+  /// One epoll_wait + dispatch pass. \p TimeoutMs < 0 blocks until an
+  /// event arrives. \returns the number of events dispatched (0 on
+  /// timeout or EINTR, -1 on a wait failure).
+  int runOnce(int TimeoutMs);
+
+  size_t handlerCount() const { return Handlers.size(); }
+
+private:
+  int Ep = -1;
+  /// fd -> handler, consulted at delivery time (stale-event safety).
+  std::unordered_map<int, IoHandler *> Handlers;
+};
+
+} // namespace rml::net
+
+#endif // RML_NET_EVENTLOOP_H

@@ -1,0 +1,94 @@
+//===- net/Http.cpp -------------------------------------------------------===//
+
+#include "net/Http.h"
+
+using namespace rml;
+using namespace rml::net;
+
+namespace {
+
+/// Validates "METHOD SP /target SP HTTP/1.x" and fills \p Out. The
+/// method must be short upper-case ASCII, the target must start with
+/// '/': binary garbage that happened to reach the HTTP path dies here
+/// instead of being ferried around as a "request".
+bool parseRequestLine(std::string_view Line, HttpRequest &Out,
+                      std::string &Err) {
+  size_t Sp1 = Line.find(' ');
+  size_t Sp2 = Sp1 == std::string_view::npos ? Sp1 : Line.find(' ', Sp1 + 1);
+  if (Sp2 == std::string_view::npos || Line.find(' ', Sp2 + 1) !=
+                                           std::string_view::npos) {
+    Err = "malformed HTTP request line";
+    return false;
+  }
+  std::string_view Method = Line.substr(0, Sp1);
+  std::string_view Target = Line.substr(Sp1 + 1, Sp2 - Sp1 - 1);
+  std::string_view Version = Line.substr(Sp2 + 1);
+  if (Method.empty() || Method.size() > 16) {
+    Err = "malformed HTTP method";
+    return false;
+  }
+  for (char C : Method)
+    if (C < 'A' || C > 'Z') {
+      Err = "malformed HTTP method";
+      return false;
+    }
+  if (Target.empty() || Target[0] != '/') {
+    Err = "malformed HTTP target";
+    return false;
+  }
+  if (Version.substr(0, 7) != "HTTP/1.") {
+    Err = "unsupported HTTP version";
+    return false;
+  }
+  Out.Method = std::string(Method);
+  Out.Target = std::string(Target);
+  return true;
+}
+
+} // namespace
+
+Decode rml::net::parseHttpRequest(std::string_view Buf, size_t &Consumed,
+                                  HttpRequest &Out, std::string &Err) {
+  Consumed = 0;
+  Err.clear();
+  // Reject a provably bad request line as soon as it is complete — a
+  // garbage connection should not get to stream MaxHttpHeaderBytes of
+  // noise before being told no.
+  size_t Eol = Buf.find("\r\n");
+  if (Eol != std::string_view::npos) {
+    HttpRequest Probe;
+    if (!parseRequestLine(Buf.substr(0, Eol), Probe, Err))
+      return Decode::Bad;
+  }
+  size_t End = Buf.find("\r\n\r\n");
+  if (End == std::string_view::npos) {
+    if (Buf.size() > MaxHttpHeaderBytes) {
+      Err = "HTTP header block exceeds " +
+            std::to_string(MaxHttpHeaderBytes) + " bytes";
+      return Decode::Bad;
+    }
+    return Decode::NeedMore;
+  }
+  if (!parseRequestLine(Buf.substr(0, Eol), Out, Err))
+    return Decode::Bad;
+  Consumed = End + 4;
+  return Decode::Frame;
+}
+
+std::string rml::net::httpResponse(int Code, std::string_view Reason,
+                                   std::string_view ContentType,
+                                   std::string_view Body) {
+  std::string Out;
+  Out.reserve(Body.size() + 128);
+  Out += "HTTP/1.1 ";
+  Out += std::to_string(Code);
+  Out += " ";
+  Out += Reason;
+  Out += "\r\nContent-Type: ";
+  Out += ContentType;
+  Out += "\r\nContent-Length: ";
+  Out += std::to_string(Body.size());
+  Out += "\r\nConnection: close\r\n\r\n";
+  Out += Body;
+  return Out;
+}

@@ -1,0 +1,53 @@
+//===- net/Http.h - Minimal HTTP GET shim for rmld --------------*- C++ -*-===//
+//
+// Part of RegionML, a reproduction of "Garbage-Collection Safety for
+// Region-Based Type-Polymorphic Programs" (Elsman, PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Just enough HTTP/1.1 for `curl http://host:port/stats` and a
+/// load-balancer `/healthz` probe: parse a request line, ignore the
+/// headers, answer with Connection: close. Anything beyond a
+/// well-formed GET-shaped request line fails closed (Decode::Bad) and
+/// the server answers 400 and hangs up — the binary protocol in
+/// net/Protocol.h is the real API surface.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RML_NET_HTTP_H
+#define RML_NET_HTTP_H
+
+#include "net/Protocol.h"
+
+#include <string>
+#include <string_view>
+
+namespace rml::net {
+
+/// Header-block bound: a request whose headers exceed this without
+/// terminating is malformed (or hostile) and fails closed.
+inline constexpr size_t MaxHttpHeaderBytes = 8 * 1024;
+
+/// The parts of a request the server routes on. Headers are skipped.
+struct HttpRequest {
+  std::string Method; // "GET", ...
+  std::string Target; // "/stats", ...
+};
+
+/// Incremental request parse over a connection's read buffer: NeedMore
+/// until the blank line arrives (Bad first if the request line is
+/// already provably malformed or the header block outgrows
+/// MaxHttpHeaderBytes); on Frame, \p Consumed spans through the blank
+/// line. Request bodies are not supported — rmld routes GETs only.
+Decode parseHttpRequest(std::string_view Buf, size_t &Consumed,
+                        HttpRequest &Out, std::string &Err);
+
+/// Renders a complete close-delimited response (status line,
+/// Content-Type/-Length, Connection: close, body).
+std::string httpResponse(int Code, std::string_view Reason,
+                         std::string_view ContentType, std::string_view Body);
+
+} // namespace rml::net
+
+#endif // RML_NET_HTTP_H

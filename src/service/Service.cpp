@@ -165,6 +165,38 @@ std::optional<std::future<Response>> Service::trySubmit(Request R) {
   return F;
 }
 
+bool Service::trySubmit(Request R, std::function<void(Response)> Done) {
+  ScheduledJob J;
+  J.Req = std::move(R);
+  J.Callback = std::move(Done);
+  bool Rejected = false;
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    if (Stopping) {
+      // Terminal: complete the callback (below, outside the lock)
+      // rather than shed, so the caller can tell "back off" from
+      // "give up".
+      Rejected = true;
+    } else if (Sched->size() >= Cfg.QueueCapacity) {
+      std::lock_guard<std::mutex> SLock(StatsMutex);
+      ++Counters.Rejected;
+      return false;
+    } else {
+      enqueue(std::move(J));
+    }
+  }
+  if (Rejected) {
+    {
+      std::lock_guard<std::mutex> SLock(StatsMutex);
+      ++Counters.ShutdownRejected;
+    }
+    J.complete(shutdownResponse());
+    return true;
+  }
+  NotEmpty.notify_one();
+  return true;
+}
+
 void Service::shutdown() {
   {
     std::lock_guard<std::mutex> Lock(QueueMutex);
@@ -194,6 +226,10 @@ void Service::workerMain() {
       J = Sched->pop();
     }
     NotFull.notify_one();
+    {
+      std::lock_guard<std::mutex> SLock(StatsMutex);
+      ++Counters.InFlight;
+    }
 
     auto T0 = std::chrono::steady_clock::now();
     // A worker that lets an exception escape takes the whole process
@@ -254,6 +290,13 @@ void Service::workerMain() {
               .count());
     }
     J.complete(std::move(Resp));
+    {
+      // In flight covers the completion hand-off too: a request whose
+      // callback is still running has not finished from the operator's
+      // point of view.
+      std::lock_guard<std::mutex> SLock(StatsMutex);
+      --Counters.InFlight;
+    }
   }
 }
 

@@ -89,6 +89,16 @@ public:
   /// tell "retry later" from "never".
   std::optional<std::future<Response>> trySubmit(Request R);
 
+  /// The non-blocking x callback-style corner, built for the network
+  /// front door (net/Server.h): an event-loop thread must neither park
+  /// on a full queue nor park on a future. \returns false when the
+  /// queue is at capacity — the request was shed at admission (counted
+  /// in ServiceStats::Rejected) and \p Done will never run. Otherwise
+  /// returns true: \p Done runs exactly once, on the worker that
+  /// finishes the request, or inline on this thread with a
+  /// RequestOutcome::Shutdown response when the service is stopping.
+  bool trySubmit(Request R, std::function<void(Response)> Done);
+
   /// Stops accepting work, wakes any producer blocked in submit(),
   /// finishes every queued request, joins the workers. Idempotent and
   /// safe to race from several threads; the destructor calls it.

@@ -25,6 +25,7 @@ std::string ServiceStats::json() const {
       << ",\"disk_load_rejects\":" << DiskLoadRejects
       << ",\"queue_depth\":" << QueueDepth
       << ",\"queue_high_water\":" << QueueHighWater
+      << ",\"in_flight\":" << InFlight
       << ",\"workers\":" << Workers
       << ",\"sched\":\"" << jsonEscaped(Policy) << "\""
       << ",\"gc_count\":" << TotalGcCount
@@ -47,6 +48,7 @@ std::string ServiceStats::json() const {
         << ",\"count\":" << Phases[I].Count << "}";
   }
   Out << "},\"busy_nanos\":" << BusyNanos << ",\"uptime_nanos\":" << UptimeNanos
+      << ",\"uptime_seconds\":" << UptimeNanos / 1000000000
       << ",\"utilization\":" << jsonFixed(utilization()) << "}";
   return Out.str();
 }

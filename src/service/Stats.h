@@ -60,6 +60,10 @@ struct ServiceStats {
   /// Deepest the queue ever got (backpressure high-water mark).
   uint64_t QueueHighWater = 0;
   uint64_t QueueDepth = 0;
+  /// Requests currently being processed by a worker (dequeued, not yet
+  /// completed) — with QueueDepth, the live saturation picture an
+  /// operator polls from rmld's /stats endpoint.
+  uint64_t InFlight = 0;
   unsigned Workers = 0;
   /// The active scheduler's policy name ("fifo", "ljf").
   std::string Policy;

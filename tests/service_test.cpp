@@ -593,6 +593,162 @@ TEST(ServiceTest, CallbackSubmitAfterShutdownRejectsInline) {
   EXPECT_EQ(CallbackThread, std::this_thread::get_id());
 }
 
+// Satellite: the saturation gauges. A request parked inside its
+// completion callback is still "in flight" (dequeued, not completed);
+// the queue depth counts only what is waiting behind it.
+TEST(ServiceTest, SaturationGaugesTrackAParkedWorker) {
+  Service Svc({/*Workers=*/1, /*QueueCapacity=*/4, /*CacheCapacity=*/0});
+
+  std::atomic<bool> Parked{false};
+  std::atomic<bool> Release{false};
+  Request Blocker;
+  Blocker.Source = "1 + 1";
+  Svc.submit(Blocker, [&](Response) {
+    Parked.store(true, std::memory_order_release);
+    while (!Release.load(std::memory_order_acquire))
+      std::this_thread::yield();
+  });
+  while (!Parked.load(std::memory_order_acquire))
+    std::this_thread::yield();
+
+  // The only worker is pinned inside the callback: its request has
+  // been dequeued but not yet counted complete.
+  ServiceStats Busy = Svc.stats();
+  EXPECT_EQ(Busy.InFlight, 1u);
+  EXPECT_EQ(Busy.QueueDepth, 0u);
+  EXPECT_NE(Busy.json().find("\"in_flight\":1"), std::string::npos);
+
+  // A second request queues up behind it.
+  Request Queued;
+  Queued.Source = "2 + 2";
+  std::future<Response> F = Svc.submit(Queued);
+  EXPECT_EQ(Svc.stats().QueueDepth, 1u);
+
+  Release.store(true, std::memory_order_release);
+  F.get();
+  Svc.shutdown(); // join the worker: the gauges settle deterministically
+  ServiceStats Idle = Svc.stats();
+  EXPECT_EQ(Idle.InFlight, 0u);
+  EXPECT_EQ(Idle.QueueDepth, 0u);
+  EXPECT_EQ(Idle.Completed, 2u);
+}
+
+// Satellite: the non-blocking admission path. A full queue sheds
+// instead of blocking — false return, Rejected counter, and the
+// callback is never invoked (the caller owns the shed response).
+TEST(ServiceTest, TrySubmitCallbackShedsAtFullQueue) {
+  Service Svc({/*Workers=*/1, /*QueueCapacity=*/1, /*CacheCapacity=*/0});
+
+  std::atomic<bool> Parked{false};
+  std::atomic<bool> Release{false};
+  Request Blocker;
+  Blocker.Source = "1 + 1";
+  Svc.submit(Blocker, [&](Response) {
+    Parked.store(true, std::memory_order_release);
+    while (!Release.load(std::memory_order_acquire))
+      std::this_thread::yield();
+  });
+  while (!Parked.load(std::memory_order_acquire))
+    std::this_thread::yield();
+
+  // Fill the queue behind the parked worker, then shed.
+  std::atomic<int> Invocations{0};
+  Request Fill;
+  Fill.Source = "2 + 2";
+  EXPECT_TRUE(Svc.trySubmit(Fill, [&](Response) { ++Invocations; }));
+  Request Shed;
+  Shed.Source = "3 + 3";
+  for (int I = 0; I < 3; ++I)
+    EXPECT_FALSE(Svc.trySubmit(Shed, [&](Response) {
+      ADD_FAILURE() << "shed callback must never run";
+    }));
+  EXPECT_EQ(Svc.stats().Rejected, 3u);
+
+  Release.store(true, std::memory_order_release);
+  Svc.shutdown(); // drains the admitted request
+  EXPECT_EQ(Invocations.load(), 1);
+  EXPECT_EQ(Svc.stats().Completed, 2u);
+}
+
+TEST(ServiceTest, TrySubmitCallbackAfterShutdownInvokesInline) {
+  Service Svc({/*Workers=*/1, /*QueueCapacity=*/4, /*CacheCapacity=*/0});
+  Svc.shutdown();
+  bool Invoked = false;
+  std::thread::id CallbackThread;
+  Request Req;
+  Req.Source = "1 + 1";
+  // Admission after shutdown is not a shed: trySubmit returns true and
+  // resolves the callback inline with a Shutdown response.
+  EXPECT_TRUE(Svc.trySubmit(Req, [&](Response R) {
+    EXPECT_EQ(R.Status, RequestOutcome::Shutdown);
+    CallbackThread = std::this_thread::get_id();
+    Invoked = true;
+  }));
+  EXPECT_TRUE(Invoked);
+  EXPECT_EQ(CallbackThread, std::this_thread::get_id());
+  EXPECT_EQ(Svc.stats().ShutdownRejected, 1u);
+  EXPECT_EQ(Svc.stats().Rejected, 0u);
+}
+
+// Satellite regression: trySubmit racing shutdown(). Every invocation
+// that returns true must resolve its callback exactly once — either a
+// worker completes it or the stopping path rejects it inline — and the
+// counters must account for every admitted request. Before the
+// event-loop front door this path did not exist; the race is exactly
+// what a draining rmld exercises.
+TEST(ServiceTest, CallbackSubmitRacingShutdownAlwaysCompletes) {
+  constexpr int Producers = 4;
+  constexpr int PerProducer = 24;
+  Service Svc({/*Workers=*/2, /*QueueCapacity=*/4, /*CacheCapacity=*/4});
+
+  std::atomic<int> Admitted{0};
+  std::atomic<int> Sheds{0};
+  std::atomic<int> Invocations{0};
+  std::atomic<int> ShutdownInline{0};
+  std::atomic<bool> Go{false};
+
+  std::vector<std::thread> Threads;
+  Threads.reserve(Producers);
+  for (int T = 0; T < Producers; ++T)
+    Threads.emplace_back([&, T] {
+      while (!Go.load(std::memory_order_acquire))
+        std::this_thread::yield();
+      for (int I = 0; I < PerProducer; ++I) {
+        Request Req;
+        Req.Source = "1 + " + std::to_string(T * PerProducer + I);
+        bool Ok = Svc.trySubmit(std::move(Req), [&](Response R) {
+          ++Invocations;
+          if (R.Status == RequestOutcome::Shutdown)
+            ++ShutdownInline;
+        });
+        if (Ok)
+          ++Admitted;
+        else
+          ++Sheds;
+      }
+    });
+
+  Go.store(true, std::memory_order_release);
+  // Shut down while the producers are mid-burst: some requests finish,
+  // some reject inline, some shed — none may be dropped or doubled.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  Svc.shutdown();
+  for (std::thread &T : Threads)
+    T.join();
+
+  EXPECT_EQ(Admitted + Sheds, Producers * PerProducer);
+  // Exactly one callback per admitted request, none for sheds.
+  EXPECT_EQ(Invocations.load(), Admitted.load());
+  ServiceStats S = Svc.stats();
+  EXPECT_EQ(S.Rejected, static_cast<uint64_t>(Sheds.load()));
+  EXPECT_EQ(S.ShutdownRejected,
+            static_cast<uint64_t>(ShutdownInline.load()));
+  EXPECT_EQ(S.Completed + S.ShutdownRejected,
+            static_cast<uint64_t>(Admitted.load()));
+  EXPECT_EQ(S.InFlight, 0u);
+  EXPECT_EQ(S.QueueDepth, 0u);
+}
+
 // Satellite regression: a producer blocked in submit() on a full queue
 // must be woken by shutdown() and handed a Shutdown rejection — before
 // this fix it waited on NotFull forever (shutdown only notified the
@@ -711,11 +867,15 @@ TEST(ServiceTest, StatsJsonShape) {
   Req.Source = "1 + 1";
   Svc.submit(Req).get();
   Svc.submit(Req).get();
+  // The worker decrements the in-flight gauge only after the promise
+  // resolves; join the workers so the snapshot is deterministic.
+  Svc.shutdown();
   std::string J = Svc.stats().json();
   for (const char *Key :
        {"\"submitted\":2", "\"rejected\":0", "\"completed\":2",
         "\"cache_hits\":1", "\"cache_misses\":1", "\"workers\":1",
         "\"gc_count\":", "\"alloc_words\":", "\"queue_high_water\":",
+        "\"queue_depth\":0", "\"in_flight\":0", "\"uptime_seconds\":",
         "\"utilization\":", "\"pool_hits\":", "\"pool_misses\":",
         "\"pool_releases\":", "\"pool_capacity\":1024", "\"pool_reuse\":",
         "\"pool_prewarmed\":0", "\"budget_exceeded\":0",

@@ -1,5 +1,6 @@
 //===- tests/support_test.cpp - Support library unit tests ----------------===//
 
+#include "service/Stats.h"
 #include "support/Diagnostics.h"
 #include "support/Interner.h"
 #include "support/Trace.h"
@@ -292,6 +293,20 @@ TEST(Trace, JsonFixedClampsNonFiniteAndHugeValues) {
   EXPECT_EQ(jsonFixed(-std::numeric_limits<double>::infinity()), "0.000000");
   EXPECT_EQ(jsonFixed(1e300), "1000000000000.000000");
   EXPECT_EQ(jsonFixed(-1e300), "-1000000000000.000000");
+}
+
+TEST(Stats, SaturationGaugesRenderInJson) {
+  // The live gauges an operator polls from rmld's /stats endpoint:
+  // queue depth, requests mid-worker, and uptime in whole seconds
+  // (truncated, not rounded — 2.5 s of nanos reads as 2).
+  service::ServiceStats S;
+  S.QueueDepth = 3;
+  S.InFlight = 2;
+  S.UptimeNanos = 2'500'000'000ull;
+  std::string J = S.json();
+  EXPECT_NE(J.find("\"queue_depth\":3"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"in_flight\":2"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"uptime_seconds\":2"), std::string::npos) << J;
 }
 
 } // namespace

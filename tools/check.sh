@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-#===- tools/check.sh - Tier-1 verify + TSan pool/service gate ------------===#
+#===- tools/check.sh - Tier-1 verify + TSan concurrency gate -------------===#
 #
 # The checks a change must pass before it lands:
 #
@@ -8,8 +8,9 @@
 #      concurrency-sensitive labels: the service layer, the scheduler
 #      policies (completion-order and drain tests), and the
 #      cross-request page pool (including the 8-thread region-runtime
-#      stress test), and the persistent disk cache (shared-directory
-#      multi-service stress).
+#      stress test), the persistent disk cache (shared-directory
+#      multi-service stress), and the network front door (wire codec,
+#      HTTP shim, and loopback end-to-end against a live Server).
 #
 # Usage: tools/check.sh            # from anywhere inside the repo
 #
@@ -25,9 +26,9 @@ cmake -B "$ROOT/build" -S "$ROOT"
 cmake --build "$ROOT/build" -j "$JOBS"
 ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS"
 
-echo "== tsan: service + pool + sched + disk labels =="
+echo "== tsan: service + pool + sched + disk + net labels =="
 cmake -B "$ROOT/build-tsan" -S "$ROOT" -DRML_SANITIZE=thread
 cmake --build "$ROOT/build-tsan" -j "$JOBS"
-ctest --test-dir "$ROOT/build-tsan" -L 'service|pool|sched|disk' --output-on-failure
+ctest --test-dir "$ROOT/build-tsan" -L 'service|pool|sched|disk|net' --output-on-failure
 
 echo "== check.sh: all green =="

@@ -251,6 +251,10 @@ int serveBatch(const std::string &Spec, unsigned Jobs, size_t CacheCap,
                 R.CacheHit ? "[cached] " : "", Detail.c_str());
   }
 
+  // Every future has resolved, but a worker decrements the in-flight
+  // gauge only after completing the hand-off; join them so the final
+  // snapshot reads settled (in_flight 0, not a transient 1).
+  Svc.shutdown();
   service::ServiceStats S = Svc.stats();
   if (S.BudgetExceeded)
     std::printf("[%llu request(s) cut off over phase budget]\n",

@@ -1,0 +1,175 @@
+//===- tools/rmld.cpp - The RegionML compile-and-run daemon ---------------===//
+//
+// Serve the concurrent compile-and-run service over a socket:
+//
+//   rmld                               loopback, ephemeral port
+//   rmld --port 7080                   fixed port
+//   rmld --jobs 4 --queue 64           worker pool + admission bound
+//   rmld --cache 256 --cache-dir D     warm-start compile cache
+//   rmld --sched ljf                   longest-job-first dequeue
+//   curl http://127.0.0.1:PORT/stats   live ServiceStats JSON
+//
+// Clients speak the length-prefixed binary protocol (net/Protocol.h) —
+// bench_traffic is the reference client — or plain HTTP GET for
+// /healthz and /stats. SIGINT/SIGTERM begin a graceful drain: stop
+// accepting, finish and flush every admitted request, then exit.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Server.h"
+#include "service/Service.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+using namespace rml;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: rmld [options]\n"
+      "  --bind ADDR            address to listen on (default 127.0.0.1)\n"
+      "  --port N               port to listen on; 0 picks an ephemeral\n"
+      "                         port and prints it (default 0)\n"
+      "  --jobs N               service worker threads (default: one per\n"
+      "                         hardware thread)\n"
+      "  --queue N              admission queue capacity; a full queue\n"
+      "                         sheds requests with an immediate Shed\n"
+      "                         response (default 256)\n"
+      "  --cache N              compile-cache entries (default 128)\n"
+      "  --cache-dir DIR        persistent compile-cache directory\n"
+      "  --page-pool N          cross-request page-pool pages; 0\n"
+      "                         disables pooling (default 1024)\n"
+      "  --prewarm-pool         allocate the page pool eagerly\n"
+      "  --sched fifo|ljf       dequeue policy (default fifo)\n"
+      "  --phase-budget P=NS    per-phase budget in nanos; repeatable\n"
+      "  --step-limit N         evaluation fuel per run; 0 keeps the\n"
+      "                         runtime default\n"
+      "  --max-conns N          open-connection bound (default 1024)\n"
+      "  --drain-grace MS       grace period for the shutdown drain\n"
+      "                         before stragglers are closed "
+      "(default 5000)\n");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  // Block the drain signals before any thread exists so the service
+  // workers inherit the mask and the loop's signalfd is the only
+  // consumer.
+  sigset_t DrainSigs;
+  sigemptyset(&DrainSigs);
+  sigaddset(&DrainSigs, SIGINT);
+  sigaddset(&DrainSigs, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &DrainSigs, nullptr);
+
+  service::ServiceConfig SvcCfg;
+  net::ServerConfig NetCfg;
+
+  for (int I = 1; I < Argc; ++I) {
+    const char *A = Argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "rmld: %s needs an argument\n", A);
+        std::exit(2);
+      }
+      return Argv[++I];
+    };
+    if (!std::strcmp(A, "--bind")) {
+      NetCfg.BindAddr = Next();
+    } else if (!std::strcmp(A, "--port")) {
+      NetCfg.Port = static_cast<uint16_t>(std::strtoul(Next(), nullptr, 10));
+    } else if (!std::strcmp(A, "--jobs")) {
+      SvcCfg.Workers = static_cast<unsigned>(std::strtoul(Next(), nullptr, 10));
+    } else if (!std::strcmp(A, "--queue")) {
+      SvcCfg.QueueCapacity = std::strtoull(Next(), nullptr, 10);
+    } else if (!std::strcmp(A, "--cache")) {
+      SvcCfg.CacheCapacity = std::strtoull(Next(), nullptr, 10);
+    } else if (!std::strcmp(A, "--cache-dir")) {
+      SvcCfg.CacheDir = Next();
+    } else if (!std::strcmp(A, "--page-pool")) {
+      SvcCfg.PagePoolPages = std::strtoull(Next(), nullptr, 10);
+    } else if (!std::strcmp(A, "--prewarm-pool")) {
+      SvcCfg.PrewarmPool = true;
+    } else if (!std::strcmp(A, "--sched")) {
+      const char *S = Next();
+      if (!service::parseSchedPolicy(S, SvcCfg.Policy)) {
+        std::fprintf(stderr, "rmld: unknown scheduler '%s'\n", S);
+        return 2;
+      }
+    } else if (!std::strcmp(A, "--phase-budget")) {
+      const char *S = Next();
+      const char *Eq = std::strchr(S, '=');
+      if (!Eq || Eq == S) {
+        std::fprintf(stderr,
+                     "rmld: --phase-budget wants PHASE=NANOS, got '%s'\n", S);
+        return 2;
+      }
+      SvcCfg.PhaseBudgets[std::string(S, Eq)] =
+          std::strtoull(Eq + 1, nullptr, 10);
+    } else if (!std::strcmp(A, "--step-limit")) {
+      NetCfg.StepLimit = std::strtoull(Next(), nullptr, 10);
+    } else if (!std::strcmp(A, "--max-conns")) {
+      NetCfg.MaxConnections = std::strtoull(Next(), nullptr, 10);
+    } else if (!std::strcmp(A, "--drain-grace")) {
+      NetCfg.DrainGraceMs =
+          static_cast<unsigned>(std::strtoul(Next(), nullptr, 10));
+    } else if (!std::strcmp(A, "--help") || !std::strcmp(A, "-h")) {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "rmld: unknown option '%s'\n", A);
+      usage();
+      return 2;
+    }
+  }
+  // Service first, Server second: completion callbacks capture the
+  // Server, so Service::shutdown() (which finishes every callback) must
+  // run before the Server dies — and it does, below, before either
+  // object goes out of scope in reverse order.
+  service::Service Svc(SvcCfg);
+  net::Server Srv(Svc, NetCfg);
+  if (!Srv.ok()) {
+    std::fprintf(stderr, "rmld: %s\n", Srv.error().c_str());
+    return 1;
+  }
+  if (!Srv.drainOnSignals({SIGINT, SIGTERM})) {
+    std::fprintf(stderr, "rmld: cannot route signals to the drain\n");
+    return 1;
+  }
+
+  std::printf("rmld: listening on %s:%u (workers=%u queue=%zu sched=%s)\n",
+              NetCfg.BindAddr.c_str(), static_cast<unsigned>(Srv.port()),
+              Svc.config().effectiveWorkers(), SvcCfg.QueueCapacity,
+              service::schedPolicyName(SvcCfg.Policy));
+  std::fflush(stdout);
+
+  Srv.run();
+
+  // The loop has drained every connection; now drain the service so
+  // any ShutdownRejected callbacks fire while the Server is alive.
+  Svc.shutdown();
+
+  net::NetStats NS = Srv.stats();
+  std::fprintf(stderr,
+               "rmld: net accepted=%llu closed=%llu requests=%llu "
+               "http=%llu responses=%llu sheds=%llu protocol_errors=%llu "
+               "orphaned=%llu overflows=%llu\n",
+               static_cast<unsigned long long>(NS.Accepted),
+               static_cast<unsigned long long>(NS.Closed),
+               static_cast<unsigned long long>(NS.BinaryRequests),
+               static_cast<unsigned long long>(NS.HttpRequests),
+               static_cast<unsigned long long>(NS.Responses),
+               static_cast<unsigned long long>(NS.Sheds),
+               static_cast<unsigned long long>(NS.ProtocolErrors),
+               static_cast<unsigned long long>(NS.OrphanedCompletions),
+               static_cast<unsigned long long>(NS.AcceptOverflows));
+  std::fprintf(stderr, "rmld: service %s\n", Svc.stats().json().c_str());
+  std::printf("rmld: drained, exiting\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+#===- tools/smoke_net.sh - rmld end-to-end smoke -------------------------===#
+#
+# Proves the network front door works as a real daemon, not just under
+# gtest:
+#
+#   1. Serve: start rmld on an ephemeral loopback port, curl /healthz
+#      and /stats (the saturation gauges must be present), drive a
+#      short mixed bench_traffic burst, then SIGTERM and require a
+#      clean drain ("drained, exiting", exit status 0).
+#   2. Shed: restart rmld deliberately overloaded (--jobs 1 --queue 1,
+#      cache off, all-cold sources) and require a nonzero shed count
+#      in the bench_traffic JSON summary — admission control must drop
+#      load instead of queueing it, and the daemon must still drain
+#      cleanly afterwards.
+#
+# Usage: tools/smoke_net.sh [BUILD_DIR]     (default: ./build)
+#
+#===----------------------------------------------------------------------===#
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+RMLD="$BUILD/tools/rmld"
+BENCH="$BUILD/bench/bench_traffic"
+
+[ -x "$RMLD" ] || { echo "smoke_net: missing $RMLD" >&2; exit 1; }
+[ -x "$BENCH" ] || { echo "smoke_net: missing $BENCH" >&2; exit 1; }
+
+OUT="$(mktemp -d)"
+RMLD_PID=""
+cleanup() {
+  [ -n "$RMLD_PID" ] && kill "$RMLD_PID" 2>/dev/null || true
+  rm -rf "$OUT"
+}
+trap cleanup EXIT
+
+# Start rmld with the given flags; sets RMLD_PID and PORT.
+start_rmld() {
+  : > "$OUT/rmld.out"
+  "$RMLD" --port 0 "$@" > "$OUT/rmld.out" 2> "$OUT/rmld.err" &
+  RMLD_PID=$!
+  PORT=""
+  for _ in $(seq 1 100); do
+    PORT="$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' \
+      "$OUT/rmld.out")"
+    [ -n "$PORT" ] && break
+    kill -0 "$RMLD_PID" 2>/dev/null || {
+      echo "smoke_net: rmld died at startup" >&2
+      cat "$OUT/rmld.err" >&2
+      exit 1
+    }
+    sleep 0.1
+  done
+  [ -n "$PORT" ] || { echo "smoke_net: no listening port" >&2; exit 1; }
+  echo "smoke_net: rmld pid=$RMLD_PID port=$PORT"
+}
+
+# SIGTERM rmld and require a graceful drain.
+stop_rmld() {
+  kill -TERM "$RMLD_PID"
+  local status=0
+  wait "$RMLD_PID" || status=$?
+  RMLD_PID=""
+  if [ "$status" -ne 0 ]; then
+    echo "smoke_net: rmld exited $status" >&2
+    cat "$OUT/rmld.err" >&2
+    exit 1
+  fi
+  grep -q 'drained, exiting' "$OUT/rmld.out" || {
+    echo "smoke_net: no clean-drain marker in rmld output" >&2
+    exit 1
+  }
+}
+
+echo "== smoke_net phase 1: serve =="
+start_rmld --jobs 2 --queue 64
+
+curl -fsS "http://127.0.0.1:$PORT/healthz" | grep -q '^ok$' || {
+  echo "smoke_net: /healthz failed" >&2
+  exit 1
+}
+STATS="$(curl -fsS "http://127.0.0.1:$PORT/stats")"
+for key in '"submitted":' '"queue_depth":' '"in_flight":' \
+  '"uptime_seconds":'; do
+  echo "$STATS" | grep -q "$key" || {
+    echo "smoke_net: /stats missing $key" >&2
+    echo "$STATS" >&2
+    exit 1
+  }
+done
+echo "smoke_net: /healthz + /stats ok"
+
+"$BENCH" --port "$PORT" --rate 120 --duration 2 --conns 2 \
+  | tee "$OUT/bench1.out"
+SUMMARY="$(grep -o '{"sent":.*}' "$OUT/bench1.out" | tail -1)"
+echo "$SUMMARY" | grep -q '"p99_ms":' || {
+  echo "smoke_net: bench summary missing percentiles" >&2
+  exit 1
+}
+RESP="$(echo "$SUMMARY" | grep -o '"responses":[0-9]*' | cut -d: -f2)"
+[ "$RESP" -gt 0 ] || { echo "smoke_net: no responses" >&2; exit 1; }
+
+stop_rmld
+echo "smoke_net: phase 1 ok (responses=$RESP)"
+
+echo "== smoke_net phase 2: shed under overload =="
+# One worker, a one-slot queue, no cache, all-cold sources: arrivals
+# far outrun service and admission control has to shed.
+start_rmld --jobs 1 --queue 1 --cache 0
+"$BENCH" --port "$PORT" --rate 2000 --duration 1 --conns 2 \
+  --hot-ratio 0 | tee "$OUT/bench2.out"
+SUMMARY="$(grep -o '{"sent":.*}' "$OUT/bench2.out" | tail -1)"
+SHED="$(echo "$SUMMARY" | grep -o '"shed":[0-9]*' | cut -d: -f2)"
+[ -n "$SHED" ] && [ "$SHED" -gt 0 ] || {
+  echo "smoke_net: expected a nonzero shed count under overload" >&2
+  exit 1
+}
+stop_rmld
+echo "smoke_net: phase 2 ok (shed=$SHED)"
+
+echo "== smoke_net: all green =="
