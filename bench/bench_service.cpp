@@ -178,6 +178,53 @@ void diskTierTable() {
   fs::remove_all(Dir);
 }
 
+/// The flat runnable artifacts' value: the same fresh-process pair, but
+/// with Run = true. The warm process executes every request straight
+/// from the disk entries' embedded flat units — zero compile phases —
+/// so its advantage is the whole static pipeline, paid only by the cold
+/// row. disk hydrations must stay 0: a nonzero count would mean the
+/// "hits" silently recompiled.
+void diskRunTable() {
+  namespace fs = std::filesystem;
+  const std::vector<Request> Batch = buildRunBatch();
+  fs::path Dir = fs::temp_directory_path() / "rml_bench_disk_run";
+  fs::remove_all(Dir);
+
+  std::printf("\npersistent disk tier, Run = true (fresh process each row, "
+              "shared --cache-dir, %zu run requests)\n",
+              Batch.size());
+  std::printf("%-8s %14s %18s %12s %12s %11s\n", "workers", "cold-dir req/s",
+              "warm-dir req/s", "disk hits", "hydrations", "speedup");
+
+  for (unsigned Workers : {1u, 4u, 8u}) {
+    ServiceConfig Cfg;
+    Cfg.Workers = Workers;
+    Cfg.QueueCapacity = Batch.size();
+    Cfg.CacheCapacity = 2 * Batch.size();
+    Cfg.CacheDir = Dir.string();
+
+    fs::remove_all(Dir);
+    double ColdSecs, WarmSecs;
+    uint64_t DiskHits, Hydrations;
+    {
+      Service Cold(Cfg); // empty directory: full compiles + runs
+      ColdSecs = submitAll(Cold, Batch);
+    }
+    {
+      Service Warm(Cfg); // fresh memory tier: flat units from disk + runs
+      WarmSecs = submitAll(Warm, Batch);
+      DiskHits = Warm.stats().DiskHits;
+      Hydrations = Warm.stats().DiskHydrations;
+    }
+    std::printf("%-8u %14.1f %18.1f %9llu/%zu %12llu %10.1fx\n", Workers,
+                Batch.size() / ColdSecs, Batch.size() / WarmSecs,
+                static_cast<unsigned long long>(DiskHits), Batch.size(),
+                static_cast<unsigned long long>(Hydrations),
+                ColdSecs / WarmSecs);
+  }
+  fs::remove_all(Dir);
+}
+
 /// Where the time goes, per pipeline phase: the cold batch pays every
 /// static phase plus the run; the warm (cached) batch re-pays only the
 /// runtime phase — skipped cache-hit profiles carry no nanos, so the
@@ -431,6 +478,7 @@ int main() {
 
   runModeTable();
   diskTierTable();
+  diskRunTable();
   phaseBreakdownTable();
   latencyTable();
   return 0;

@@ -2,6 +2,8 @@
 
 #include "core/Pipeline.h"
 
+#include "rt/FlatEval.h"
+
 #include <unordered_set>
 
 using namespace rml;
@@ -24,6 +26,7 @@ const std::vector<Compiler::PhaseDef> &Compiler::staticPhaseRegistry() {
       {"multiplicity", &Compiler::phaseMultiplicity},
       {"kinds", &Compiler::phaseKinds},
       {"drops", &Compiler::phaseDrops},
+      {"flatten", &Compiler::phaseFlatten},
   };
   return Registry;
 }
@@ -106,6 +109,16 @@ bool Compiler::phaseDrops(std::string_view, CompiledUnit &Unit) {
   return true;
 }
 
+bool Compiler::phaseFlatten(std::string_view, CompiledUnit &Unit) {
+  // The last static phase: every analysis the runtime consults is
+  // resolved into the self-contained flat form the caches persist.
+  Unit.Flat = std::make_shared<flat::FlatUnit>(
+      flat::flattenProgram(Unit.Inferred.Prog, Unit.Inferred.RootMu,
+                           Unit.Mult, Unit.Kinds, Unit.Drops, Names,
+                           Unit.Options.Strat));
+  return true;
+}
+
 //===----------------------------------------------------------------------===//
 // The phase manager
 //===----------------------------------------------------------------------===//
@@ -175,6 +188,25 @@ rt::RunResult Compiler::run(const CompiledUnit &Unit,
   P.CopiedWords = R.Heap.CopiedWords;
   // Fold the run's collector stalls into the profile so the sink (and
   // anyone reading RunResult::Phase) sees them nested inside this span.
+  P.GcPauses = R.GcPauses;
+  R.Phase = P;
+  return R;
+}
+
+rt::RunResult Compiler::runFlat(const flat::FlatUnit &Flat,
+                                rt::EvalOptions EvalOpts, TraceSink *Sink) {
+  PhaseTimer Timer(RunPhaseName, Sink);
+  if (static_cast<Strategy>(Flat.Strat) == Strategy::R)
+    EvalOpts.GcEnabled = false;
+  // Same quarantine rule as run(): exact dangling detection and
+  // cross-request page pooling are mutually exclusive.
+  if (EvalOpts.RetainReleasedPages)
+    EvalOpts.SharedPool = nullptr;
+  rt::RunResult R = rt::runFlatUnit(Flat, EvalOpts);
+  PhaseProfile &P = Timer.stop();
+  P.GcCount = R.Heap.GcCount;
+  P.AllocWords = R.Heap.AllocWords;
+  P.CopiedWords = R.Heap.CopiedWords;
   P.GcPauses = R.GcPauses;
   R.Phase = P;
   return R;

@@ -30,6 +30,7 @@
 
 #include "ast/Ast.h"
 #include "ast/Parser.h"
+#include "flat/Flat.h"
 #include "rcheck/Check.h"
 #include "region/RExpr.h"
 #include "rinfer/DropRegions.h"
@@ -84,6 +85,12 @@ struct CompiledUnit {
   MultiplicityInfo Mult;
   RegionKindInfo Kinds;
   DropInfo Drops;
+  /// The flat, offset-based form of the program (built by the "flatten"
+  /// phase): directly executable (Compiler::runFlat / rt::runFlatUnit)
+  /// and what the disk cache persists to make warm restarts runnable.
+  /// Shared, not owned — the service caches hand the same unit to the
+  /// in-memory tier, the disk tier and concurrent runs.
+  std::shared_ptr<const flat::FlatUnit> Flat;
   /// Region type and effect of the whole program (from the checker; only
   /// set when Options.Check).
   std::optional<CheckResult> Checked;
@@ -188,6 +195,15 @@ public:
   rt::RunResult run(const CompiledUnit &Unit,
                     rt::EvalOptions EvalOpts = {}) const;
 
+  /// Executes a flat unit — same contract and RunResult shape as run(),
+  /// including the "run" PhaseProfile and the Strategy::R GC gate — but
+  /// needs no Compiler instance at all: this is how disk-cache hits run
+  /// without recompiling. Static because a decoded FlatUnit is
+  /// self-contained (its own string table, resolved region facts).
+  static rt::RunResult runFlat(const flat::FlatUnit &Flat,
+                               rt::EvalOptions EvalOpts = {},
+                               TraceSink *Sink = nullptr);
+
   /// compile() followed by run() — the one-call form the service workers
   /// and the batch driver use. Result.Unit is null on compile failure.
   CompileAndRunResult compileAndRun(std::string_view Source,
@@ -248,6 +264,7 @@ private:
   bool phaseMultiplicity(std::string_view Source, CompiledUnit &Unit);
   bool phaseKinds(std::string_view Source, CompiledUnit &Unit);
   bool phaseDrops(std::string_view Source, CompiledUnit &Unit);
+  bool phaseFlatten(std::string_view Source, CompiledUnit &Unit);
 
   Interner Names;
   DiagnosticEngine Diags;

@@ -1,0 +1,37 @@
+//===- rt/FlatEval.h - Interpreter over flat compiled units -----*- C++ -*-===//
+//
+// Part of RegionML, a reproduction of "Garbage-Collection Safety for
+// Region-Based Type-Polymorphic Programs" (Elsman, PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes a flat::FlatUnit directly — no RExpr tree, no Interner, no
+/// analysis structures. An exact operational mirror of the tree-walking
+/// evaluator (rt/Eval.cpp): the same EvalOptions, the same allocation
+/// sites and word counts, the same GC trigger points, write barrier,
+/// step accounting and error strings, and the same RunResult shape —
+/// so tree and flat runs of one program agree on every observable,
+/// including HeapStats and GC-safety attribution (the differential
+/// suite pins this across the rg/rg-/r strategy grid).
+///
+/// This is what makes disk-cache entries runnable: a decoded FlatUnit
+/// needs nothing from its original Compiler.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RML_RT_FLATEVAL_H
+#define RML_RT_FLATEVAL_H
+
+#include "flat/Flat.h"
+#include "rt/Eval.h"
+
+namespace rml::rt {
+
+/// Runs \p U under \p Opts. \p U must be structurally valid (as
+/// produced by flat::flattenProgram or accepted by flat::decodeFlat).
+RunResult runFlatUnit(const flat::FlatUnit &U, const EvalOptions &Opts);
+
+} // namespace rml::rt
+
+#endif // RML_RT_FLATEVAL_H

@@ -24,6 +24,9 @@ CachedCompileRef rml::service::compileShared(std::string_view Source,
   if (CC->Unit) {
     CC->Printed = CC->Owner->printProgram(*CC->Unit);
     CC->Schemes = CC->Owner->topLevelSchemes(*CC->Unit);
+    // Alias the unit's flat form: run() prefers it, and the disk tier
+    // persists it so warm restarts are runnable without recompiling.
+    CC->Flat = CC->Unit->Flat;
   }
   CC->Profiles = CC->Owner->lastPhaseProfiles();
   CC->Cost = std::max<size_t>(1, CC->Owner->arenaFootprint().total());

@@ -21,10 +21,15 @@
 /// all mutable state (region heap, evaluator stacks) per call — so any
 /// number of worker threads can run the same cached unit concurrently.
 ///
-/// Entries loaded from the disk tier are the exception: they carry the
-/// persisted static products (Printed, Diagnostics, the scheme table)
-/// but no Owner/Unit — runnable() is false — and the first Run=true
-/// request hydrates them by recompiling once (Executor::process).
+/// Entries loaded from the disk tier carry no Owner/Unit, but they do
+/// carry the program's flat form (flat::FlatUnit, decoded from the
+/// entry file), which is directly executable — runnable() holds and
+/// run() executes the flat interpreter, so a warm restart's first
+/// Run=true request is served entirely from disk. Only a disk entry
+/// whose flat section is absent (a file written by a pre-flat version
+/// of the format would fail the version check first, so in practice a
+/// synthetic or future-format entry) falls back to the counted
+/// hydration recompile in Executor::process.
 ///
 /// **Sharding.** The map is split into NumShards key-hash-addressed
 /// shards, each with its own mutex, LRU list and cost budget, so
@@ -65,9 +70,12 @@ struct CachedCompile {
   /// disk-tier entries.
   std::unique_ptr<Compiler> Owner;
   /// Null when compilation failed (then Diagnostics says why) or when
-  /// the entry was loaded from disk (then runnable() is false even for
-  /// a successful compile).
+  /// the entry was loaded from disk (disk entries run via Flat instead).
   std::unique_ptr<CompiledUnit> Unit;
+  /// The flat, self-contained executable form (see flat/Flat.h). For
+  /// fresh compiles this aliases Unit->Flat; for disk-tier entries it
+  /// is decoded from the entry file and is the *only* runnable form.
+  std::shared_ptr<const flat::FlatUnit> Flat;
   /// Whether the compile this entry records succeeded. For fresh
   /// compiles this mirrors Unit != nullptr; for disk-tier entries it is
   /// the persisted verdict.
@@ -95,14 +103,20 @@ struct CachedCompile {
   size_t Cost = 1;
 
   bool ok() const { return Ok; }
-  /// True when the entry holds a live CompiledUnit — i.e. run() is
-  /// available. Disk-tier entries are ok() but not runnable() until a
-  /// Run=true request hydrates them.
-  bool runnable() const { return Unit != nullptr; }
+  /// True when the entry can serve a Run=true request: it holds a live
+  /// CompiledUnit, a flat unit, or both. Fresh compiles have both; disk
+  /// entries have only Flat. False only for failed compiles and for
+  /// disk entries whose file predates (or omitted) the flat section —
+  /// those hit Executor::process's counted hydration fallback.
+  bool runnable() const { return Flat != nullptr || Unit != nullptr; }
 
   /// Read-only run of the cached unit (runnable() must hold). Safe
-  /// concurrently from many threads.
+  /// concurrently from many threads. Prefers the flat interpreter —
+  /// operationally identical to the tree walk (the differential suite
+  /// pins this) and the only option for disk-tier entries.
   rt::RunResult run(rt::EvalOptions EvalOpts = {}) const {
+    if (Flat)
+      return Compiler::runFlat(*Flat, EvalOpts);
     return Owner->run(*Unit, EvalOpts);
   }
 

@@ -4,6 +4,8 @@
 
 #include "service/Cache.h"
 
+#include "flat/Flat.h"
+
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -133,6 +135,15 @@ void DiskCache::store(const CacheKey &K, const CachedCompile &V) const {
   for (const PhaseProfile &P : V.Profiles)
     putStr(Buf, P.Name);
   putU64(Buf, V.Cost);
+  // The runnable payload: the flat unit's own self-checking encoding
+  // (magic, version, checksum) nested as one counted string. Successful
+  // compiles always carry one; failed compiles persist presence 0.
+  if (V.Flat) {
+    Buf.push_back(1);
+    putStr(Buf, flat::encodeFlat(*V.Flat));
+  } else {
+    Buf.push_back(0);
+  }
 
   // Atomic publish: a private temp file in the same directory, then
   // rename over the final name. Readers (and racing writers, in this
@@ -200,18 +211,31 @@ CachedCompileRef DiskCache::load(const CacheKey &K) const {
     CC->Profiles.push_back(std::move(P));
   }
   CC->Cost = std::max<uint64_t>(1, R.u64());
+  uint8_t HasFlat = R.u8();
+  std::string FlatBytes = HasFlat == 1 ? R.str() : std::string();
 
   // Fail closed: structural damage (truncation, trailing bytes, bad
   // magic/version) and key mismatches — including a genuine FNV-1a
   // collision, where the hash matches but the embedded source or
   // option bytes differ — all reject to a miss. Never a wrong answer.
   if (!R.done() || !MagicOk || Version != FormatVersion ||
-      Hash != K.Hash || Source != K.Source ||
+      HasFlat > 1 || Hash != K.Hash || Source != K.Source ||
       Strat != static_cast<uint8_t>(K.Strat) ||
       Spurious != static_cast<uint8_t>(K.Spurious) ||
       Check != (K.Check ? 1 : 0)) {
     ++LoadRejects;
     return nullptr;
+  }
+  if (HasFlat == 1) {
+    // The flat payload carries its own magic/version/checksum and an
+    // exhaustive index validation; any damage decodes to null and
+    // rejects the whole entry — a "hit" whose run would recompile (or
+    // worse, misbehave) is not a hit.
+    CC->Flat = flat::decodeFlat(FlatBytes);
+    if (!CC->Flat) {
+      ++LoadRejects;
+      return nullptr;
+    }
   }
   ++Hits;
   return CC;

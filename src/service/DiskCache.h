@@ -27,11 +27,15 @@
 /// degrade to a miss — the service recompiles; it never serves a wrong
 /// answer. Rejections and write failures are counted, never thrown.
 ///
-/// What is *not* persisted: the runnable CompiledUnit. It is a web of
-/// arena pointers whose serialisation would amount to a second compiler
-/// backend; instead a disk hit serves compile/print/scheme traffic
-/// directly, and the first Run=true request hydrates the entry by
-/// recompiling once (see Executor::process).
+/// **Runnable entries.** The CompiledUnit itself — a web of arena
+/// pointers — is never serialised; instead each successful entry embeds
+/// the program's flat, offset-based form (flat/Flat.h, its own magic,
+/// version and checksum), which Compiler::runFlat executes directly.
+/// A warm restart's first Run=true request therefore completes from
+/// disk with zero compile phases. The flat section fails closed like
+/// everything else: a damaged or undecodable flat unit rejects the
+/// whole entry to a miss (counted in LoadRejects) rather than loading
+/// a half-runnable entry.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -75,8 +79,9 @@ public:
   explicit DiskCache(std::string Dir);
 
   /// Loads and verifies the entry for \p K; null on miss or rejection.
-  /// A returned entry has FromDisk set, no Owner/Unit (not runnable),
-  /// and carries the persisted static products.
+  /// A returned entry has FromDisk set and no Owner/Unit, but carries
+  /// the persisted static products plus, for successful compiles, the
+  /// decoded flat unit — so it is runnable without recompiling.
   CachedCompileRef load(const CacheKey &K) const;
 
   /// Persists \p V under \p K's hash, atomically. A no-op when the
@@ -92,8 +97,9 @@ public:
   static std::string entryFileName(uint64_t Hash);
 
   /// Current serialisation version; bumped on any format change so old
-  /// files fail closed to a miss instead of being misparsed.
-  static constexpr uint32_t FormatVersion = 1;
+  /// files fail closed to a miss instead of being misparsed. Version 2
+  /// appended the embedded flat unit; v1 files are version-rejected.
+  static constexpr uint32_t FormatVersion = 2;
   /// First bytes of every entry file.
   static constexpr char Magic[8] = {'R', 'M', 'L', 'D', 'C', 'A', 'C', 'H'};
 

@@ -58,13 +58,16 @@ Response Executor::process(const Request &Req) const {
 
   CacheKey Key = CacheKey::of(Req.Source, Req.Opts);
   CachedCompileRef CC = Cache.lookup(Key);
-  // A disk-tier entry carries the static products but no runnable
-  // CompiledUnit. For compile/print/scheme traffic that is the whole
-  // answer; a Run request hydrates by recompiling once below (the
-  // deterministic pipeline reproduces the persisted bytes exactly) and
-  // the insert swaps the runnable entry into the memory tier.
-  if (CC && Req.Run && CC->ok() && !CC->runnable())
+  // Disk-tier entries normally carry the decoded flat unit and are as
+  // runnable as fresh compiles. An entry that lost its flat section
+  // (synthetic tests, future format drift) still answers compile/print/
+  // scheme traffic, but a Run request must hydrate by recompiling once
+  // below — counted, because the "hit" silently costs a whole compile —
+  // and the insert swaps the runnable entry into the memory tier.
+  if (CC && Req.Run && CC->ok() && !CC->runnable()) {
+    DiskHydrations.fetch_add(1, std::memory_order_relaxed);
     CC = nullptr;
+  }
   if (CC) {
     Resp.CacheHit = true;
     // The static work was reused, not redone: report the phase shape

@@ -45,10 +45,21 @@ public:
   /// finish the work).
   Response process(const Request &Req) const;
 
+  /// How many Run=true requests hit a disk-tier entry that carried no
+  /// runnable flat unit and had to fall back to a full recompile. Zero
+  /// in steady state (format-version-2 entries always embed the flat
+  /// unit); nonzero flags synthetic or future-format entries whose
+  /// "hit" silently cost a whole compile.
+  uint64_t diskHydrations() const {
+    return DiskHydrations.load(std::memory_order_relaxed);
+  }
+
 private:
   const ServiceConfig &Cfg;
   CompileCache &Cache;
   rt::PagePool *Pool;
+  /// Counts the un-runnable-disk-hit recompile fallback in process().
+  mutable std::atomic<uint64_t> DiskHydrations{0};
 };
 
 } // namespace rml::service

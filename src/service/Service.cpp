@@ -317,6 +317,7 @@ ServiceStats Service::stats() const {
     Out.DiskWriteErrors = DC.WriteErrors;
     Out.DiskLoadRejects = DC.LoadRejects;
   }
+  Out.DiskHydrations = Exec.diskHydrations();
   Out.Workers = Cfg.effectiveWorkers();
   Out.Policy = schedPolicyName(Cfg.Policy);
   if (Pool) {

@@ -23,6 +23,7 @@ std::string ServiceStats::json() const {
       << ",\"disk_hits\":" << DiskHits << ",\"disk_misses\":" << DiskMisses
       << ",\"disk_write_errors\":" << DiskWriteErrors
       << ",\"disk_load_rejects\":" << DiskLoadRejects
+      << ",\"disk_hydrations\":" << DiskHydrations
       << ",\"queue_depth\":" << QueueDepth
       << ",\"queue_high_water\":" << QueueHighWater
       << ",\"in_flight\":" << InFlight

@@ -11,6 +11,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "service/DiskCache.h"
+
+#include "flat/Flat.h"
 #include "service/Service.h"
 
 #include <gtest/gtest.h>
@@ -96,7 +98,14 @@ TEST(DiskCacheTest, RoundTripIsByteIdentical) {
   ASSERT_NE(Loaded, nullptr);
   EXPECT_TRUE(Loaded->FromDisk);
   EXPECT_TRUE(Loaded->ok());
-  EXPECT_FALSE(Loaded->runnable()) << "no CompiledUnit is persisted";
+  EXPECT_TRUE(Loaded->runnable()) << "the embedded flat unit runs directly";
+  EXPECT_EQ(Loaded->Unit, nullptr) << "no CompiledUnit is persisted";
+  ASSERT_NE(Loaded->Flat, nullptr);
+  // The decoded flat unit re-encodes to exactly the bytes the fresh
+  // compile's flat unit encodes to — the persisted runnable form is
+  // byte-stable through a full store/load cycle.
+  ASSERT_NE(Fresh->Flat, nullptr);
+  EXPECT_EQ(flat::encodeFlat(*Loaded->Flat), flat::encodeFlat(*Fresh->Flat));
   // The static products are the same bytes, not merely equivalent.
   EXPECT_EQ(Loaded->Printed, Fresh->Printed);
   EXPECT_EQ(Loaded->Diagnostics, Fresh->Diagnostics);
@@ -338,7 +347,7 @@ TEST(DiskServiceTest, WarmRestartServesByteIdenticalAnswersFromDisk) {
   }
 }
 
-TEST(DiskServiceTest, RunRequestHydratesADiskEntry) {
+TEST(DiskServiceTest, RunRequestExecutesStraightFromADiskEntry) {
   ScratchDir Dir("hydrate");
 
   Request Static;
@@ -355,21 +364,27 @@ TEST(DiskServiceTest, RunRequestHydratesADiskEntry) {
   EXPECT_TRUE(FromDisk.CacheHit);
   ASSERT_EQ(Svc.stats().DiskHits, 1u);
 
-  // ...but a Run request cannot use the unit-less disk entry: it
-  // recompiles once (CacheHit=false), runs, and the hydrated entry
-  // replaces the disk-born one in the memory tier.
+  // ...and so is a Run request: the entry's embedded flat unit executes
+  // directly — a cache hit with zero compile phases, not a hydration
+  // recompile.
   Request Run;
   Run.Source = ComposeProgram;
   Run.EvalOpts.GcThresholdWords = 2048;
   Response First = Svc.submit(Run).get();
   EXPECT_EQ(First.Status, RequestOutcome::Ok) << First.Error;
-  EXPECT_FALSE(First.CacheHit) << "hydration is a real compile";
+  EXPECT_TRUE(First.CacheHit) << "disk entries are runnable as loaded";
   EXPECT_EQ(First.ResultText, "21");
   EXPECT_EQ(First.Printed, FromDisk.Printed);
+  for (const PhaseProfile &P : First.Profiles) {
+    if (P.Name != Compiler::RunPhaseName)
+      EXPECT_TRUE(P.Skipped) << P.Name << " ran on a disk hit";
+  }
+  EXPECT_EQ(Svc.stats().DiskHydrations, 0u)
+      << "no silent recompile happened";
 
   Response Second = Svc.submit(Run).get();
   EXPECT_EQ(Second.Status, RequestOutcome::Ok);
-  EXPECT_TRUE(Second.CacheHit) << "the hydrated entry is runnable";
+  EXPECT_TRUE(Second.CacheHit);
   EXPECT_EQ(Second.ResultText, First.ResultText);
 }
 

@@ -299,6 +299,32 @@ private:
 // The properties
 //===----------------------------------------------------------------------===//
 
+/// Runs \p Unit's flat form under the same options and pins it to the
+/// tree walk's result: outcome, printed output, rendered value, error
+/// text, step count and the full heap accounting. The flat interpreter
+/// is a second implementation of the same operational semantics — any
+/// divergence on a generated program is a bug in one of the two.
+void expectFlatAgrees(const CompiledUnit &Unit, const rt::EvalOptions &E,
+                      const rt::RunResult &Tree, const std::string &Src,
+                      const char *Cfg) {
+  ASSERT_NE(Unit.Flat, nullptr) << Cfg << "\n" << Src;
+  rt::RunResult F = Compiler::runFlat(*Unit.Flat, E);
+  EXPECT_EQ(F.Outcome, Tree.Outcome) << Cfg << "\n" << Src;
+  EXPECT_EQ(F.Error, Tree.Error) << Cfg << "\n" << Src;
+  EXPECT_EQ(F.Output, Tree.Output) << Cfg << "\n" << Src;
+  EXPECT_EQ(F.ResultText, Tree.ResultText) << Cfg << "\n" << Src;
+  EXPECT_EQ(F.Steps, Tree.Steps) << Cfg << "\n" << Src;
+  EXPECT_EQ(F.Heap.AllocWords, Tree.Heap.AllocWords) << Cfg << "\n" << Src;
+  EXPECT_EQ(F.Heap.GcCount, Tree.Heap.GcCount) << Cfg << "\n" << Src;
+  EXPECT_EQ(F.Heap.MinorGcCount, Tree.Heap.MinorGcCount) << Cfg;
+  EXPECT_EQ(F.Heap.MajorGcCount, Tree.Heap.MajorGcCount) << Cfg;
+  EXPECT_EQ(F.Heap.CopiedWords, Tree.Heap.CopiedWords) << Cfg << "\n" << Src;
+  EXPECT_EQ(F.Heap.RegionsCreated, Tree.Heap.RegionsCreated) << Cfg;
+  EXPECT_EQ(F.Heap.FiniteRegionsCreated, Tree.Heap.FiniteRegionsCreated)
+      << Cfg;
+  EXPECT_EQ(F.Heap.PagesAllocated, Tree.Heap.PagesAllocated) << Cfg;
+}
+
 class FuzzTest : public ::testing::TestWithParam<uint32_t> {};
 
 TEST_P(FuzzTest, PipelineAgreementAndGcSafety) {
@@ -317,6 +343,22 @@ TEST_P(FuzzTest, PipelineAgreementAndGcSafety) {
     Aggressive.RetainReleasedPages = true;
     rt::RunResult Ref = C.run(*Unit, Aggressive);
     ASSERT_EQ(Ref.Outcome, rt::RunOutcome::Ok) << Ref.Error << "\n" << Src;
+    expectFlatAgrees(*Unit, Aggressive, Ref, Src, "rg/flat");
+
+    // And the flat unit survives a serialisation round trip unchanged:
+    // decode(encode(U)) re-encodes to the same bytes and still computes
+    // the same run (what the disk tier actually executes after a warm
+    // restart).
+    {
+      std::string Bytes = flat::encodeFlat(*Unit->Flat);
+      std::shared_ptr<const flat::FlatUnit> Back = flat::decodeFlat(Bytes);
+      ASSERT_NE(Back, nullptr) << Src;
+      EXPECT_EQ(flat::encodeFlat(*Back), Bytes) << Src;
+      rt::RunResult FR = Compiler::runFlat(*Back, Aggressive);
+      EXPECT_EQ(FR.Outcome, rt::RunOutcome::Ok) << FR.Error << "\n" << Src;
+      EXPECT_EQ(FR.ResultText, Ref.ResultText) << Src;
+      EXPECT_EQ(FR.Steps, Ref.Steps) << Src;
+    }
 
     // Every other configuration computes the same value.
     struct Config {
@@ -343,6 +385,9 @@ TEST_P(FuzzTest, PipelineAgreementAndGcSafety) {
       rt::EvalOptions E = Aggressive;
       E.Generational = Cfg.Generational;
       rt::RunResult R = C2.run(*U2, E);
+      // Tree and flat must agree even when the run crashes: an rg-
+      // dangling pointer is part of the semantics being mirrored.
+      expectFlatAgrees(*U2, E, R, Src, Cfg.Name);
       // rg- may legitimately crash with a dangling pointer when the
       // generator builds a Figure-1 shape; anything else must agree.
       if (Cfg.S == Strategy::RgMinus &&

@@ -139,4 +139,82 @@ TEST(MmlFiles, EveryProgramAgreesWithAndWithoutThePool) {
   EXPECT_LE(SharedPool.freePages(), SharedPool.capacity());
 }
 
+//===----------------------------------------------------------------------===//
+// Differential: the tree walk vs the flat interpreter, every shipped
+// program under every strategy. Two fresh Compilers per configuration —
+// one runs the tree, one encodes/decodes and runs the flat unit — so
+// the comparison also covers compile-side determinism (diagnostics and
+// spurious statistics), the serialisation round trip, and the full
+// runtime observables down to heap accounting.
+//===----------------------------------------------------------------------===//
+
+TEST(MmlFiles, EveryProgramAgreesBetweenTreeAndFlat) {
+  std::vector<std::string> Files;
+  for (const auto &Entry : std::filesystem::directory_iterator(
+           std::string(RML_SOURCE_DIR) + "/examples/programs"))
+    if (Entry.path().extension() == ".mml")
+      Files.push_back(Entry.path().string());
+  std::sort(Files.begin(), Files.end());
+  ASSERT_GE(Files.size(), 3u);
+
+  for (const std::string &Path : Files) {
+    SCOPED_TRACE(Path);
+    std::string Src = readFile(Path);
+    for (Strategy Strat : {Strategy::Rg, Strategy::RgMinus, Strategy::R}) {
+      SCOPED_TRACE(strategyName(Strat));
+      CompileOptions Opts;
+      Opts.Strat = Strat;
+
+      Compiler TreeC;
+      auto TreeU = TreeC.compile(Src, Opts);
+      ASSERT_NE(TreeU, nullptr) << TreeC.diagnostics().str();
+
+      Compiler FlatC;
+      auto FlatU = FlatC.compile(Src, Opts);
+      ASSERT_NE(FlatU, nullptr) << FlatC.diagnostics().str();
+
+      // Compile-side determinism across independent Compilers.
+      EXPECT_EQ(FlatC.diagnostics().str(), TreeC.diagnostics().str());
+      EXPECT_EQ(FlatU->Spurious.TotalFunctions,
+                TreeU->Spurious.TotalFunctions);
+      EXPECT_EQ(FlatU->Spurious.SpuriousFunctions,
+                TreeU->Spurious.SpuriousFunctions);
+      EXPECT_EQ(FlatU->Spurious.TotalInsts, TreeU->Spurious.TotalInsts);
+      EXPECT_EQ(FlatU->Spurious.SpuriousBoxedInsts,
+                TreeU->Spurious.SpuriousBoxedInsts);
+      // Both flattenings encode to the same bytes (determinism), and the
+      // decoded copy is what actually executes below — exactly the
+      // disk-tier path.
+      ASSERT_NE(TreeU->Flat, nullptr);
+      ASSERT_NE(FlatU->Flat, nullptr);
+      std::string Bytes = flat::encodeFlat(*FlatU->Flat);
+      EXPECT_EQ(flat::encodeFlat(*TreeU->Flat), Bytes);
+      std::shared_ptr<const flat::FlatUnit> Decoded = flat::decodeFlat(Bytes);
+      ASSERT_NE(Decoded, nullptr);
+
+      rt::EvalOptions E;
+      E.GcThresholdWords = 2048;
+      E.RetainReleasedPages = true; // exact dangling detection for rg-
+      rt::RunResult Tree = TreeC.run(*TreeU, E);
+      rt::RunResult Flat = Compiler::runFlat(*Decoded, E);
+      EXPECT_EQ(Flat.Outcome, Tree.Outcome) << Tree.Error << Flat.Error;
+      EXPECT_EQ(Flat.Error, Tree.Error);
+      EXPECT_EQ(Flat.Output, Tree.Output);
+      EXPECT_EQ(Flat.ResultText, Tree.ResultText);
+      EXPECT_EQ(Flat.Steps, Tree.Steps);
+      EXPECT_EQ(Flat.Heap.AllocWords, Tree.Heap.AllocWords);
+      EXPECT_EQ(Flat.Heap.GcCount, Tree.Heap.GcCount);
+      EXPECT_EQ(Flat.Heap.MinorGcCount, Tree.Heap.MinorGcCount);
+      EXPECT_EQ(Flat.Heap.MajorGcCount, Tree.Heap.MajorGcCount);
+      EXPECT_EQ(Flat.Heap.CopiedWords, Tree.Heap.CopiedWords);
+      EXPECT_EQ(Flat.Heap.RegionsCreated, Tree.Heap.RegionsCreated);
+      EXPECT_EQ(Flat.Heap.FiniteRegionsCreated,
+                Tree.Heap.FiniteRegionsCreated);
+      EXPECT_EQ(Flat.Heap.PagesAllocated, Tree.Heap.PagesAllocated);
+      EXPECT_EQ(Flat.Heap.PeakHeapWords, Tree.Heap.PeakHeapWords);
+      EXPECT_EQ(Flat.GcPauses.size(), Tree.GcPauses.size());
+    }
+  }
+}
+
 } // namespace

@@ -220,8 +220,8 @@ TEST_F(PipelineTest, CheckerValidatesAllStrategies) {
 
 TEST_F(PipelineTest, PhasesRunInRegistryOrder) {
   const std::vector<std::string> Expected = {
-      "parse", "typecheck", "spurious", "infer",
-      "check", "multiplicity", "kinds", "drops"};
+      "parse", "typecheck", "spurious", "infer", "check",
+      "multiplicity", "kinds", "drops", "flatten"};
   EXPECT_EQ(Compiler::staticPhaseNames(), Expected);
 
   Compiler C;

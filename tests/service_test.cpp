@@ -881,7 +881,8 @@ TEST(ServiceTest, StatsJsonShape) {
         "\"pool_prewarmed\":0", "\"budget_exceeded\":0",
         "\"shutdown_rejected\":0", "\"internal_errors\":0",
         "\"disk_hits\":0", "\"disk_misses\":0", "\"disk_write_errors\":0",
-        "\"disk_load_rejects\":0", "\"sched\":\"fifo\"", "\"phases\":{",
+        "\"disk_load_rejects\":0", "\"disk_hydrations\":0",
+        "\"sched\":\"fifo\"", "\"phases\":{", "\"flatten\":{\"sum_nanos\":",
         "\"parse\":{\"sum_nanos\":", "\"run\":{\"sum_nanos\":",
         "\"max_nanos\":", "\"count\":"})
     EXPECT_NE(J.find(Key), std::string::npos) << J;

@@ -9,8 +9,10 @@
 #      policies (completion-order and drain tests), and the
 #      cross-request page pool (including the 8-thread region-runtime
 #      stress test), the persistent disk cache (shared-directory
-#      multi-service stress), and the network front door (wire codec,
-#      HTTP shim, and loopback end-to-end against a live Server).
+#      multi-service stress), the network front door (wire codec,
+#      HTTP shim, and loopback end-to-end against a live Server), and
+#      the flat runnable IR (round-trip/corruption fuzz plus the
+#      warm-restart execute-from-disk service tests).
 #
 # Usage: tools/check.sh            # from anywhere inside the repo
 #
@@ -26,9 +28,9 @@ cmake -B "$ROOT/build" -S "$ROOT"
 cmake --build "$ROOT/build" -j "$JOBS"
 ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS"
 
-echo "== tsan: service + pool + sched + disk + net labels =="
+echo "== tsan: service + pool + sched + disk + net + flat labels =="
 cmake -B "$ROOT/build-tsan" -S "$ROOT" -DRML_SANITIZE=thread
 cmake --build "$ROOT/build-tsan" -j "$JOBS"
-ctest --test-dir "$ROOT/build-tsan" -L 'service|pool|sched|disk|net' --output-on-failure
+ctest --test-dir "$ROOT/build-tsan" -L 'service|pool|sched|disk|net|flat' --output-on-failure
 
 echo "== check.sh: all green =="
