@@ -33,6 +33,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "service/Hash.h"
 #include "service/Service.h"
 
 #include "bench/Programs.h"
@@ -439,6 +440,73 @@ void latencyTable() {
               ModelP95[0] > 0 ? ModelP95[1] / ModelP95[0] : 0.0);
 }
 
+/// The learned cost model's convergence, replayed: before each pass the
+/// table records what the model *would* predict for every request, the
+/// pass then runs (cache disabled, so each completion feeds a full-cost
+/// observation), and the row reports the mean relative error of those
+/// predictions. Ground truth for a request is its mean measured cost
+/// across all passes — a single run's wall time carries a few percent
+/// of scheduler noise, and judging pass N against pass N's own noise
+/// would hide the EWMA's variance reduction. Pass 1 predicts from the
+/// bootstrap prior (bytes — ordinally useful, dimensionally wrong,
+/// hence the ~100% error); pass 2 predicts from one observation; pass
+/// 4 from the EWMA of three. The error must shrink down the rows.
+void costModelReplayTable() {
+  const std::vector<Request> Batch = buildHeterogeneousBatch();
+  ServiceConfig Cfg;
+  Cfg.Workers = 1; // serial: per-request costs are not core-shared
+  Cfg.QueueCapacity = Batch.size();
+  Cfg.CacheCapacity = 0; // every pass recompiles at full cost
+  Service Svc(Cfg);
+
+  const int Passes = 4;
+  std::vector<std::vector<CostModel::Prediction>> Preds(Passes);
+  std::vector<double> MeanActual(Batch.size(), 0);
+  for (int Pass = 0; Pass < Passes; ++Pass) {
+    Preds[Pass].reserve(Batch.size());
+    for (const Request &Req : Batch)
+      Preds[Pass].push_back(Svc.costModel().predict(
+          hashCompileInputs(Req.Source, Req.Opts), Req.Source.size()));
+    for (size_t I = 0; I < Batch.size(); ++I) {
+      Response R = Svc.submit(Batch[I]).get();
+      double ActualNanos = 0;
+      for (const PhaseProfile &P : R.Profiles)
+        if (!P.Skipped)
+          ActualNanos += static_cast<double>(P.WallNanos);
+      MeanActual[I] += ActualNanos / Passes;
+    }
+  }
+
+  std::printf("\ncost model replay (1 worker, cache disabled, %zu run "
+              "requests per pass)\n",
+              Batch.size());
+  std::printf("%-6s %22s %20s\n", "pass", "mean |pred-act|/act",
+              "prior-based preds");
+  double PrevErr = 0;
+  bool Monotone = true;
+  for (int Pass : {1, 2, 4}) {
+    double ErrSum = 0;
+    size_t PriorPreds = 0;
+    for (size_t I = 0; I < Batch.size(); ++I) {
+      const CostModel::Prediction &P = Preds[Pass - 1][I];
+      if (MeanActual[I] > 0)
+        ErrSum += std::abs(static_cast<double>(P.Nanos) - MeanActual[I]) /
+                  MeanActual[I];
+      if (P.FromPrior)
+        ++PriorPreds;
+    }
+    double MeanErr = 100.0 * ErrSum / static_cast<double>(Batch.size());
+    std::printf("%-6d %21.1f%% %17zu/%zu\n", Pass, MeanErr, PriorPreds,
+                Batch.size());
+    if (Pass > 1 && MeanErr > PrevErr)
+      Monotone = false;
+    PrevErr = MeanErr;
+  }
+  std::printf("prediction error %s over passes 1/2/4\n",
+              Monotone ? "shrinks monotonically"
+                       : "did NOT shrink monotonically (timing noise?)");
+}
+
 } // namespace
 
 int main() {
@@ -481,5 +549,6 @@ int main() {
   diskRunTable();
   phaseBreakdownTable();
   latencyTable();
+  costModelReplayTable();
   return 0;
 }

@@ -6,6 +6,9 @@
 //   bench_traffic --port P --rate 200 --duration 5
 //   bench_traffic --port P --rate 500 --conns 8 --mix 1:8:1 --poisson
 //   bench_traffic --port P --hot 4 --hot-ratio 0.9   (cache-hit heavy)
+//   bench_traffic --port P --tenants 2               (flood vs light,
+//                                per-tenant latency; pair with an rmld
+//                                running --sched fair to see isolation)
 //
 // Open-loop means arrivals are scheduled by the clock, not by
 // completions: when the daemon saturates, requests queue (and shed)
@@ -60,6 +63,7 @@ struct Options {
   unsigned HotPrograms = 4;  // size of the hot (cache-friendly) set
   double HotRatio = 0.8;     // probability a request draws from it
   bool Poisson = false;      // exponential inter-arrivals vs fixed pace
+  unsigned Tenants = 0;      // 0 = untagged; >=2 = flood-vs-light tenants
   uint64_t Seed = 1;
   unsigned DrainTimeoutSecs = 30; // receive timeout after the last send
 };
@@ -81,6 +85,12 @@ void usage() {
       "                         (default 0.8)\n"
       "  --poisson              exponential inter-arrival gaps instead\n"
       "                         of a fixed pace\n"
+      "  --tenants N            tag traffic with N tenants (2..8): t0\n"
+      "                         floods cold compile+run work (7 of 8\n"
+      "                         arrivals) while t1..tN-1 round-robin the\n"
+      "                         rest as cheap cache-hot requests; the\n"
+      "                         report gains per-tenant latency lines\n"
+      "                         (overrides --mix and --hot-ratio)\n"
       "  --seed N               RNG seed (default 1)\n"
       "  --drain-timeout S      give up on missing responses after S\n"
       "                         seconds past the last send (default 30)\n");
@@ -232,6 +242,12 @@ int main(int Argc, char **Argv) {
       Opt.HotRatio = std::strtod(Next(), nullptr);
     } else if (!std::strcmp(A, "--poisson")) {
       Opt.Poisson = true;
+    } else if (!std::strcmp(A, "--tenants")) {
+      Opt.Tenants = static_cast<unsigned>(std::strtoul(Next(), nullptr, 10));
+      if (Opt.Tenants < 2 || Opt.Tenants > 8) {
+        std::fprintf(stderr, "bench_traffic: --tenants wants 2..8\n");
+        return 2;
+      }
     } else if (!std::strcmp(A, "--seed")) {
       Opt.Seed = std::strtoull(Next(), nullptr, 10);
     } else if (!std::strcmp(A, "--drain-timeout")) {
@@ -288,6 +304,7 @@ int main(int Argc, char **Argv) {
   std::uniform_real_distribution<double> Unit(0.0, 1.0);
   unsigned MixTotal = Opt.MixCompile + Opt.MixRun + Opt.MixScheme;
   std::vector<uint64_t> SendNanos(N, 0);
+  std::vector<uint8_t> SentTenant(N, 0);
   uint64_t SendFailures = 0;
   std::vector<uint64_t> SentKind(3, 0);
   double DueSecs = 0.0;
@@ -299,21 +316,38 @@ int main(int Argc, char **Argv) {
 
     WireRequest Req;
     Req.Id = I;
-    unsigned Pick =
-        static_cast<unsigned>(Unit(Rng) * static_cast<double>(MixTotal));
-    if (Pick < Opt.MixCompile) {
-      Req.Kind = MsgKind::Compile;
-    } else if (Pick < Opt.MixCompile + Opt.MixRun) {
+    if (Opt.Tenants >= 2) {
+      // The fair-share scenario: t0 floods the queue with cold
+      // compile+run work (every salt unique, so each one pays the full
+      // compile); the light tenants trickle cache-hot requests in at 1
+      // arrival in 8, round-robined among them. Under FIFO the light
+      // requests wait behind t0's backlog; under --sched fair they are
+      // interleaved ahead of it.
+      unsigned Slot = static_cast<unsigned>(I % 8);
+      unsigned TI = Slot < Opt.Tenants - 1 ? 1 + Slot : 0;
       Req.Kind = MsgKind::CompileRun;
+      Req.Tenant = "t" + std::to_string(TI);
+      SentTenant[I] = static_cast<uint8_t>(TI);
+      Req.Source =
+          programSource(TI == 0 ? 1000 + I : Rng() % Opt.HotPrograms);
+      ++SentKind[static_cast<unsigned>(Req.Kind)];
     } else {
-      Req.Kind = MsgKind::SchemeQuery;
-      Req.SchemeNames = {"compose", "iter"};
+      unsigned Pick =
+          static_cast<unsigned>(Unit(Rng) * static_cast<double>(MixTotal));
+      if (Pick < Opt.MixCompile) {
+        Req.Kind = MsgKind::Compile;
+      } else if (Pick < Opt.MixCompile + Opt.MixRun) {
+        Req.Kind = MsgKind::CompileRun;
+      } else {
+        Req.Kind = MsgKind::SchemeQuery;
+        Req.SchemeNames = {"compose", "iter"};
+      }
+      ++SentKind[static_cast<unsigned>(Req.Kind)];
+      // Hot draws repeat a small salt set (compile-cache hits); cold
+      // draws salt by a per-request unique value (guaranteed misses).
+      bool Hot = Unit(Rng) < Opt.HotRatio;
+      Req.Source = programSource(Hot ? Rng() % Opt.HotPrograms : 1000 + I);
     }
-    ++SentKind[static_cast<unsigned>(Req.Kind)];
-    // Hot draws repeat a small salt set (compile-cache hits); cold
-    // draws salt by a per-request unique value (guaranteed misses).
-    bool Hot = Unit(Rng) < Opt.HotRatio;
-    Req.Source = programSource(Hot ? Rng() % Opt.HotPrograms : 1000 + I);
 
     std::string Frame;
     encodeRequest(Req, Frame);
@@ -337,19 +371,30 @@ int main(int Argc, char **Argv) {
   // Merge and tally.
   uint64_t Responses = 0, Sheds = 0, Ok = 0, Errors = 0;
   std::vector<uint64_t> LatNanos;
+  std::vector<std::vector<uint64_t>> TenantLat(Opt.Tenants);
+  std::vector<uint64_t> TenantOk(Opt.Tenants, 0), TenantShed(Opt.Tenants, 0);
   for (const std::vector<Received> &V : PerConn)
     for (const Received &R : V) {
       ++Responses;
+      unsigned TI = R.Id < N ? SentTenant[R.Id] : 0;
       if (R.Status == WireStatus::Shed) {
         ++Sheds;
+        if (Opt.Tenants >= 2 && R.Id < N)
+          ++TenantShed[TI];
         continue; // shed responses are instant; keep them out of latency
       }
       if (R.Status == WireStatus::Ok)
         ++Ok;
       else
         ++Errors;
-      if (R.Id < N && R.RecvNanos >= SendNanos[R.Id])
-        LatNanos.push_back(R.RecvNanos - SendNanos[R.Id]);
+      if (R.Id < N && R.RecvNanos >= SendNanos[R.Id]) {
+        uint64_t Lat = R.RecvNanos - SendNanos[R.Id];
+        LatNanos.push_back(Lat);
+        if (Opt.Tenants >= 2) {
+          ++TenantOk[TI];
+          TenantLat[TI].push_back(Lat);
+        }
+      }
     }
   std::sort(LatNanos.begin(), LatNanos.end());
   double P50 = percentileMs(LatNanos, 0.50);
@@ -379,16 +424,42 @@ int main(int Argc, char **Argv) {
               100.0 * ShedRate);
   std::printf("  latency p50 %.2fms p95 %.2fms p99 %.2fms (n=%zu)\n", P50,
               P95, P99, LatNanos.size());
+  std::string TenantJson;
+  if (Opt.Tenants >= 2) {
+    TenantJson = ",\"tenants\":[";
+    for (unsigned TI = 0; TI < Opt.Tenants; ++TI) {
+      std::sort(TenantLat[TI].begin(), TenantLat[TI].end());
+      double TP50 = percentileMs(TenantLat[TI], 0.50);
+      double TP95 = percentileMs(TenantLat[TI], 0.95);
+      double TP99 = percentileMs(TenantLat[TI], 0.99);
+      std::printf("  tenant t%u (%s): ok %llu shed %llu latency "
+                  "p50 %.2fms p95 %.2fms p99 %.2fms\n",
+                  TI, TI == 0 ? "heavy flood" : "light",
+                  static_cast<unsigned long long>(TenantOk[TI]),
+                  static_cast<unsigned long long>(TenantShed[TI]), TP50,
+                  TP95, TP99);
+      char Row[192];
+      std::snprintf(Row, sizeof(Row),
+                    "%s{\"tenant\":\"t%u\",\"ok\":%llu,\"shed\":%llu,"
+                    "\"p50_ms\":%.2f,\"p95_ms\":%.2f,\"p99_ms\":%.2f}",
+                    TI ? "," : "", TI,
+                    static_cast<unsigned long long>(TenantOk[TI]),
+                    static_cast<unsigned long long>(TenantShed[TI]), TP50,
+                    TP95, TP99);
+      TenantJson += Row;
+    }
+    TenantJson += "]";
+  }
   std::printf("{\"sent\":%llu,\"responses\":%llu,\"ok\":%llu,"
               "\"errors\":%llu,\"shed\":%llu,\"shed_rate\":%.4f,"
               "\"throughput_rps\":%.1f,\"p50_ms\":%.2f,\"p95_ms\":%.2f,"
-              "\"p99_ms\":%.2f}\n",
+              "\"p99_ms\":%.2f%s}\n",
               static_cast<unsigned long long>(N),
               static_cast<unsigned long long>(Responses),
               static_cast<unsigned long long>(Ok),
               static_cast<unsigned long long>(Errors),
               static_cast<unsigned long long>(Sheds), ShedRate, Throughput,
-              P50, P95, P99);
+              P50, P95, P99, TenantJson.c_str());
   // Missing responses (beyond sheds and send failures) mean the daemon
   // broke its contract; make scripts notice.
   return Responses + SendFailures >= N ? 0 : 1;

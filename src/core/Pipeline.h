@@ -58,11 +58,22 @@ namespace rml {
 /// including the over-budget phase), but without emitting diagnostics —
 /// the governor owns the messaging. The service's Executor implements
 /// this over ServiceConfig::PhaseBudgets.
+///
+/// The hook doubles as the pipeline's per-phase *observation stream*:
+/// compile() guarantees keepGoing() fires exactly once per finished
+/// phase, in execution order, Skipped phases included (with zero cost),
+/// stopping only at a phase that fails outright (its profile never
+/// reaches the hook — the early diagnostic exit predates the governor).
+/// Observers that harvest per-phase cost distributions — the service
+/// CostModel's quantile rings, from which --auto-budget derives default
+/// budgets — ride on this contract rather than on a second callback.
 class PhaseGovernor {
 public:
   virtual ~PhaseGovernor();
   /// \returns false to cut compilation off at this phase boundary.
   /// \p P is the finished phase's profile (name, wall nanos, Skipped).
+  /// Called exactly once per finished phase (see the class comment), so
+  /// implementations may also treat it as an observation point.
   virtual bool keepGoing(const PhaseProfile &P) = 0;
 };
 

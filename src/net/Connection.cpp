@@ -108,19 +108,34 @@ void Connection::parse() {
     RdBuf.erase(0, Used);
     return;
   }
-  // HTTP: one request, one response, close (Connection: close).
-  HttpRequest Req;
-  std::string ParseErr;
-  size_t Consumed = 0;
-  Decode D = parseHttpRequest(RdBuf, Consumed, Req, ParseErr);
-  if (D == Decode::NeedMore)
-    return;
-  RdBuf.clear();
-  if (D == Decode::Bad) {
-    Srv.onProtocolError(*this, ParseErr);
-    return;
+  // HTTP: requests are answered in order; a keep-alive connection
+  // loops over pipelined requests until the client asks to close, the
+  // per-connection cap trips, or the server drains (all of which set
+  // CloseAfterFlush in onHttp).
+  size_t Used = 0;
+  while (Used < RdBuf.size()) {
+    HttpRequest Req;
+    std::string ParseErr;
+    size_t Consumed = 0;
+    Decode D = parseHttpRequest(std::string_view(RdBuf).substr(Used),
+                                Consumed, Req, ParseErr);
+    if (D == Decode::NeedMore)
+      break;
+    if (D == Decode::Bad) {
+      RdBuf.clear();
+      Srv.onProtocolError(*this, ParseErr);
+      return;
+    }
+    Used += Consumed;
+    Srv.onHttp(*this, Req);
+    if (Closed)
+      return;
+    if (CloseAfterFlush) {
+      RdBuf.clear();
+      return;
+    }
   }
-  Srv.onHttp(*this, Req);
+  RdBuf.erase(0, Used);
 }
 
 void Connection::sendBytes(std::string Bytes) {

@@ -81,6 +81,10 @@ private:
   /// Requests admitted into the service whose responses have not yet
   /// been queued on this connection.
   uint32_t Pending = 0;
+  /// HTTP requests served on this connection; at MaxHttpRequestsPerConn
+  /// the server answers Connection: close regardless of the client's
+  /// keep-alive intent.
+  uint32_t HttpServed = 0;
   /// The peer half-closed (EOF on read); responses may still flush.
   bool PeerClosed = false;
   /// Close as soon as the write buffer drains (protocol error, HTTP

@@ -2,10 +2,65 @@
 
 #include "net/Http.h"
 
+#include <algorithm>
+#include <cctype>
+
 using namespace rml;
 using namespace rml::net;
 
 namespace {
+
+/// Case-insensitive ASCII comparison (header names and the Connection
+/// header's token values are case-insensitive per RFC 9110).
+bool iequals(std::string_view A, std::string_view B) {
+  return A.size() == B.size() &&
+         std::equal(A.begin(), A.end(), B.begin(), [](char X, char Y) {
+           return std::tolower(static_cast<unsigned char>(X)) ==
+                  std::tolower(static_cast<unsigned char>(Y));
+         });
+}
+
+std::string_view trimmed(std::string_view S) {
+  while (!S.empty() && (S.front() == ' ' || S.front() == '\t'))
+    S.remove_prefix(1);
+  while (!S.empty() && (S.back() == ' ' || S.back() == '\t'))
+    S.remove_suffix(1);
+  return S;
+}
+
+/// Scans the header block (request line excluded, terminator excluded)
+/// for a Connection header and resolves the keep-alive intent; absent,
+/// \p VersionDefault (1.1 keeps, 1.0 closes) stands.
+bool keepAliveFrom(std::string_view Headers, bool VersionDefault) {
+  while (!Headers.empty()) {
+    size_t Eol = Headers.find("\r\n");
+    std::string_view Line =
+        Eol == std::string_view::npos ? Headers : Headers.substr(0, Eol);
+    Headers.remove_prefix(Eol == std::string_view::npos ? Headers.size()
+                                                        : Eol + 2);
+    size_t Colon = Line.find(':');
+    if (Colon == std::string_view::npos ||
+        !iequals(trimmed(Line.substr(0, Colon)), "Connection"))
+      continue;
+    // The Connection header is a comma-separated token list; "close"
+    // anywhere wins, else "keep-alive" anywhere wins.
+    std::string_view Value = Line.substr(Colon + 1);
+    bool SawKeepAlive = false;
+    while (!Value.empty()) {
+      size_t Comma = Value.find(',');
+      std::string_view Token = trimmed(
+          Comma == std::string_view::npos ? Value : Value.substr(0, Comma));
+      Value.remove_prefix(Comma == std::string_view::npos ? Value.size()
+                                                          : Comma + 1);
+      if (iequals(Token, "close"))
+        return false;
+      if (iequals(Token, "keep-alive"))
+        SawKeepAlive = true;
+    }
+    return SawKeepAlive || VersionDefault;
+  }
+  return VersionDefault;
+}
 
 /// Validates "METHOD SP /target SP HTTP/1.x" and fills \p Out. The
 /// method must be short upper-case ASCII, the target must start with
@@ -42,6 +97,9 @@ bool parseRequestLine(std::string_view Line, HttpRequest &Out,
   }
   Out.Method = std::string(Method);
   Out.Target = std::string(Target);
+  // Version default for the Connection header scan: 1.1 persists, 1.0
+  // closes.
+  Out.KeepAlive = Version != "HTTP/1.0";
   return true;
 }
 
@@ -71,13 +129,18 @@ Decode rml::net::parseHttpRequest(std::string_view Buf, size_t &Consumed,
   }
   if (!parseRequestLine(Buf.substr(0, Eol), Out, Err))
     return Decode::Bad;
+  // The header block spans (request line, blank line); with no headers
+  // End == Eol and the block is empty.
+  if (End > Eol)
+    Out.KeepAlive =
+        keepAliveFrom(Buf.substr(Eol + 2, End - Eol - 2), Out.KeepAlive);
   Consumed = End + 4;
   return Decode::Frame;
 }
 
 std::string rml::net::httpResponse(int Code, std::string_view Reason,
                                    std::string_view ContentType,
-                                   std::string_view Body) {
+                                   std::string_view Body, bool KeepAlive) {
   std::string Out;
   Out.reserve(Body.size() + 128);
   Out += "HTTP/1.1 ";
@@ -88,7 +151,8 @@ std::string rml::net::httpResponse(int Code, std::string_view Reason,
   Out += ContentType;
   Out += "\r\nContent-Length: ";
   Out += std::to_string(Body.size());
-  Out += "\r\nConnection: close\r\n\r\n";
+  Out += KeepAlive ? "\r\nConnection: keep-alive\r\n\r\n"
+                   : "\r\nConnection: close\r\n\r\n";
   Out += Body;
   return Out;
 }

@@ -7,11 +7,15 @@
 ///
 /// \file
 /// Just enough HTTP/1.1 for `curl http://host:port/stats` and a
-/// load-balancer `/healthz` probe: parse a request line, ignore the
-/// headers, answer with Connection: close. Anything beyond a
-/// well-formed GET-shaped request line fails closed (Decode::Bad) and
-/// the server answers 400 and hangs up — the binary protocol in
-/// net/Protocol.h is the real API surface.
+/// load-balancer `/healthz` probe: parse a request line, honor the
+/// Connection header (keep-alive by default on HTTP/1.1, close on
+/// 1.0), ignore everything else. A keep-alive connection serves at
+/// most MaxHttpRequestsPerConn requests before the server closes it —
+/// a polling scraper reconnects cheaply; an unbounded pipeline would
+/// pin a connection slot forever. Anything beyond a well-formed
+/// GET-shaped request line fails closed (Decode::Bad) and the server
+/// answers 400 and hangs up — the binary protocol in net/Protocol.h is
+/// the real API surface.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -29,10 +33,19 @@ namespace rml::net {
 /// terminating is malformed (or hostile) and fails closed.
 inline constexpr size_t MaxHttpHeaderBytes = 8 * 1024;
 
-/// The parts of a request the server routes on. Headers are skipped.
+/// Cap on requests served over one keep-alive connection before the
+/// server answers Connection: close and hangs up.
+inline constexpr uint32_t MaxHttpRequestsPerConn = 32;
+
+/// The parts of a request the server routes on. Headers beyond
+/// Connection are skipped.
 struct HttpRequest {
   std::string Method; // "GET", ...
   std::string Target; // "/stats", ...
+  /// The client's keep-alive intent: the Connection header when
+  /// present, else the version default (1.1 keeps, 1.0 closes). The
+  /// server may still close (pipeline cap, drain).
+  bool KeepAlive = false;
 };
 
 /// Incremental request parse over a connection's read buffer: NeedMore
@@ -43,10 +56,11 @@ struct HttpRequest {
 Decode parseHttpRequest(std::string_view Buf, size_t &Consumed,
                         HttpRequest &Out, std::string &Err);
 
-/// Renders a complete close-delimited response (status line,
-/// Content-Type/-Length, Connection: close, body).
+/// Renders a complete Content-Length-delimited response (status line,
+/// Content-Type/-Length, Connection: keep-alive or close, body).
 std::string httpResponse(int Code, std::string_view Reason,
-                         std::string_view ContentType, std::string_view Body);
+                         std::string_view ContentType, std::string_view Body,
+                         bool KeepAlive = false);
 
 } // namespace rml::net
 

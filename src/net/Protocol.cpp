@@ -166,13 +166,15 @@ Decode rml::net::decodeRequest(std::string_view Buf, size_t &Consumed,
 
   Reader R(Buf.data() + 4, BodyLen);
   WireRequest Req;
-  uint8_t Kind = 0;
+  uint8_t Kind = 0, Flags = 0;
   uint32_t SrcLen = 0;
   uint16_t NSchemes = 0;
-  if (!R.u64(Req.Id) || !R.u8(Kind) || !R.u32(SrcLen))
+  if (!R.u64(Req.Id) || !R.u8(Kind) || !R.u8(Flags) || !R.u32(SrcLen))
     return bad(Err, "truncated request header");
   if (Kind > static_cast<uint8_t>(MsgKind::SchemeQuery))
     return bad(Err, "unknown request kind " + std::to_string(Kind));
+  if (Flags & ~(ReqFlagTenant | ReqFlagDeadline))
+    return bad(Err, "unknown request flag bits");
   Req.Kind = static_cast<MsgKind>(Kind);
   if (!R.str(SrcLen, Req.Source))
     return bad(Err, "source length overruns the frame body");
@@ -190,6 +192,16 @@ Decode rml::net::decodeRequest(std::string_view Buf, size_t &Consumed,
       return bad(Err, "scheme name overruns the frame body");
     Req.SchemeNames.push_back(std::move(Name));
   }
+  if (Flags & ReqFlagTenant) {
+    uint16_t Len = 0;
+    if (!R.u16(Len) || !R.str(Len, Req.Tenant))
+      return bad(Err, "tenant label overruns the frame body");
+    if (Req.Tenant.size() > MaxTenantBytes)
+      return bad(Err, "tenant label exceeds the bound of " +
+                          std::to_string(MaxTenantBytes));
+  }
+  if ((Flags & ReqFlagDeadline) && !R.u64(Req.DeadlineNanos))
+    return bad(Err, "truncated deadline");
   if (!R.done())
     return bad(Err, "trailing bytes in frame body");
 
@@ -252,6 +264,9 @@ void rml::net::encodeRequest(const WireRequest &R, std::string &Out) {
   putU32(Out, 0); // body length, patched below
   putU64(Out, R.Id);
   Out.push_back(static_cast<char>(R.Kind));
+  uint8_t Flags = (R.Tenant.empty() ? 0 : ReqFlagTenant) |
+                  (R.DeadlineNanos ? ReqFlagDeadline : 0);
+  Out.push_back(static_cast<char>(Flags));
   std::string_view Src = clamp(R.Source, MaxBodyBytes / 2);
   putU32(Out, static_cast<uint32_t>(Src.size()));
   Out += Src;
@@ -262,6 +277,13 @@ void rml::net::encodeRequest(const WireRequest &R, std::string &Out) {
     putU16(Out, static_cast<uint16_t>(Name.size()));
     Out += Name;
   }
+  if (Flags & ReqFlagTenant) {
+    std::string_view Tenant = clamp(R.Tenant, MaxTenantBytes);
+    putU16(Out, static_cast<uint16_t>(Tenant.size()));
+    Out += Tenant;
+  }
+  if (Flags & ReqFlagDeadline)
+    putU64(Out, R.DeadlineNanos);
   patchU32(Out, Mark, static_cast<uint32_t>(Out.size() - Mark - 4));
 }
 

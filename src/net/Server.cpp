@@ -2,6 +2,8 @@
 
 #include "net/Server.h"
 
+#include "service/Hash.h"
+
 #include <arpa/inet.h>
 #include <cerrno>
 #include <csignal>
@@ -236,6 +238,8 @@ void Server::onRequest(Connection &C, WireRequest Req) {
   }
   service::Request SR;
   SR.Source = std::move(Req.Source);
+  SR.Tenant = Req.Tenant.empty() ? Cfg.TenantDefault : std::move(Req.Tenant);
+  SR.DeadlineNanos = Req.DeadlineNanos;
   if (Cfg.StepLimit)
     SR.EvalOpts.StepLimit = Cfg.StepLimit;
   switch (Req.Kind) {
@@ -252,6 +256,32 @@ void Server::onRequest(Connection &C, WireRequest Req) {
   }
   uint64_t Id = Req.Id;
   uint64_t ConnId = C.id();
+  // Deadline-aware admission: when the model has *learned* this exact
+  // source's cost (never on the per-byte prior — cold sources always
+  // get their chance) and it already exceeds the client's deadline,
+  // queueing the request only burns a worker on an answer the client
+  // will have given up on. Shed it now, with the prediction.
+  if (SR.DeadlineNanos) {
+    service::CostModel::Prediction P = Svc.costModel().predict(
+        service::hashCompileInputs(SR.Source, SR.Opts), SR.Source.size());
+    if (!P.FromPrior && P.Nanos > SR.DeadlineNanos) {
+      {
+        std::lock_guard<std::mutex> Lock(StatsMutex);
+        ++Stats.DeadlineSheds;
+        ++Stats.Responses;
+      }
+      WireResponse W;
+      W.Id = Id;
+      W.Status = WireStatus::Shed;
+      W.Error = "predicted cost " + std::to_string(P.Nanos) +
+                "ns exceeds deadline " + std::to_string(SR.DeadlineNanos) +
+                "ns: request shed at admission";
+      std::string Out;
+      encodeResponse(W, Out);
+      C.sendBytes(std::move(Out));
+      return;
+    }
+  }
   // Count optimistically so a completion that races the admission
   // return can never observe InService == 0.
   ++InService;
@@ -288,19 +318,25 @@ void Server::onHttp(Connection &C, const HttpRequest &Req) {
     std::lock_guard<std::mutex> Lock(StatsMutex);
     ++Stats.HttpRequests;
   }
+  // Honor the client's keep-alive intent, bounded: the per-connection
+  // cap keeps a scraper from pinning a connection slot forever, and a
+  // draining server closes regardless.
+  ++C.HttpServed;
+  bool Keep = Req.KeepAlive && C.HttpServed < MaxHttpRequestsPerConn &&
+              !Draining && !C.PeerClosed;
   std::string Resp;
   if (Req.Method != "GET")
     Resp = httpResponse(405, "Method Not Allowed", "text/plain; charset=utf-8",
-                        "method not allowed\n");
+                        "method not allowed\n", Keep);
   else if (Req.Target == "/healthz")
-    Resp = httpResponse(200, "OK", "text/plain; charset=utf-8", "ok\n");
+    Resp = httpResponse(200, "OK", "text/plain; charset=utf-8", "ok\n", Keep);
   else if (Req.Target == "/stats")
     Resp = httpResponse(200, "OK", "application/json",
-                        Svc.stats().json() + "\n");
+                        Svc.stats().json() + "\n", Keep);
   else
     Resp = httpResponse(404, "Not Found", "text/plain; charset=utf-8",
-                        "not found\n");
-  C.CloseAfterFlush = true;
+                        "not found\n", Keep);
+  C.CloseAfterFlush = !Keep;
   C.sendBytes(std::move(Resp));
 }
 

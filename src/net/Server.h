@@ -68,6 +68,11 @@ struct NetStats {
   /// Requests answered Shed because Service::trySubmit found the queue
   /// full — the wire-level view of ServiceStats::Rejected.
   uint64_t Sheds = 0;
+  /// Requests answered Shed at admission because the cost model's
+  /// *learned* estimate for that exact source already exceeded the
+  /// client's deadline (never on prior-based estimates — cold sources
+  /// always get their chance). Disjoint from Sheds (queue-full).
+  uint64_t DeadlineSheds = 0;
   /// Malformed frames / HTTP noise; each costs its connection.
   uint64_t ProtocolErrors = 0;
   /// Completions whose connection was already gone (counted, dropped).
@@ -87,6 +92,11 @@ struct ServerConfig {
   /// --step-limit); 0 keeps rt::EvalOptions' own default. A network
   /// service should not let one hostile loop pin a worker forever.
   uint64_t StepLimit = 0;
+  /// Tenant label substituted for requests that sent none (rmld
+  /// --tenant-default): lets an operator fold untagged legacy traffic
+  /// into a named fair-share bucket. Empty keeps them in the anonymous
+  /// bucket.
+  std::string TenantDefault;
 };
 
 /// The daemon core. Construct over a Service, then run() on the thread

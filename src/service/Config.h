@@ -23,17 +23,26 @@ namespace rml::service {
 enum class SchedPolicy : uint8_t {
   /// Strict submission order — the default, and the fairness baseline.
   Fifo,
-  /// Longest-job-first by cost key (source length today): on a
+  /// Longest-job-first by cost key (the CostModel's predicted
+  /// processing nanos once history exists, source length before): on a
   /// heterogeneous batch the long compiles start first and the short
   /// ones fill the trailing capacity, shrinking the tail (p95/p99) the
   /// way LPT scheduling shrinks makespan.
   Ljf,
+  /// Earliest-deadline-first on Request::DeadlineNanos; deadline-free
+  /// requests sort after every dated one.
+  Deadline,
+  /// Per-tenant deficit round-robin on Request::Tenant: every active
+  /// tenant gets an equal share of predicted cost, so one tenant's
+  /// expensive sources cannot starve another's cheap ones.
+  FairShare,
 };
 
-/// \returns "fifo" / "ljf".
+/// \returns "fifo" / "ljf" / "deadline" / "fair".
 const char *schedPolicyName(SchedPolicy P);
 
-/// Parses "fifo"/"ljf"; false on anything else (\p Out untouched).
+/// Parses "fifo"/"ljf"/"deadline"/"fair"; false on anything else
+/// (\p Out untouched).
 bool parseSchedPolicy(std::string_view Name, SchedPolicy &Out);
 
 /// Service configuration.
@@ -85,6 +94,27 @@ struct ServiceConfig {
   /// runtime "run" phase is not budgeted (interrupting the interpreter
   /// mid-flight is a different mechanism).
   std::map<std::string, uint64_t> PhaseBudgets = {};
+  /// Derive default PhaseBudgets from the CostModel's observed per-phase
+  /// distributions (rmlc/rmld --auto-budget): once a phase has
+  /// BudgetMinSamples observations, cold compiles run under budget =
+  /// quantile(BudgetQuantile) x BudgetMultiplier nanos for that phase.
+  /// Explicit PhaseBudgets win (auto-derivation only fills an empty
+  /// map), and until enough history exists compiles run unbudgeted —
+  /// the model must never invent a budget from noise.
+  bool AutoBudget = false;
+  /// Observed-distribution quantile the derived budget starts from.
+  double BudgetQuantile = 0.95;
+  /// Headroom multiplier applied to the quantile: a derived budget
+  /// should catch pathological blowups, not routine variance.
+  double BudgetMultiplier = 8.0;
+  /// Per-phase observations required before a budget is derived.
+  size_t BudgetMinSamples = 32;
+  /// DRR quantum for SchedPolicy::FairShare, in cost-key units
+  /// (predicted nanos once the model has history): the credit each
+  /// active tenant receives per round-robin round. Smaller is fairer
+  /// but rotates tenants more; ~1ms of predicted work is a reasonable
+  /// serving grain.
+  uint64_t FairShareQuantum = 1 << 20;
 
   unsigned effectiveWorkers() const {
     if (Workers)

@@ -1,0 +1,107 @@
+//===- service/CostModel.cpp ----------------------------------------------===//
+
+#include "service/CostModel.h"
+
+#include "core/Pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace rml;
+using namespace rml::service;
+
+namespace {
+
+/// Clamps a non-negative double into the >= 1 nano contract.
+uint64_t toNanos(double V) {
+  if (!(V >= 1.0))
+    return 1;
+  return static_cast<uint64_t>(V);
+}
+
+uint64_t executedNanos(const std::vector<PhaseProfile> &Profiles) {
+  uint64_t Total = 0;
+  for (const PhaseProfile &P : Profiles)
+    if (!P.Skipped)
+      Total += P.WallNanos;
+  return Total;
+}
+
+} // namespace
+
+CostModel::Prediction CostModel::predict(uint64_t Hash,
+                                         size_t SourceBytes) const {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Entries.find(Hash);
+  if (It != Entries.end()) {
+    ++Hits;
+    return {toNanos(It->second.TotalNanos), /*FromPrior=*/false};
+  }
+  ++PriorUses;
+  double Bytes = static_cast<double>(std::max<size_t>(SourceBytes, 1));
+  if (PriorCount)
+    return {toNanos(PriorPerByte * Bytes), /*FromPrior=*/true};
+  // Bootstrap: no observation yet, so the byte count itself is the
+  // estimate — wrong units, right order (see the file comment).
+  return {toNanos(Bytes), /*FromPrior=*/true};
+}
+
+void CostModel::observe(uint64_t Hash, size_t SourceBytes,
+                        const std::vector<PhaseProfile> &Profiles,
+                        bool UpdatePrior) {
+  uint64_t Total = executedNanos(Profiles);
+  std::lock_guard<std::mutex> Lock(M);
+  Entry &E = Entries[Hash];
+  E.TotalNanos = E.Count ? Alpha * static_cast<double>(Total) +
+                               (1.0 - Alpha) * E.TotalNanos
+                         : static_cast<double>(Total);
+  ++E.Count;
+  if (UpdatePrior && SourceBytes) {
+    double PerByte =
+        static_cast<double>(Total) / static_cast<double>(SourceBytes);
+    PriorPerByte =
+        PriorCount ? Alpha * PerByte + (1.0 - Alpha) * PriorPerByte : PerByte;
+    ++PriorCount;
+  }
+}
+
+void CostModel::observePhase(const PhaseProfile &P) {
+  std::lock_guard<std::mutex> Lock(M);
+  PhaseRing &R = Rings[P.Name];
+  if (R.Samples.size() < RingCapacity) {
+    R.Samples.push_back(P.WallNanos);
+  } else {
+    R.Samples[R.Next] = P.WallNanos;
+    R.Next = (R.Next + 1) % RingCapacity;
+  }
+}
+
+std::map<std::string, uint64_t>
+CostModel::deriveBudgets(double Quantile, double Multiplier,
+                         size_t MinSamples) const {
+  std::map<std::string, uint64_t> Out;
+  double Q = std::clamp(Quantile, 0.0, 1.0);
+  std::lock_guard<std::mutex> Lock(M);
+  for (const auto &[Name, Ring] : Rings) {
+    if (Name == Compiler::RunPhaseName)
+      continue; // the runtime phase is not budgeted
+    if (Ring.Samples.size() < std::max<size_t>(MinSamples, 1))
+      continue;
+    std::vector<uint64_t> S = Ring.Samples;
+    size_t Idx = static_cast<size_t>(
+        std::llround(Q * static_cast<double>(S.size() - 1)));
+    std::nth_element(S.begin(), S.begin() + Idx, S.end());
+    Out[Name] = toNanos(static_cast<double>(S[Idx]) * Multiplier);
+  }
+  return Out;
+}
+
+CostModel::Snapshot CostModel::snapshot() const {
+  std::lock_guard<std::mutex> Lock(M);
+  Snapshot S;
+  S.Entries = Entries.size();
+  S.Hits = Hits;
+  S.PriorUses = PriorUses;
+  S.PriorPerByte = PriorCount ? PriorPerByte : 0.0;
+  return S;
+}

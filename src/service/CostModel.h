@@ -1,0 +1,141 @@
+//===- service/CostModel.h - Learned per-source cost estimates --*- C++ -*-===//
+//
+// Part of RegionML, a reproduction of "Garbage-Collection Safety for
+// Region-Based Type-Polymorphic Programs" (Elsman, PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The learned cost model behind scheduling, admission, and budget
+/// decisions. Every completed request feeds one observation — the summed
+/// wall time of its executed (non-Skipped) phases, keyed by the same
+/// FNV-1a content hash the compile cache uses — and three consumers read
+/// the accumulated state:
+///
+///   - the Scheduler's cost provider calls predict() so Ljf orders by
+///     *predicted* processing nanos instead of raw source length;
+///   - net::Server admission calls predict() to shed work whose learned
+///     cost already exceeds the client's deadline;
+///   - the Executor calls deriveBudgets() to turn observed per-phase
+///     distributions into default PhaseBudgets (--auto-budget).
+///
+/// Never-seen sources fall back to a global *per-byte* prior (EWMA of
+/// cost/byte over cold compiles), so a cold prediction is PerByte x
+/// sourceBytes — proportional to length, which preserves Ljf's
+/// longest-source-first ordering before any key has history. Before the
+/// first observation the bootstrap prediction is the byte count itself:
+/// the units are wrong but the *order* (all the scheduler needs) is
+/// right, and Prediction::FromPrior tells admission never to shed on it.
+///
+/// Thread-safe: one mutex guards all state. Observations are O(phases),
+/// predictions O(1), and both are negligible next to a parse.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RML_SERVICE_COSTMODEL_H
+#define RML_SERVICE_COSTMODEL_H
+
+#include "support/Trace.h"
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace rml::service {
+
+/// Thread-safe, content-keyed store of EWMA cost estimates.
+class CostModel {
+public:
+  /// EWMA weight of the newest observation. High enough to converge in
+  /// a handful of passes, low enough to ride out one noisy run.
+  static constexpr double Alpha = 0.4;
+  /// Per-phase samples retained for quantile queries: a ring, so the
+  /// newest RingCapacity observations define the distribution budgets
+  /// are derived from.
+  static constexpr size_t RingCapacity = 512;
+
+  /// One answer from predict().
+  struct Prediction {
+    /// Predicted total processing nanoseconds (>= 1). When FromPrior is
+    /// set and the model has never observed anything, this is the raw
+    /// byte count instead — ordinally useful, dimensionally meaningless.
+    uint64_t Nanos = 1;
+    /// True when the estimate came from the per-byte prior (or the
+    /// bootstrap fallback) rather than a per-key entry. Admission must
+    /// not shed on prior-based predictions: they rank, they don't time.
+    bool FromPrior = true;
+  };
+
+  /// Counters + gauges for /stats ("cost_model": {...}).
+  struct Snapshot {
+    uint64_t Entries = 0;   ///< distinct keys with history
+    uint64_t Hits = 0;      ///< predictions answered from a key entry
+    uint64_t PriorUses = 0; ///< predictions answered from the prior
+    double PriorPerByte = 0.0; ///< current cost-per-byte prior (nanos)
+  };
+
+  /// Predicts the total processing cost of the source hashing to
+  /// \p Hash with \p SourceBytes bytes. Never fails: falls through
+  /// entry -> per-byte prior -> bootstrap (see file comment).
+  Prediction predict(uint64_t Hash, size_t SourceBytes) const;
+
+  /// Folds one completed request into the model: the entry for \p Hash
+  /// absorbs the summed non-Skipped wall nanos of \p Profiles. Pass
+  /// \p UpdatePrior only for cold (non-cache-hit) completions, so the
+  /// per-byte prior keeps meaning "a full compile costs this much per
+  /// byte" and is not dragged down by cheap cache-hit runs. Callers
+  /// skip Budget/Shutdown/InternalError outcomes — a cut-off's partial
+  /// cost is not the source's cost. The per-phase quantile rings are
+  /// NOT fed here: they ride the pipeline's governor hook (see
+  /// observePhase), which sees phases the sum never will — the phases
+  /// of a compile that was later cut off.
+  void observe(uint64_t Hash, size_t SourceBytes,
+               const std::vector<PhaseProfile> &Profiles, bool UpdatePrior);
+
+  /// Lands one executed phase's wall nanos in its quantile ring. Fed
+  /// from PhaseGovernor::keepGoing — the pipeline's exactly-once
+  /// per-finished-phase observation stream — by the Executor's governor
+  /// on every cold compile. Skipped phases are the caller's to filter.
+  void observePhase(const PhaseProfile &P);
+
+  /// Derives per-phase budgets from the observed distributions: for
+  /// every static phase with at least \p MinSamples samples, budget =
+  /// quantile(\p Quantile) x \p Multiplier nanos. The runtime "run"
+  /// phase is never budgeted (PhaseBudgets bind compiles only). Returns
+  /// an empty map until enough history exists — callers treat that as
+  /// "no budgets yet", not "budget everything at zero".
+  std::map<std::string, uint64_t> deriveBudgets(double Quantile,
+                                                double Multiplier,
+                                                size_t MinSamples) const;
+
+  Snapshot snapshot() const;
+
+private:
+  /// Per-key EWMA of total processing nanos.
+  struct Entry {
+    double TotalNanos = 0.0;
+    uint64_t Count = 0;
+  };
+
+  /// Fixed-capacity ring of recent wall-nano samples for one phase.
+  struct PhaseRing {
+    std::vector<uint64_t> Samples;
+    size_t Next = 0;
+  };
+
+  mutable std::mutex M;
+  std::unordered_map<uint64_t, Entry> Entries;
+  /// Keyed by phase name; std::map for stable iteration in tests.
+  std::map<std::string, PhaseRing> Rings;
+  double PriorPerByte = 0.0;
+  uint64_t PriorCount = 0;
+  mutable uint64_t Hits = 0;
+  mutable uint64_t PriorUses = 0;
+};
+
+} // namespace rml::service
+
+#endif // RML_SERVICE_COSTMODEL_H

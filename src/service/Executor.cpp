@@ -2,6 +2,9 @@
 
 #include "service/Executor.h"
 
+#include "service/CostModel.h"
+#include "service/Hash.h"
+
 using namespace rml;
 using namespace rml::service;
 
@@ -29,12 +32,22 @@ namespace {
 /// executed phase whose wall time exceeds its (present) budget. Lives
 /// on the Executor's stack for exactly one compile — compileShared
 /// clears it from the frozen Compiler before returning.
+///
+/// Doubles as the cost model's per-phase feed: keepGoing is the
+/// pipeline's exactly-once per-finished-phase observation stream (see
+/// PhaseGovernor in core/Pipeline.h), so each executed phase lands one
+/// sample in the model's quantile rings here — including the phases of
+/// a compile this very governor then cuts off, which the completion-
+/// level observe() deliberately never sees.
 class BudgetGovernor final : public PhaseGovernor {
 public:
-  explicit BudgetGovernor(const std::map<std::string, uint64_t> &Budgets)
-      : Budgets(Budgets) {}
+  BudgetGovernor(const std::map<std::string, uint64_t> &Budgets,
+                 CostModel *Model)
+      : Budgets(Budgets), Model(Model) {}
 
   bool keepGoing(const PhaseProfile &P) override {
+    if (Model && !P.Skipped)
+      Model->observePhase(P);
     auto It = Budgets.find(P.Name);
     // Absent = unlimited; a present 0 budgets out any executed phase
     // (real phases always take > 0 ns). Skipped phases cost nothing.
@@ -48,12 +61,24 @@ public:
 
 private:
   const std::map<std::string, uint64_t> &Budgets;
+  CostModel *Model;
   std::string TrippedPhase; // empty until a budget trips
 };
 
 } // namespace
 
 Response Executor::process(const Request &Req) const {
+  Response Resp = processImpl(Req);
+  // One observation per completion. Budget cut-offs are excluded: a
+  // partial compile's cost is not the source's cost, and learning it
+  // would teach the model that expensive sources are cheap.
+  if (Model && Resp.Status != RequestOutcome::Budget)
+    Model->observe(hashCompileInputs(Req.Source, Req.Opts), Req.Source.size(),
+                   Resp.Profiles, /*UpdatePrior=*/!Resp.CacheHit);
+  return Resp;
+}
+
+Response Executor::processImpl(const Request &Req) const {
   Response Resp;
 
   CacheKey Key = CacheKey::of(Req.Source, Req.Opts);
@@ -87,9 +112,25 @@ Response Executor::process(const Request &Req) const {
     // the cache. Two workers racing on the same key both compile; the
     // results are bit-identical (the pipeline is deterministic) and the
     // cache keeps whichever insert lands last.
-    BudgetGovernor Gov(Cfg.PhaseBudgets);
+    // Explicit budgets win; with --auto-budget and none set, the cost
+    // model's observed per-phase distributions supply them — once it
+    // has enough history (an empty derivation means "no budgets yet").
+    const std::map<std::string, uint64_t> *Budgets = &Cfg.PhaseBudgets;
+    std::map<std::string, uint64_t> Derived;
+    if (Cfg.AutoBudget && Cfg.PhaseBudgets.empty() && Model) {
+      Derived = Model->deriveBudgets(Cfg.BudgetQuantile, Cfg.BudgetMultiplier,
+                                     Cfg.BudgetMinSamples);
+      if (!Derived.empty()) {
+        Budgets = &Derived;
+        BudgetAutoDerived.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    // The governor is installed whenever there is a model to feed, not
+    // just when budgets bind: its hook is how per-phase samples reach
+    // the quantile rings.
+    BudgetGovernor Gov(*Budgets, Model);
     CC = compileShared(Req.Source, Req.Opts,
-                       Cfg.PhaseBudgets.empty() ? nullptr : &Gov);
+                       (Budgets->empty() && !Model) ? nullptr : &Gov);
     Resp.Profiles = CC->Profiles;
     if (!Gov.tripped().empty()) {
       // Over budget: report which phase blew it and keep the entry out

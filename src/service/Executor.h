@@ -27,6 +27,8 @@
 
 namespace rml::service {
 
+class CostModel;
+
 /// Runs requests against a compile cache and a page pool under one
 /// ServiceConfig. process() is safe from any number of threads: the
 /// cache and pool are thread-safe, and each cold compile happens on a
@@ -34,8 +36,11 @@ namespace rml::service {
 class Executor {
 public:
   /// All referents are non-owning and must outlive the Executor.
-  Executor(const ServiceConfig &Cfg, CompileCache &Cache, rt::PagePool *Pool)
-      : Cfg(Cfg), Cache(Cache), Pool(Pool) {}
+  /// \p Model (nullable) receives one observation per completion and,
+  /// under ServiceConfig::AutoBudget, supplies derived phase budgets.
+  Executor(const ServiceConfig &Cfg, CompileCache &Cache, rt::PagePool *Pool,
+           CostModel *Model = nullptr)
+      : Cfg(Cfg), Cache(Cache), Pool(Pool), Model(Model) {}
 
   /// The whole lifecycle of one request: cache lookup -> (on a miss)
   /// budgeted cold compile + cache insert -> schemes -> optional run.
@@ -54,12 +59,28 @@ public:
     return DiskHydrations.load(std::memory_order_relaxed);
   }
 
+  /// How many cold compiles ran under CostModel-derived budgets
+  /// (ServiceConfig::AutoBudget with an empty explicit PhaseBudgets and
+  /// enough per-phase history). Zero until the model has
+  /// BudgetMinSamples observations of some phase.
+  uint64_t budgetAutoDerived() const {
+    return BudgetAutoDerived.load(std::memory_order_relaxed);
+  }
+
 private:
+  /// The cache/compile/run lifecycle; process() wraps it to feed the
+  /// cost model exactly once per completion.
+  Response processImpl(const Request &Req) const;
+
   const ServiceConfig &Cfg;
   CompileCache &Cache;
   rt::PagePool *Pool;
+  /// Nullable; fed on completion, consulted for auto budgets.
+  CostModel *Model;
   /// Counts the un-runnable-disk-hit recompile fallback in process().
   mutable std::atomic<uint64_t> DiskHydrations{0};
+  /// Counts cold compiles governed by model-derived budgets.
+  mutable std::atomic<uint64_t> BudgetAutoDerived{0};
 };
 
 } // namespace rml::service

@@ -35,6 +35,18 @@ struct Request {
   /// Top-level names whose region type schemes the response should
   /// render (unknown/monomorphic names render as "").
   std::vector<std::string> SchemeNames;
+  /// Which tenant submitted the request. Purely a scheduling label: the
+  /// FairShare policy keys its deficit round-robin on it, everything
+  /// else ignores it. Empty is itself a tenant (the anonymous one), so
+  /// untagged traffic shares one aggregate slot instead of bypassing
+  /// fairness.
+  std::string Tenant;
+  /// Relative completion deadline in nanoseconds from admission; 0
+  /// means none. The Deadline policy orders on the absolute deadline
+  /// stamped at admission (ScheduledJob::DeadlineAt), and net::Server
+  /// admission sheds requests whose *learned* predicted cost already
+  /// exceeds this before they ever queue.
+  uint64_t DeadlineNanos = 0;
 };
 
 /// The service-level disposition of a request — orthogonal to the

@@ -13,10 +13,14 @@
 /// structure code with no locking of its own (and is trivially
 /// exchangeable for experiments).
 ///
-/// Two policies ship today: Fifo (submission order, the fairness
-/// baseline) and Ljf (longest-job-first by cost key — LPT scheduling,
-/// which on a heterogeneous batch starts the long jobs first so the
-/// short ones pack the trailing capacity, shrinking tail latency).
+/// Four policies ship today: Fifo (submission order, the fairness
+/// baseline), Ljf (longest-predicted-job-first by cost key — LPT
+/// scheduling, which on a heterogeneous batch starts the long jobs
+/// first so the short ones pack the trailing capacity, shrinking tail
+/// latency), Deadline (earliest-deadline-first on the admission-stamped
+/// absolute deadline), and FairShare (per-tenant deficit round-robin,
+/// so one tenant's expensive sources cannot starve another's cheap
+/// ones).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,9 +30,13 @@
 #include "service/Config.h"
 #include "service/Request.h"
 
+#include "support/Trace.h"
+
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
+#include <type_traits>
 
 namespace rml::service {
 
@@ -36,19 +44,30 @@ namespace rml::service {
 /// one completion armed: either the promise (future-style submit) or
 /// the callback (event-loop submit). complete() fires whichever it is.
 struct ScheduledJob {
+  /// DeadlineAt for a request that set no deadline: sorts after every
+  /// real deadline, so deadline-free work never preempts dated work.
+  static constexpr uint64_t NoDeadline = UINT64_MAX;
+
   Request Req;
   /// Future-style completion (armed iff Callback is empty).
   std::promise<Response> Promise;
   /// Callback-style completion, invoked on the worker thread (or, for
   /// requests rejected at admission, inline on the submitter's thread).
   std::function<void(Response)> Callback;
-  /// Scheduling weight, fixed at admission: the source length today, a
-  /// cached cost estimate tomorrow. Only Ljf reads it.
+  /// Scheduling weight, stamped once at admission by Scheduler::admit():
+  /// the cost provider's predicted processing nanos when one is set
+  /// (Service wires the CostModel here), the raw source length
+  /// otherwise. Ljf orders on it; FairShare charges it against the
+  /// tenant's deficit.
   uint64_t CostKey = 0;
   /// Admission sequence number: ties in CostKey resolve to the earliest
   /// submission, keeping every policy deterministic and starvation-free
   /// within a batch.
   uint64_t Seq = 0;
+  /// Absolute deadline in traceNowNanos() time, stamped at admission
+  /// from Request::DeadlineNanos (NoDeadline when the request set
+  /// none). Only the Deadline policy orders on it.
+  uint64_t DeadlineAt = NoDeadline;
 
   /// Resolves the armed completion with \p R.
   void complete(Response R) {
@@ -63,20 +82,52 @@ struct ScheduledJob {
 /// comment): no Scheduler method is thread-safe on its own.
 class Scheduler {
 public:
+  /// Maps an admitted Request to its scheduling cost (predicted
+  /// processing nanos). Called under the Service's queue mutex: keep it
+  /// O(1)-ish and non-blocking.
+  using CostFn = std::function<uint64_t(const Request &)>;
+
   virtual ~Scheduler();
 
+  /// Installs the cost provider consulted by admit(). Null restores the
+  /// source-length fallback.
+  void setCostProvider(CostFn F) { Provider = std::move(F); }
+
+  /// Admission: stamps CostKey (from the provider — consulted exactly
+  /// once, here and nowhere else) and the absolute DeadlineAt, then
+  /// hands the job to the policy. The caller stamps Seq first.
+  void admit(ScheduledJob J) {
+    static_assert(std::is_invocable_r_v<uint64_t, const CostFn &,
+                                        const Request &>,
+                  "the cost provider must map a const Request & to a "
+                  "uint64_t cost, and admit() is its only call site");
+    J.CostKey = Provider ? Provider(J.Req) : J.Req.Source.size();
+    J.DeadlineAt = J.Req.DeadlineNanos
+                       ? traceNowNanos() + J.Req.DeadlineNanos
+                       : ScheduledJob::NoDeadline;
+    push(std::move(J));
+  }
+
+  /// Enqueues a fully stamped job (admit() is the normal entry; tests
+  /// push pre-stamped jobs directly).
   virtual void push(ScheduledJob J) = 0;
   /// Removes and returns the next job; undefined when empty.
   virtual ScheduledJob pop() = 0;
   virtual size_t size() const = 0;
-  /// The policy's stable name ("fifo", "ljf").
+  /// The policy's stable name ("fifo", "ljf", "deadline", "fair").
   virtual const char *policyName() const = 0;
 
   bool empty() const { return size() == 0; }
+
+private:
+  CostFn Provider;
 };
 
-/// Builds the Scheduler for \p P.
-std::unique_ptr<Scheduler> makeScheduler(SchedPolicy P);
+/// Builds the Scheduler for \p P. \p FairShareQuantum is the DRR
+/// quantum (cost units credited per round) used by SchedPolicy::
+/// FairShare; other policies ignore it.
+std::unique_ptr<Scheduler> makeScheduler(SchedPolicy P,
+                                         uint64_t FairShareQuantum = 1 << 20);
 
 } // namespace rml::service
 

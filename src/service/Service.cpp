@@ -2,6 +2,8 @@
 
 #include "service/Service.h"
 
+#include "service/Hash.h"
+
 using namespace rml;
 using namespace rml::service;
 
@@ -48,9 +50,18 @@ Response shutdownResponse() {
 Service::Service(ServiceConfig CfgIn)
     : Cfg(std::move(CfgIn)), Disk(makeDisk(Cfg)),
       Cache(Cfg.CacheCapacity, Cfg.CacheCostCapacity, Disk.get()),
-      Pool(makePool(Cfg)), Exec(Cfg, Cache, Pool.get()),
+      Pool(makePool(Cfg)), Exec(Cfg, Cache, Pool.get(), &Model),
       Started(std::chrono::steady_clock::now()),
-      Sched(makeScheduler(Cfg.Policy)) {
+      Sched(makeScheduler(Cfg.Policy, Cfg.FairShareQuantum)) {
+  // Scheduling weights come from the learned model: predicted
+  // processing nanos for seen sources, the per-byte prior (and, before
+  // any observation, the raw byte count) for cold ones. The provider
+  // runs under QueueMutex; predict() is O(1) under its own lock.
+  Sched->setCostProvider([this](const Request &R) {
+    return Model.predict(hashCompileInputs(R.Source, R.Opts),
+                         R.Source.size())
+        .Nanos;
+  });
   // One aggregate slot per pipeline phase, in stable reporting order.
   for (const std::string &Name : Compiler::staticPhaseNames())
     Counters.Phases.push_back({Name, 0, 0, 0});
@@ -64,10 +75,12 @@ Service::Service(ServiceConfig CfgIn)
 Service::~Service() { shutdown(); }
 
 void Service::enqueue(ScheduledJob J) {
-  // Caller holds QueueMutex and has already checked !Stopping.
-  J.CostKey = J.Req.Source.size();
+  // Caller holds QueueMutex and has already checked !Stopping. admit()
+  // stamps CostKey (consulting the cost provider exactly once) and the
+  // absolute deadline; Seq is stamped here because admission order is
+  // the Service's to define.
   J.Seq = NextSeq++;
-  Sched->push(std::move(J));
+  Sched->admit(std::move(J));
   size_t Depth = Sched->size();
   std::lock_guard<std::mutex> SLock(StatsMutex);
   ++Counters.Submitted;
@@ -318,6 +331,12 @@ ServiceStats Service::stats() const {
     Out.DiskLoadRejects = DC.LoadRejects;
   }
   Out.DiskHydrations = Exec.diskHydrations();
+  Out.BudgetAutoDerived = Exec.budgetAutoDerived();
+  CostModel::Snapshot MS = Model.snapshot();
+  Out.CostModelEntries = MS.Entries;
+  Out.CostModelHits = MS.Hits;
+  Out.CostModelPriorUses = MS.PriorUses;
+  Out.CostModelPriorPerByte = MS.PriorPerByte;
   Out.Workers = Cfg.effectiveWorkers();
   Out.Policy = schedPolicyName(Cfg.Policy);
   if (Pool) {

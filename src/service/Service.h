@@ -35,6 +35,7 @@
 
 #include "service/Cache.h"
 #include "service/Config.h"
+#include "service/CostModel.h"
 #include "service/DiskCache.h"
 #include "service/Executor.h"
 #include "service/Request.h"
@@ -108,9 +109,14 @@ public:
   const ServiceConfig &config() const { return Cfg; }
   /// The cross-request page pool (null when PagePoolPages == 0).
   const rt::PagePool *pagePool() const { return Pool.get(); }
+  /// The learned cost model every completion feeds. Exposed so the
+  /// network front door can consult predictions at admission (shedding
+  /// predicted-over-deadline work before it queues).
+  const CostModel &costModel() const { return Model; }
 
 private:
-  /// Admission: stamps CostKey/Seq, hands the job to the scheduler,
+  /// Admission: stamps Seq and hands the job to Scheduler::admit()
+  /// (which stamps CostKey from the model and the absolute deadline),
   /// bumps counters. Caller holds QueueMutex and has checked !Stopping.
   void enqueue(ScheduledJob J);
   void workerMain();
@@ -124,7 +130,11 @@ private:
   /// it is declared before (destroyed after) the worker threads, and
   /// shutdown() joins them before any member dies anyway.
   std::unique_ptr<rt::PagePool> Pool;
-  /// Stateless over Cfg/Cache/Pool; shared by all workers.
+  /// Learned per-source/per-phase costs; fed by the Executor on every
+  /// completion, read by the scheduler's cost provider and by admission
+  /// layers. Declared before Exec, which holds a pointer to it.
+  CostModel Model;
+  /// Stateless over Cfg/Cache/Pool/Model; shared by all workers.
   Executor Exec;
   std::vector<std::thread> Threads;
   std::chrono::steady_clock::time_point Started;

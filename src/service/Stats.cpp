@@ -16,6 +16,7 @@ std::string ServiceStats::json() const {
       << ",\"completed\":" << Completed
       << ",\"compile_errors\":" << CompileErrors
       << ",\"budget_exceeded\":" << BudgetExceeded
+      << ",\"budget_auto_derived\":" << BudgetAutoDerived
       << ",\"internal_errors\":" << InternalErrors
       << ",\"runs_ok\":" << RunsOk << ",\"runs_failed\":" << RunsFailed
       << ",\"cache_hits\":" << CacheHits << ",\"cache_misses\":" << CacheMisses
@@ -39,7 +40,12 @@ std::string ServiceStats::json() const {
       << ",\"pool_prewarmed\":" << PoolPrewarmed
       << ",\"pool_free_pages\":" << PoolFreePages
       << ",\"pool_capacity\":" << PoolCapacity
-      << ",\"pool_reuse\":" << jsonFixed(poolReuseRatio()) << ",\"phases\":{";
+      << ",\"pool_reuse\":" << jsonFixed(poolReuseRatio())
+      << ",\"cost_model\":{\"entries\":" << CostModelEntries
+      << ",\"hits\":" << CostModelHits
+      << ",\"prior_uses\":" << CostModelPriorUses
+      << ",\"prior_per_byte\":" << jsonFixed(CostModelPriorPerByte) << "}"
+      << ",\"phases\":{";
   for (size_t I = 0; I < Phases.size(); ++I) {
     if (I)
       Out << ",";

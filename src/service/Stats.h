@@ -41,6 +41,10 @@ struct ServiceStats {
   /// Requests cut off by a ServiceConfig::PhaseBudgets budget
   /// (RequestOutcome::Budget). Disjoint from CompileErrors.
   uint64_t BudgetExceeded = 0;
+  /// Cold compiles that ran under CostModel-derived budgets
+  /// (--auto-budget with enough per-phase history). Zero until the
+  /// model accumulates ServiceConfig::BudgetMinSamples observations.
+  uint64_t BudgetAutoDerived = 0;
   /// Requests whose processing threw (RequestOutcome::InternalError).
   /// The worker survived and the caller got a resolved response.
   uint64_t InternalErrors = 0;
@@ -84,6 +88,14 @@ struct ServiceStats {
   uint64_t PoolPrewarmed = 0;
   uint64_t PoolFreePages = 0;
   uint64_t PoolCapacity = 0;
+  /// Learned-cost-model counters (see service/CostModel.h): distinct
+  /// keys with history, predictions served from an entry vs the prior,
+  /// and the current cost-per-byte prior in nanos (a double — rendered
+  /// with the locale-independent jsonFixed).
+  uint64_t CostModelEntries = 0;
+  uint64_t CostModelHits = 0;
+  uint64_t CostModelPriorUses = 0;
+  double CostModelPriorPerByte = 0.0;
   /// Nanoseconds workers spent processing (vs idle) and service uptime.
   uint64_t BusyNanos = 0;
   uint64_t UptimeNanos = 0;

@@ -1,0 +1,183 @@
+//===- tests/cost_model_test.cpp - Learned cost-model tests ---------------===//
+//
+// The CostModel in isolation: the bootstrap and per-byte-prior
+// prediction ladder (and its FromPrior marking, which admission's
+// never-shed-cold rule rides on), EWMA convergence of per-key entries,
+// the prior's cold-completions-only update rule, budget derivation from
+// the per-phase quantile rings (run-phase exclusion, minimum-sample
+// gating, multiplier), and the snapshot counters /stats exposes.
+// Labelled `cost` in ctest and expected to be clean under
+// -DRML_SANITIZE=thread.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/CostModel.h"
+
+#include "core/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+using namespace rml;
+using namespace rml::service;
+
+namespace {
+
+/// One non-skipped phase profile worth \p Nanos of wall time.
+PhaseProfile phase(const char *Name, uint64_t Nanos, bool Skipped = false) {
+  PhaseProfile P;
+  P.Name = Name;
+  P.WallNanos = Nanos;
+  P.Skipped = Skipped;
+  return P;
+}
+
+TEST(CostModelUnit, BootstrapPredictionIsByteCountAndFromPrior) {
+  CostModel M;
+  // No history at all: the prediction is the byte count itself — wrong
+  // units, right order — and marked FromPrior so admission never sheds
+  // on it.
+  CostModel::Prediction P = M.predict(/*Hash=*/1, /*SourceBytes=*/100);
+  EXPECT_EQ(P.Nanos, 100u);
+  EXPECT_TRUE(P.FromPrior);
+  // Predictions are clamped to >= 1 (a zero cost would confuse every
+  // consumer: Ljf ties, deficit charges, shed comparisons).
+  EXPECT_EQ(M.predict(2, 0).Nanos, 1u);
+  EXPECT_TRUE(M.predict(2, 0).FromPrior);
+}
+
+TEST(CostModelUnit, ObservationCreatesALearnedEntry) {
+  CostModel M;
+  std::vector<PhaseProfile> Profiles = {
+      phase("parse", 600),
+      phase("rcheck", 0, /*Skipped=*/true), // reused work: not a cost
+      phase("eval", 400),
+  };
+  M.observe(/*Hash=*/7, /*SourceBytes=*/50, Profiles, /*UpdatePrior=*/true);
+  CostModel::Prediction P = M.predict(7, 50);
+  EXPECT_FALSE(P.FromPrior);
+  EXPECT_EQ(P.Nanos, 1000u); // 600 + 400; the skipped phase is free
+}
+
+TEST(CostModelUnit, EntryEwmaWeighsNewObservationsByAlpha) {
+  CostModel M;
+  M.observe(7, 10, {phase("parse", 1000)}, true);
+  M.observe(7, 10, {phase("parse", 2000)}, true);
+  // First observation seeds the entry, the second folds in at Alpha:
+  // 0.4 * 2000 + 0.6 * 1000 = 1400.
+  EXPECT_EQ(M.predict(7, 10).Nanos, 1400u);
+
+  // Repeated identical observations converge on the stable cost, each
+  // step shrinking the gap by (1 - Alpha).
+  uint64_t PrevGap = UINT64_MAX;
+  for (int I = 0; I < 12; ++I) {
+    M.observe(7, 10, {phase("parse", 2000)}, true);
+    uint64_t Gap = 2000 - M.predict(7, 10).Nanos;
+    EXPECT_LE(Gap, PrevGap);
+    PrevGap = Gap;
+  }
+  EXPECT_LE(PrevGap, 10u);
+}
+
+TEST(CostModelUnit, PerBytePriorScalesColdPredictions) {
+  CostModel M;
+  // One cold completion: 100 bytes costing 1000ns makes the prior
+  // 10ns/byte; a never-seen 50-byte source now predicts 500ns.
+  M.observe(/*Hash=*/1, /*SourceBytes=*/100, {phase("parse", 1000)},
+            /*UpdatePrior=*/true);
+  CostModel::Prediction Cold = M.predict(/*Hash=*/999, /*SourceBytes=*/50);
+  EXPECT_TRUE(Cold.FromPrior);
+  EXPECT_EQ(Cold.Nanos, 500u);
+
+  // Cache-hit completions must not drag the prior down: UpdatePrior is
+  // false, so the per-key entry moves but the prior holds at 10ns/byte.
+  M.observe(/*Hash=*/2, /*SourceBytes=*/100, {phase("run", 10)},
+            /*UpdatePrior=*/false);
+  EXPECT_EQ(M.predict(999, 50).Nanos, 500u);
+  EXPECT_EQ(M.predict(2, 100).Nanos, 10u); // the entry itself did learn
+  EXPECT_FALSE(M.predict(2, 100).FromPrior);
+}
+
+TEST(CostModelUnit, DeriveBudgetsGatesOnSamplesAndExcludesRun) {
+  CostModel M;
+  // 100 parse samples of 10..1000ns (uniform), plus run-phase samples
+  // that must never produce a budget (budgets bind compiles only).
+  for (uint64_t I = 1; I <= 100; ++I) {
+    M.observePhase(phase("parse", I * 10));
+    M.observePhase(phase(Compiler::RunPhaseName, I * 1000));
+  }
+  // Not enough history yet under a higher gate: empty means "no
+  // budgets", never "budget everything at zero".
+  EXPECT_TRUE(M.deriveBudgets(0.95, 8.0, 101).empty());
+
+  std::map<std::string, uint64_t> B = M.deriveBudgets(0.95, 8.0, 100);
+  ASSERT_EQ(B.size(), 1u);
+  ASSERT_TRUE(B.count("parse"));
+  EXPECT_FALSE(B.count(Compiler::RunPhaseName));
+  // p95 of 10,20,...,1000 sits at sample index round(0.95 * 99) = 94
+  // (zero-based) = 950ns; the safety multiplier scales it to 7600.
+  EXPECT_EQ(B["parse"], 7600u);
+}
+
+TEST(CostModelUnit, PhaseRingRetainsOnlyTheNewestSamples) {
+  CostModel M;
+  // Overfill the ring with cheap samples, then refill it entirely with
+  // expensive ones: the quantile must reflect only the survivors.
+  for (size_t I = 0; I < CostModel::RingCapacity; ++I)
+    M.observePhase(phase("parse", 10));
+  for (size_t I = 0; I < CostModel::RingCapacity; ++I)
+    M.observePhase(phase("parse", 1000));
+  std::map<std::string, uint64_t> B = M.deriveBudgets(0.5, 1.0, 1);
+  ASSERT_TRUE(B.count("parse"));
+  EXPECT_EQ(B["parse"], 1000u);
+}
+
+TEST(CostModelUnit, SnapshotCountsEntriesHitsAndPriorUses) {
+  CostModel M;
+  CostModel::Snapshot S0 = M.snapshot();
+  EXPECT_EQ(S0.Entries, 0u);
+  EXPECT_EQ(S0.Hits, 0u);
+  EXPECT_EQ(S0.PriorUses, 0u);
+  EXPECT_EQ(S0.PriorPerByte, 0.0);
+
+  M.predict(1, 10); // bootstrap: a prior use
+  M.observe(1, 10, {phase("parse", 500)}, true);
+  M.predict(1, 10); // entry hit
+  M.predict(2, 10); // prior use
+  CostModel::Snapshot S = M.snapshot();
+  EXPECT_EQ(S.Entries, 1u);
+  EXPECT_EQ(S.Hits, 1u);
+  EXPECT_EQ(S.PriorUses, 2u);
+  EXPECT_DOUBLE_EQ(S.PriorPerByte, 50.0);
+}
+
+TEST(CostModelUnit, ConcurrentObserversAndPredictorsStayCoherent) {
+  // Hammer the model from several threads (TSan runs this suite): the
+  // test is that counters add up and nothing tears, not any ordering.
+  CostModel M;
+  constexpr int Threads = 4;
+  constexpr int PerThread = 500;
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < Threads; ++T)
+    Ts.emplace_back([&M, T] {
+      for (int I = 0; I < PerThread; ++I) {
+        uint64_t Hash = static_cast<uint64_t>(T * PerThread + I);
+        M.observe(Hash, 10, {phase("parse", 100)}, true);
+        M.observePhase(phase("parse", 100));
+        M.predict(Hash, 10);
+      }
+    });
+  for (std::thread &T : Ts)
+    T.join();
+  CostModel::Snapshot S = M.snapshot();
+  EXPECT_EQ(S.Entries, static_cast<uint64_t>(Threads * PerThread));
+  // Every predict followed its own observe: all hits, no prior uses.
+  EXPECT_EQ(S.Hits, static_cast<uint64_t>(Threads * PerThread));
+  EXPECT_EQ(S.PriorUses, 0u);
+  EXPECT_EQ(M.deriveBudgets(0.95, 1.0, 1).at("parse"), 100u);
+}
+
+} // namespace

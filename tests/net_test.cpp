@@ -100,6 +100,38 @@ TEST(NetProtocol, ResponseRoundTrip) {
   EXPECT_EQ(Out.Schemes, In.Schemes);
 }
 
+TEST(NetProtocol, TenantAndDeadlineRoundTrip) {
+  // Requests that carry the optional tenant / deadline fields flag
+  // them on the wire and round-trip exactly; requests that omit them
+  // decode to the defaults (empty tenant, no deadline).
+  WireRequest In = sampleRequest();
+  In.Tenant = "team-a";
+  In.DeadlineNanos = 123456789;
+  std::string Wire;
+  encodeRequest(In, Wire);
+
+  WireRequest Out;
+  std::string Err;
+  size_t Consumed = 0;
+  ASSERT_EQ(decodeRequest(Wire, Consumed, Out, Err), Decode::Frame) << Err;
+  EXPECT_EQ(Consumed, Wire.size());
+  EXPECT_EQ(Out.Tenant, "team-a");
+  EXPECT_EQ(Out.DeadlineNanos, 123456789u);
+  EXPECT_EQ(Out.Source, In.Source);
+  EXPECT_EQ(Out.SchemeNames, In.SchemeNames);
+
+  WireRequest Plain = sampleRequest();
+  std::string PlainWire;
+  encodeRequest(Plain, PlainWire);
+  // The optional fields cost nothing when absent.
+  EXPECT_LT(PlainWire.size(), Wire.size());
+  WireRequest PlainOut;
+  ASSERT_EQ(decodeRequest(PlainWire, Consumed, PlainOut, Err), Decode::Frame)
+      << Err;
+  EXPECT_TRUE(PlainOut.Tenant.empty());
+  EXPECT_EQ(PlainOut.DeadlineNanos, 0u);
+}
+
 TEST(NetProtocol, PipelinedFramesDecodeInSequence) {
   std::string Wire;
   for (uint64_t I = 0; I < 5; ++I) {
@@ -180,6 +212,12 @@ TEST(NetProtocol, UnknownKindStatusAndFlagBitsAreRejected) {
   EXPECT_EQ(decodeRequest(Wire, Consumed, Out, Err), Decode::Bad);
   EXPECT_NE(Err.find("kind"), std::string::npos) << Err;
 
+  std::string BadReqFlags;
+  encodeRequest(Req, BadReqFlags);
+  BadReqFlags[4 + 9] = '\x04'; // request flag bits beyond Tenant|Deadline
+  EXPECT_EQ(decodeRequest(BadReqFlags, Consumed, Out, Err), Decode::Bad);
+  EXPECT_NE(Err.find("flag"), std::string::npos) << Err;
+
   WireResponse Resp = sampleResponse();
   std::string RWire;
   encodeResponse(Resp, RWire);
@@ -202,7 +240,7 @@ TEST(NetProtocol, InnerLengthOverrunAndTrailingBytesAreRejected) {
   std::string Wire;
   encodeRequest(Req, Wire);
   std::string Overrun = Wire;
-  Overrun[4 + 8 + 1 + 3] = '\x09'; // srcLen 3 -> 9, beyond the body
+  Overrun[4 + 8 + 1 + 1 + 3] = '\x09'; // srcLen 3 -> 9, beyond the body
   WireRequest Out;
   std::string Err;
   size_t Consumed = 0;
@@ -224,6 +262,7 @@ TEST(NetProtocol, SchemeNameCountBoundIsEnforced) {
   for (int I = 0; I < 8; ++I)
     Body += '\x00'; // id
   Body += '\x02';   // SchemeQuery
+  Body += '\x00';   // flags: none
   Body += std::string(4, '\x00'); // srcLen 0
   uint16_t N = MaxSchemeNames + 1;
   Body += static_cast<char>(N >> 8);
@@ -442,7 +481,34 @@ struct TestClient {
     }
   }
 
-  /// Reads to EOF (HTTP responses close the connection).
+  /// Reads exactly one HTTP response, delimited by its Content-Length
+  /// (keep-alive connections never close, so EOF framing cannot work).
+  std::string recvHttpResponse() {
+    for (;;) {
+      size_t End = Buf.find("\r\n\r\n");
+      if (End != std::string::npos) {
+        size_t Cl = Buf.find("Content-Length: ");
+        EXPECT_NE(Cl, std::string::npos) << Buf;
+        if (Cl == std::string::npos)
+          return std::string();
+        size_t BodyLen = std::strtoul(Buf.c_str() + Cl + 16, nullptr, 10);
+        size_t Total = End + 4 + BodyLen;
+        if (Buf.size() >= Total) {
+          std::string Out = Buf.substr(0, Total);
+          Buf.erase(0, Total);
+          return Out;
+        }
+      }
+      char Chunk[4096];
+      ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+      EXPECT_GT(N, 0) << (N == 0 ? "EOF" : std::strerror(errno));
+      if (N <= 0)
+        return std::string();
+      Buf.append(Chunk, static_cast<size_t>(N));
+    }
+  }
+
+  /// Reads to EOF (close-mode HTTP responses end the connection).
   std::string recvAll() {
     std::string Out = std::move(Buf);
     Buf.clear();
@@ -555,14 +621,14 @@ TEST(NetServer, HttpHealthzStatsAnd404) {
   ServerFixture F;
   {
     TestClient C(F.Srv.port());
-    C.send("GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+    C.send("GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
     std::string Resp = C.recvAll();
     EXPECT_NE(Resp.find("200 OK"), std::string::npos) << Resp;
     EXPECT_NE(Resp.find("ok\n"), std::string::npos) << Resp;
   }
   {
     TestClient C(F.Srv.port());
-    C.send("GET /stats HTTP/1.1\r\nHost: t\r\n\r\n");
+    C.send("GET /stats HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
     std::string Resp = C.recvAll();
     EXPECT_NE(Resp.find("200 OK"), std::string::npos);
     EXPECT_NE(Resp.find("application/json"), std::string::npos);
@@ -571,19 +637,125 @@ TEST(NetServer, HttpHealthzStatsAnd404) {
     EXPECT_NE(Resp.find("\"queue_depth\":"), std::string::npos);
     EXPECT_NE(Resp.find("\"in_flight\":"), std::string::npos);
     EXPECT_NE(Resp.find("\"uptime_seconds\":"), std::string::npos);
+    // The cost-model block rides along for operators tuning admission.
+    EXPECT_NE(Resp.find("\"cost_model\":{"), std::string::npos);
+    EXPECT_NE(Resp.find("\"budget_auto_derived\":"), std::string::npos);
   }
   {
     TestClient C(F.Srv.port());
-    C.send("GET /nope HTTP/1.1\r\nHost: t\r\n\r\n");
+    C.send("GET /nope HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
     EXPECT_NE(C.recvAll().find("404 Not Found"), std::string::npos);
   }
   {
     TestClient C(F.Srv.port());
-    C.send("POST /stats HTTP/1.1\r\nHost: t\r\n\r\n");
+    C.send("POST /stats HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
     EXPECT_NE(C.recvAll().find("405 Method Not Allowed"), std::string::npos);
   }
   F.drain();
   EXPECT_EQ(F.Srv.stats().HttpRequests, 4u);
+}
+
+TEST(NetServer, HttpKeepAliveServesMultipleRequests) {
+  ServerFixture F;
+  TestClient C(F.Srv.port());
+  // HTTP/1.1 defaults to keep-alive: the connection survives a
+  // response and serves the next request.
+  C.send("GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+  std::string R1 = C.recvHttpResponse();
+  EXPECT_NE(R1.find("200 OK"), std::string::npos) << R1;
+  EXPECT_NE(R1.find("Connection: keep-alive"), std::string::npos) << R1;
+  C.send("GET /stats HTTP/1.1\r\nHost: t\r\n\r\n");
+  std::string R2 = C.recvHttpResponse();
+  EXPECT_NE(R2.find("application/json"), std::string::npos) << R2;
+  EXPECT_NE(R2.find("Connection: keep-alive"), std::string::npos) << R2;
+  // ...until the client asks to close.
+  C.send("GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+  std::string R3 = C.recvAll();
+  EXPECT_NE(R3.find("Connection: close"), std::string::npos) << R3;
+  EXPECT_TRUE(C.atEof());
+  F.drain();
+  EXPECT_EQ(F.Srv.stats().HttpRequests, 3u);
+  EXPECT_EQ(F.Srv.stats().Accepted, 1u); // one connection served all three
+}
+
+TEST(NetServer, Http10ClosesUnlessAskedToKeep) {
+  ServerFixture F;
+  {
+    // HTTP/1.0 defaults to close...
+    TestClient C(F.Srv.port());
+    C.send("GET /healthz HTTP/1.0\r\nHost: t\r\n\r\n");
+    std::string R = C.recvAll();
+    EXPECT_NE(R.find("Connection: close"), std::string::npos) << R;
+    EXPECT_TRUE(C.atEof());
+  }
+  {
+    // ...and keeps only on an explicit opt-in.
+    TestClient C(F.Srv.port());
+    C.send("GET /healthz HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+    std::string R = C.recvHttpResponse();
+    EXPECT_NE(R.find("Connection: keep-alive"), std::string::npos) << R;
+    C.send("GET /healthz HTTP/1.0\r\nConnection: close\r\n\r\n");
+    EXPECT_NE(C.recvAll().find("200 OK"), std::string::npos);
+  }
+}
+
+TEST(NetServer, HttpKeepAlivePipelineCapForcesClose) {
+  ServerFixture F;
+  TestClient C(F.Srv.port());
+  // Pipeline more requests than the per-connection cap in one write:
+  // exactly MaxHttpRequestsPerConn are answered, the last one carries
+  // Connection: close, and the surplus is discarded with the close.
+  std::string Wire;
+  for (uint32_t I = 0; I < MaxHttpRequestsPerConn + 4; ++I)
+    Wire += "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n";
+  C.send(Wire);
+  std::string All = C.recvAll();
+  size_t Count = 0;
+  for (size_t Pos = All.find("200 OK"); Pos != std::string::npos;
+       Pos = All.find("200 OK", Pos + 1))
+    ++Count;
+  EXPECT_EQ(Count, size_t(MaxHttpRequestsPerConn));
+  size_t LastClose = All.rfind("Connection: close");
+  ASSERT_NE(LastClose, std::string::npos);
+  EXPECT_GT(LastClose, All.rfind("Connection: keep-alive"));
+  F.drain();
+  EXPECT_EQ(F.Srv.stats().HttpRequests, uint64_t(MaxHttpRequestsPerConn));
+}
+
+TEST(NetServer, DeadlineShedsOnlyOnLearnedEstimates) {
+  ServerFixture F;
+  TestClient C(F.Srv.port());
+  // Cold source, absurd 1ns deadline: the model has no entry yet and
+  // prior-based estimates never shed, so the request runs.
+  WireRequest Cold;
+  Cold.Id = 1;
+  Cold.Kind = MsgKind::CompileRun;
+  Cold.Source = "5 + 6";
+  Cold.DeadlineNanos = 1;
+  C.sendRequest(Cold);
+  WireResponse R1 = C.recvResponse();
+  EXPECT_EQ(R1.Status, WireStatus::Ok);
+  EXPECT_EQ(R1.Result, "11");
+  // The completion fed the model a learned per-source estimate (far
+  // above 1ns): the identical request now sheds at admission, before
+  // touching the queue.
+  WireRequest Again = Cold;
+  Again.Id = 2;
+  C.sendRequest(Again);
+  WireResponse R2 = C.recvResponse();
+  EXPECT_EQ(R2.Status, WireStatus::Shed);
+  EXPECT_NE(R2.Error.find("deadline"), std::string::npos) << R2.Error;
+  // A generous deadline admits the same hot source again.
+  WireRequest Relaxed = Cold;
+  Relaxed.Id = 3;
+  Relaxed.DeadlineNanos = 60ull * 1000 * 1000 * 1000;
+  C.sendRequest(Relaxed);
+  WireResponse R3 = C.recvResponse();
+  EXPECT_EQ(R3.Status, WireStatus::Ok);
+  EXPECT_EQ(R3.Id, 3u);
+  F.drain();
+  EXPECT_EQ(F.Srv.stats().DeadlineSheds, 1u);
+  EXPECT_EQ(F.Srv.stats().Sheds, 0u); // disjoint from queue-full sheds
 }
 
 TEST(NetServer, BinaryGarbageGetsProtocolErrorAndCloses) {

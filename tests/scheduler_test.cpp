@@ -1,10 +1,13 @@
 //===- tests/scheduler_test.cpp - Dequeue-policy tests --------------------===//
 //
 // The Scheduler layer: policy objects in isolation (pop order, tie
-// breaking, the modeled tail-latency claim) and end to end through the
-// Service (completion order under a deterministically parked worker,
-// drain under contention). Labelled `service;sched` in ctest and
-// expected to be clean under -DRML_SANITIZE=thread.
+// breaking, deadline ordering, fair-share deficit accounting, the
+// modeled tail-latency claim), the admission stamping contract (cost
+// provider consulted exactly once), and end to end through the Service
+// (completion order under a deterministically parked worker, drain
+// under contention, tenant isolation under a flood). Labelled
+// `service;sched` in ctest and expected to be clean under
+// -DRML_SANITIZE=thread.
 //
 //===----------------------------------------------------------------------===//
 
@@ -30,6 +33,24 @@ namespace {
 ScheduledJob job(uint64_t CostKey, uint64_t Seq) {
   ScheduledJob J;
   J.CostKey = CostKey;
+  J.Seq = Seq;
+  return J;
+}
+
+/// A job with an absolute deadline pre-stamped (the unit tests bypass
+/// admit() so deadlines are exact, not now-relative).
+ScheduledJob djob(uint64_t DeadlineAt, uint64_t Seq) {
+  ScheduledJob J;
+  J.DeadlineAt = DeadlineAt;
+  J.Seq = Seq;
+  return J;
+}
+
+/// A job carrying a tenant label and a cost, for the fair-share units.
+ScheduledJob tjob(const char *Tenant, uint64_t Cost, uint64_t Seq) {
+  ScheduledJob J;
+  J.Req.Tenant = Tenant;
+  J.CostKey = Cost;
   J.Seq = Seq;
   return J;
 }
@@ -78,15 +99,128 @@ TEST(SchedulerUnit, LjfInterleavedPushPop) {
 TEST(SchedulerUnit, PolicyNamesRoundTrip) {
   EXPECT_STREQ(schedPolicyName(SchedPolicy::Fifo), "fifo");
   EXPECT_STREQ(schedPolicyName(SchedPolicy::Ljf), "ljf");
+  EXPECT_STREQ(schedPolicyName(SchedPolicy::Deadline), "deadline");
+  EXPECT_STREQ(schedPolicyName(SchedPolicy::FairShare), "fair");
   SchedPolicy P = SchedPolicy::Fifo;
   EXPECT_TRUE(parseSchedPolicy("ljf", P));
   EXPECT_EQ(P, SchedPolicy::Ljf);
   EXPECT_TRUE(parseSchedPolicy("fifo", P));
   EXPECT_EQ(P, SchedPolicy::Fifo);
+  EXPECT_TRUE(parseSchedPolicy("deadline", P));
+  EXPECT_EQ(P, SchedPolicy::Deadline);
+  EXPECT_TRUE(parseSchedPolicy("fair", P));
+  EXPECT_EQ(P, SchedPolicy::FairShare);
   P = SchedPolicy::Ljf;
   EXPECT_FALSE(parseSchedPolicy("sjf", P));
   EXPECT_EQ(P, SchedPolicy::Ljf); // unknown names leave Out untouched
   EXPECT_FALSE(parseSchedPolicy("", P));
+}
+
+TEST(SchedulerUnit, DeadlinePopsEarliestDeadlineFirstTiesBySeq) {
+  auto S = makeScheduler(SchedPolicy::Deadline);
+  EXPECT_STREQ(S->policyName(), "deadline");
+  S->push(djob(500, 0));
+  S->push(djob(100, 1));
+  S->push(djob(ScheduledJob::NoDeadline, 2)); // deadline-free: last
+  S->push(djob(300, 3));
+  S->push(djob(100, 4)); // ties with Seq 1, loses on Seq
+  EXPECT_EQ(popAllSeqs(*S), (std::vector<uint64_t>{1, 4, 3, 0, 2}));
+}
+
+TEST(SchedulerUnit, DeadlineFreeJobsDegradeToFifo) {
+  // All NoDeadline: the Seq tie-break makes EDF collapse to FIFO, so
+  // mixing dated and undated traffic never starves the undated side
+  // *within* its own class.
+  auto S = makeScheduler(SchedPolicy::Deadline);
+  for (uint64_t Seq : {2u, 0u, 4u, 1u, 3u})
+    S->push(djob(ScheduledJob::NoDeadline, Seq));
+  EXPECT_EQ(popAllSeqs(*S), (std::vector<uint64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(SchedulerUnit, AdmitConsultsTheCostProviderExactlyOnce) {
+  auto S = makeScheduler(SchedPolicy::Fifo);
+  int Calls = 0;
+  S->setCostProvider([&Calls](const Request &R) {
+    ++Calls;
+    return static_cast<uint64_t>(1000 + R.Source.size());
+  });
+  ScheduledJob J;
+  J.Req.Source = "abc";
+  J.Seq = 7;
+  S->admit(std::move(J));
+  EXPECT_EQ(Calls, 1);
+  ScheduledJob Out = S->pop();
+  EXPECT_EQ(Out.CostKey, 1003u);
+  EXPECT_EQ(Out.DeadlineAt, ScheduledJob::NoDeadline);
+  EXPECT_EQ(Calls, 1); // pop must not re-consult
+
+  // A null provider restores the source-length fallback.
+  S->setCostProvider(nullptr);
+  ScheduledJob K;
+  K.Req.Source = "abcd";
+  S->admit(std::move(K));
+  EXPECT_EQ(S->pop().CostKey, 4u);
+  EXPECT_EQ(Calls, 1);
+}
+
+TEST(SchedulerUnit, AdmitStampsAbsoluteDeadlines) {
+  auto S = makeScheduler(SchedPolicy::Deadline);
+  uint64_t Before = traceNowNanos();
+  ScheduledJob J;
+  J.Req.DeadlineNanos = 1000000000ull;
+  S->admit(std::move(J));
+  ScheduledJob Out = S->pop();
+  EXPECT_GE(Out.DeadlineAt, Before + 1000000000ull);
+  EXPECT_LT(Out.DeadlineAt, ScheduledJob::NoDeadline);
+}
+
+TEST(SchedulerUnit, FairShareSharesCostAcrossTenants) {
+  // Two tenants, equal-cost jobs, quantum = one job's cost: after the
+  // first top-up the ring alternates in two-job bursts (serve spends
+  // the tenant's credit, the next top-up recredits both).
+  auto S = makeScheduler(SchedPolicy::FairShare, /*FairShareQuantum=*/10);
+  EXPECT_STREQ(S->policyName(), "fair");
+  S->push(tjob("a", 10, 0));
+  S->push(tjob("a", 10, 1));
+  S->push(tjob("b", 10, 2));
+  S->push(tjob("b", 10, 3));
+  EXPECT_EQ(popAllSeqs(*S), (std::vector<uint64_t>{0, 2, 3, 1}));
+}
+
+TEST(SchedulerUnit, FairShareLetsCheapTenantThroughExpensiveFlood) {
+  // The heavy tenant floods first with 4x-cost jobs; the light tenant's
+  // whole queue still drains before the heavy tenant's first job,
+  // because each DRR round credits both tenants equally and a cheap
+  // head job is covered four rounds sooner.
+  auto S = makeScheduler(SchedPolicy::FairShare, /*FairShareQuantum=*/1);
+  for (uint64_t Seq = 0; Seq < 3; ++Seq)
+    S->push(tjob("heavy", 4, Seq));
+  for (uint64_t Seq = 3; Seq < 7; ++Seq)
+    S->push(tjob("light", 1, Seq));
+  EXPECT_EQ(popAllSeqs(*S), (std::vector<uint64_t>{3, 4, 5, 6, 0, 1, 2}));
+}
+
+TEST(SchedulerUnit, FairShareDrainedTenantForfeitsDeficit) {
+  // Tenant a drains holding 2 units of unspent deficit. If that credit
+  // banked across the idle gap, a's next job (cost 2) would be served
+  // on the first scan, ahead of b; forfeiting it forces a fresh
+  // top-up, where b's earlier ring slot wins.
+  auto S = makeScheduler(SchedPolicy::FairShare, /*FairShareQuantum=*/3);
+  S->push(tjob("a", 1, 0));
+  EXPECT_EQ(S->pop().Seq, 0u); // a spends 1 of a 3-unit round, drains
+  S->push(tjob("b", 3, 1));
+  S->push(tjob("a", 2, 2));
+  EXPECT_EQ(S->pop().Seq, 1u); // no banked credit: b is scanned first
+  EXPECT_EQ(S->pop().Seq, 2u);
+  EXPECT_TRUE(S->empty());
+}
+
+TEST(SchedulerUnit, FairShareSingleTenantIsFifo) {
+  auto S = makeScheduler(SchedPolicy::FairShare, /*FairShareQuantum=*/2);
+  const uint64_t Costs[] = {5, 1, 9, 3};
+  for (uint64_t Seq = 0; Seq < 4; ++Seq)
+    S->push(tjob("", Costs[Seq], Seq)); // the anonymous tenant bucket
+  EXPECT_EQ(popAllSeqs(*S), (std::vector<uint64_t>{0, 1, 2, 3}));
 }
 
 /// A job's completion time when the jobs run in \p Order on \p Workers
@@ -144,12 +278,10 @@ TEST(SchedulerUnit, LjfModeledTailBeatsFifoOnHeterogeneousBatch) {
 /// the order the remaining callbacks fire in. The park is deterministic:
 /// the callback runs on the worker thread after it popped the blocker,
 /// so every later submission sits in the scheduler until Release.
-std::vector<int> completionOrder(SchedPolicy Policy,
-                                 const std::vector<std::string> &Sources) {
-  ServiceConfig Cfg;
+std::vector<int> completionOrderOf(ServiceConfig Cfg,
+                                   const std::vector<Request> &Reqs) {
   Cfg.Workers = 1;
-  Cfg.QueueCapacity = Sources.size() + 1;
-  Cfg.Policy = Policy;
+  Cfg.QueueCapacity = Reqs.size() + 1;
   Service Svc(Cfg);
 
   std::atomic<bool> Parked{false};
@@ -168,9 +300,8 @@ std::vector<int> completionOrder(SchedPolicy Policy,
   std::mutex OrderMutex;
   std::vector<int> Order;
   std::atomic<size_t> Done{0};
-  for (size_t I = 0; I < Sources.size(); ++I) {
-    Request Req;
-    Req.Source = Sources[I];
+  for (size_t I = 0; I < Reqs.size(); ++I) {
+    Request Req = Reqs[I];
     Req.Run = false;
     Svc.submit(Req, [&, I](Response R) {
       EXPECT_TRUE(R.CompileOk) << R.Diagnostics;
@@ -182,9 +313,22 @@ std::vector<int> completionOrder(SchedPolicy Policy,
     });
   }
   Release.store(true, std::memory_order_release);
-  while (Done.load(std::memory_order_acquire) < Sources.size())
+  while (Done.load(std::memory_order_acquire) < Reqs.size())
     std::this_thread::yield();
   return Order;
+}
+
+std::vector<int> completionOrder(SchedPolicy Policy,
+                                 const std::vector<std::string> &Sources) {
+  ServiceConfig Cfg;
+  Cfg.Policy = Policy;
+  std::vector<Request> Reqs;
+  for (const std::string &S : Sources) {
+    Request Req;
+    Req.Source = S;
+    Reqs.push_back(std::move(Req));
+  }
+  return completionOrderOf(std::move(Cfg), Reqs);
 }
 
 /// Distinct source lengths, submitted shortest first. (Each computes a
@@ -216,8 +360,67 @@ TEST(SchedulerService, LjfBreaksCostTiesBySubmissionOrder) {
             (std::vector<int>{0, 1, 2, 3}));
 }
 
-TEST(SchedulerService, BothPoliciesDrainUnderEightWorkers) {
-  for (SchedPolicy Policy : {SchedPolicy::Fifo, SchedPolicy::Ljf}) {
+TEST(SchedulerService, DeadlineCompletesUrgentFirst) {
+  // Submitted loosest-deadline first (and one request with none at
+  // all); completion runs tightest-first with the undated request last.
+  // Hour-scale gaps dwarf the microseconds between admissions, so the
+  // now-relative stamping cannot reorder the expectation.
+  constexpr uint64_t Hour = 3600ull * 1000 * 1000 * 1000;
+  std::vector<Request> Reqs(5);
+  Reqs[0].Source = "1 + 1"; // no deadline: sorts after all dated work
+  for (size_t I = 1; I < 5; ++I) {
+    Reqs[I].Source = "1 + " + std::to_string(I);
+    Reqs[I].DeadlineNanos = static_cast<uint64_t>(5 - I) * Hour;
+  }
+  ServiceConfig Cfg;
+  Cfg.Policy = SchedPolicy::Deadline;
+  EXPECT_EQ(completionOrderOf(Cfg, Reqs), (std::vector<int>{4, 3, 2, 1, 0}));
+}
+
+TEST(SchedulerService, FairShareBoundsLightTenantRankUnderFlood) {
+  // A heavy tenant floods 24 equal-length sources, then a light tenant
+  // submits 4. Under FIFO every light job waits for the whole flood;
+  // under FairShare the DRR ring pulls the light queue forward. The
+  // bound is on completion *rank*, which a single-core runner measures
+  // deterministically (the worker is parked while the batch queues).
+  std::vector<Request> Reqs;
+  for (int I = 0; I < 24; ++I) {
+    Request R;
+    R.Source = "0 + " + std::to_string(100 + I); // all length 7
+    R.Tenant = "heavy";
+    Reqs.push_back(std::move(R));
+  }
+  for (int I = 0; I < 4; ++I) {
+    Request R;
+    R.Source = "0 + " + std::to_string(200 + I);
+    R.Tenant = "light";
+    Reqs.push_back(std::move(R));
+  }
+
+  auto WorstLightRank = [&](SchedPolicy Policy) {
+    ServiceConfig Cfg;
+    Cfg.Policy = Policy;
+    Cfg.FairShareQuantum = 1;
+    std::vector<int> Order = completionOrderOf(Cfg, Reqs);
+    size_t Worst = 0;
+    for (size_t Rank = 0; Rank < Order.size(); ++Rank)
+      if (Order[Rank] >= 24)
+        Worst = Rank;
+    return Worst;
+  };
+
+  size_t Fair = WorstLightRank(SchedPolicy::FairShare);
+  size_t Fifo = WorstLightRank(SchedPolicy::Fifo);
+  // FIFO: the light tenant's last job is the last of 28. FairShare:
+  // all four light jobs complete within the first 12 pops even though
+  // they were submitted behind the entire flood.
+  EXPECT_EQ(Fifo, 27u);
+  EXPECT_LE(Fair, 12u);
+}
+
+TEST(SchedulerService, AllPoliciesDrainUnderEightWorkers) {
+  for (SchedPolicy Policy : {SchedPolicy::Fifo, SchedPolicy::Ljf,
+                             SchedPolicy::Deadline, SchedPolicy::FairShare}) {
     ServiceConfig Cfg;
     Cfg.Workers = 8;
     Cfg.QueueCapacity = 64;
@@ -226,13 +429,18 @@ TEST(SchedulerService, BothPoliciesDrainUnderEightWorkers) {
 
     // A mixed batch: every request computes its own index so responses
     // are checkable, with source lengths spread enough that Ljf really
-    // reorders (multi-digit additions are longer sources).
+    // reorders (multi-digit additions are longer sources), tenants
+    // spread across three buckets, and deadlines on every third request
+    // so Deadline and FairShare exercise their real data structures.
     constexpr int N = 48;
     std::vector<std::future<Response>> Futures;
     for (int I = 0; I < N; ++I) {
       Request Req;
       Req.Source = "0 + " + std::to_string(I * 111);
       Req.Run = true;
+      Req.Tenant = "t" + std::to_string(I % 3);
+      if (I % 3 == 0)
+        Req.DeadlineNanos = 3600ull * 1000 * 1000 * 1000;
       Futures.push_back(Svc.submit(std::move(Req)));
     }
     for (int I = 0; I < N; ++I) {

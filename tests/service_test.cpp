@@ -879,9 +879,15 @@ TEST(ServiceTest, StatsJsonShape) {
         "\"utilization\":", "\"pool_hits\":", "\"pool_misses\":",
         "\"pool_releases\":", "\"pool_capacity\":1024", "\"pool_reuse\":",
         "\"pool_prewarmed\":0", "\"budget_exceeded\":0",
-        "\"shutdown_rejected\":0", "\"internal_errors\":0",
+        "\"budget_auto_derived\":0", "\"shutdown_rejected\":0",
+        "\"internal_errors\":0",
         "\"disk_hits\":0", "\"disk_misses\":0", "\"disk_write_errors\":0",
         "\"disk_load_rejects\":0", "\"disk_hydrations\":0",
+        // The cost model saw two admissions of one source: the first
+        // prediction fell back to the prior, the second hit the entry
+        // the first completion learned.
+        "\"cost_model\":{\"entries\":1,\"hits\":1,\"prior_uses\":1",
+        "\"prior_per_byte\":",
         "\"sched\":\"fifo\"", "\"phases\":{", "\"flatten\":{\"sum_nanos\":",
         "\"parse\":{\"sum_nanos\":", "\"run\":{\"sum_nanos\":",
         "\"max_nanos\":", "\"count\":"})

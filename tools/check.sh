@@ -10,9 +10,11 @@
 #      cross-request page pool (including the 8-thread region-runtime
 #      stress test), the persistent disk cache (shared-directory
 #      multi-service stress), the network front door (wire codec,
-#      HTTP shim, and loopback end-to-end against a live Server), and
+#      HTTP shim, and loopback end-to-end against a live Server),
 #      the flat runnable IR (round-trip/corruption fuzz plus the
-#      warm-restart execute-from-disk service tests).
+#      warm-restart execute-from-disk service tests), and the learned
+#      cost model (prediction/EWMA/budget units plus a multi-threaded
+#      coherence check).
 #
 # Usage: tools/check.sh            # from anywhere inside the repo
 #
@@ -28,9 +30,9 @@ cmake -B "$ROOT/build" -S "$ROOT"
 cmake --build "$ROOT/build" -j "$JOBS"
 ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS"
 
-echo "== tsan: service + pool + sched + disk + net + flat labels =="
+echo "== tsan: service + pool + sched + disk + net + flat + cost labels =="
 cmake -B "$ROOT/build-tsan" -S "$ROOT" -DRML_SANITIZE=thread
 cmake --build "$ROOT/build-tsan" -j "$JOBS"
-ctest --test-dir "$ROOT/build-tsan" -L 'service|pool|sched|disk|net|flat' --output-on-failure
+ctest --test-dir "$ROOT/build-tsan" -L 'service|pool|sched|disk|net|flat|cost' --output-on-failure
 
 echo "== check.sh: all green =="

@@ -81,12 +81,19 @@ void usage() {
       "  --prewarm-pool         allocate the page pool eagerly so the\n"
       "                         first wave runs on recycled pages\n"
       "                         (--serve-batch only)\n"
-      "  --sched fifo|ljf       service dequeue policy: submission order\n"
-      "                         or longest-job-first by source length\n"
+      "  --sched fifo|ljf|deadline|fair\n"
+      "                         service dequeue policy: submission order,\n"
+      "                         longest-predicted-job-first (the learned\n"
+      "                         cost model's nanos), earliest-deadline-\n"
+      "                         first, or per-tenant fair share\n"
       "                         (default fifo; --serve-batch only)\n"
       "  --phase-budget P=NS    cut requests off once static phase P\n"
       "                         (parse, infer, ...) exceeds NS nanos;\n"
       "                         repeatable (--serve-batch only)\n"
+      "  --auto-budget          derive phase budgets from the cost\n"
+      "                         model's observed distributions instead\n"
+      "                         of fixed --phase-budget values\n"
+      "                         (--serve-batch only)\n"
       "  --time-phases          print a per-phase wall-time table (per\n"
       "                         request, or aggregated in --serve-batch)\n"
       "  --trace FILE           write a Chrome trace-event JSON of every\n"
@@ -185,7 +192,7 @@ void finishTrace(const ChromeTraceSink &Sink, const std::string &Path) {
 int serveBatch(const std::string &Spec, unsigned Jobs, size_t CacheCap,
                const std::string &CacheDir, size_t PoolPages, bool PrewarmPool,
                service::SchedPolicy Policy,
-               const std::map<std::string, uint64_t> &Budgets,
+               const std::map<std::string, uint64_t> &Budgets, bool AutoBudget,
                const CompileOptions &Opts, const rt::EvalOptions &EvalOpts,
                bool Stats, bool TimePhases, const std::string &TracePath) {
   std::vector<std::string> Paths = collectBatchPaths(Spec);
@@ -204,6 +211,7 @@ int serveBatch(const std::string &Spec, unsigned Jobs, size_t CacheCap,
   Cfg.PrewarmPool = PrewarmPool;
   Cfg.Policy = Policy;
   Cfg.PhaseBudgets = Budgets;
+  Cfg.AutoBudget = AutoBudget;
   if (!TracePath.empty())
     Cfg.Trace = &Trace;
   service::Service Svc(Cfg);
@@ -259,6 +267,9 @@ int serveBatch(const std::string &Spec, unsigned Jobs, size_t CacheCap,
   if (S.BudgetExceeded)
     std::printf("[%llu request(s) cut off over phase budget]\n",
                 static_cast<unsigned long long>(S.BudgetExceeded));
+  if (S.BudgetAutoDerived)
+    std::printf("[auto-budget engaged on %llu compile(s)]\n",
+                static_cast<unsigned long long>(S.BudgetAutoDerived));
   if (!CacheDir.empty())
     std::printf("[disk cache '%s': %llu hit(s), %llu miss(es), %llu "
                 "reject(s), %llu write error(s)]\n",
@@ -302,7 +313,7 @@ int main(int Argc, char **Argv) {
   size_t CacheCap = 128;
   std::string CacheDir;
   size_t PoolPages = rt::PagePool::DefaultMaxPages; // on by default
-  bool PrewarmPool = false, TimePhases = false;
+  bool PrewarmPool = false, TimePhases = false, AutoBudget = false;
   service::SchedPolicy Policy = service::SchedPolicy::Fifo;
   std::map<std::string, uint64_t> Budgets;
   std::string TracePath;
@@ -386,6 +397,8 @@ int main(int Argc, char **Argv) {
         return 2;
       }
       Budgets[std::string(S, Eq)] = std::strtoull(Eq + 1, nullptr, 10);
+    } else if (!std::strcmp(A, "--auto-budget")) {
+      AutoBudget = true;
     } else if (!std::strcmp(A, "--time-phases")) {
       TimePhases = true;
     } else if (!std::strcmp(A, "--trace")) {
@@ -412,8 +425,8 @@ int main(int Argc, char **Argv) {
   }
   if (!BatchSpec.empty())
     return serveBatch(BatchSpec, Jobs, CacheCap, CacheDir, PoolPages,
-                      PrewarmPool, Policy, Budgets, Opts, EvalOpts, Stats,
-                      TimePhases, TracePath);
+                      PrewarmPool, Policy, Budgets, AutoBudget, Opts,
+                      EvalOpts, Stats, TimePhases, TracePath);
   if (!HaveSource) {
     usage();
     return 2;

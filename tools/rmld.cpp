@@ -6,7 +6,12 @@
 //   rmld --port 7080                   fixed port
 //   rmld --jobs 4 --queue 64           worker pool + admission bound
 //   rmld --cache 256 --cache-dir D     warm-start compile cache
-//   rmld --sched ljf                   longest-job-first dequeue
+//   rmld --sched ljf                   longest-predicted-job-first
+//   rmld --sched fair --tenant-default legacy
+//                                      per-tenant fair share, untagged
+//                                      traffic in the "legacy" bucket
+//   rmld --sched deadline --auto-budget
+//                                      EDF dequeue + learned budgets
 //   curl http://127.0.0.1:PORT/stats   live ServiceStats JSON
 //
 // Clients speak the length-prefixed binary protocol (net/Protocol.h) —
@@ -19,6 +24,7 @@
 #include "net/Server.h"
 #include "service/Service.h"
 
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -46,8 +52,22 @@ void usage() {
       "  --page-pool N          cross-request page-pool pages; 0\n"
       "                         disables pooling (default 1024)\n"
       "  --prewarm-pool         allocate the page pool eagerly\n"
-      "  --sched fifo|ljf       dequeue policy (default fifo)\n"
+      "  --sched fifo|ljf|deadline|fair\n"
+      "                         dequeue policy (default fifo): ljf orders\n"
+      "                         by the cost model's predicted nanos,\n"
+      "                         deadline is EDF on the request deadline,\n"
+      "                         fair is per-tenant deficit round-robin\n"
+      "  --fair-quantum N       fair-share DRR quantum in cost units\n"
+      "                         (default 1Mi)\n"
+      "  --tenant-default NAME  fair-share bucket for requests that sent\n"
+      "                         no tenant (default: anonymous bucket)\n"
       "  --phase-budget P=NS    per-phase budget in nanos; repeatable\n"
+      "  --auto-budget          derive default phase budgets from the\n"
+      "                         cost model's observed distributions once\n"
+      "                         enough samples exist (ignored when any\n"
+      "                         --phase-budget is given)\n"
+      "  --budget-quantile Q    auto-budget quantile (default 0.95)\n"
+      "  --budget-multiplier M  auto-budget safety factor (default 8)\n"
       "  --step-limit N         evaluation fuel per run; 0 keeps the\n"
       "                         runtime default\n"
       "  --max-conns N          open-connection bound (default 1024)\n"
@@ -102,6 +122,17 @@ int main(int Argc, char **Argv) {
         std::fprintf(stderr, "rmld: unknown scheduler '%s'\n", S);
         return 2;
       }
+    } else if (!std::strcmp(A, "--fair-quantum")) {
+      SvcCfg.FairShareQuantum =
+          std::max<uint64_t>(std::strtoull(Next(), nullptr, 10), 1);
+    } else if (!std::strcmp(A, "--tenant-default")) {
+      NetCfg.TenantDefault = Next();
+    } else if (!std::strcmp(A, "--auto-budget")) {
+      SvcCfg.AutoBudget = true;
+    } else if (!std::strcmp(A, "--budget-quantile")) {
+      SvcCfg.BudgetQuantile = std::strtod(Next(), nullptr);
+    } else if (!std::strcmp(A, "--budget-multiplier")) {
+      SvcCfg.BudgetMultiplier = std::strtod(Next(), nullptr);
     } else if (!std::strcmp(A, "--phase-budget")) {
       const char *S = Next();
       const char *Eq = std::strchr(S, '=');
@@ -158,14 +189,15 @@ int main(int Argc, char **Argv) {
   net::NetStats NS = Srv.stats();
   std::fprintf(stderr,
                "rmld: net accepted=%llu closed=%llu requests=%llu "
-               "http=%llu responses=%llu sheds=%llu protocol_errors=%llu "
-               "orphaned=%llu overflows=%llu\n",
+               "http=%llu responses=%llu sheds=%llu deadline_sheds=%llu "
+               "protocol_errors=%llu orphaned=%llu overflows=%llu\n",
                static_cast<unsigned long long>(NS.Accepted),
                static_cast<unsigned long long>(NS.Closed),
                static_cast<unsigned long long>(NS.BinaryRequests),
                static_cast<unsigned long long>(NS.HttpRequests),
                static_cast<unsigned long long>(NS.Responses),
                static_cast<unsigned long long>(NS.Sheds),
+               static_cast<unsigned long long>(NS.DeadlineSheds),
                static_cast<unsigned long long>(NS.ProtocolErrors),
                static_cast<unsigned long long>(NS.OrphanedCompletions),
                static_cast<unsigned long long>(NS.AcceptOverflows));
