@@ -203,6 +203,60 @@ double percentileMs(const std::vector<uint64_t> &SortedNanos, double P) {
   return static_cast<double>(SortedNanos[Idx]) / 1e6;
 }
 
+/// Fetches the daemon's /stats JSON (empty on any failure — the server
+/// view is a best-effort addendum, never a reason to fail the bench).
+std::string httpGetStats(const std::string &Host, uint16_t Port) {
+  std::string Err;
+  int Fd = connectTo(Host, Port, 5, Err);
+  if (Fd < 0)
+    return "";
+  if (!sendAll(Fd, "GET /stats HTTP/1.1\r\nHost: bench\r\n"
+                   "Connection: close\r\n\r\n")) {
+    ::close(Fd);
+    return "";
+  }
+  std::string Buf;
+  char Chunk[16 * 1024];
+  for (;;) {
+    ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N <= 0)
+      break;
+    Buf.append(Chunk, static_cast<size_t>(N));
+  }
+  ::close(Fd);
+  size_t H = Buf.find("\r\n\r\n");
+  return H == std::string::npos ? std::string() : Buf.substr(H + 4);
+}
+
+/// First integer following \p Key in \p Body; 0 when absent. Enough
+/// JSON "parsing" for pulling a few counters out of a line we wrote.
+uint64_t jsonU64(const std::string &Body, const char *Key) {
+  size_t P = Body.find(Key);
+  if (P == std::string::npos)
+    return 0;
+  return std::strtoull(Body.c_str() + P + std::strlen(Key), nullptr, 10);
+}
+
+/// The raw balanced {...} object following \p Key; empty when absent.
+std::string jsonObject(const std::string &Body, const char *Key) {
+  size_t P = Body.find(Key);
+  if (P == std::string::npos)
+    return "";
+  P = Body.find('{', P);
+  if (P == std::string::npos)
+    return "";
+  int Depth = 0;
+  for (size_t I = P; I < Body.size(); ++I) {
+    if (Body[I] == '{')
+      ++Depth;
+    else if (Body[I] == '}' && --Depth == 0)
+      return Body.substr(P, I - P + 1);
+  }
+  return "";
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -424,6 +478,33 @@ int main(int Argc, char **Argv) {
               100.0 * ShedRate);
   std::printf("  latency p50 %.2fms p95 %.2fms p99 %.2fms (n=%zu)\n", P50,
               P95, P99, LatNanos.size());
+  // The server-side view: GC pause shape (the figure an operator reads
+  // against rmld --gc-pause-budget) and, for tenant runs, the daemon's
+  // own per-tenant admitted/completed/shed ledger.
+  std::string StatsBody = httpGetStats(Opt.Host, Opt.Port);
+  if (!StatsBody.empty()) {
+    uint64_t PauseCount = jsonU64(StatsBody, "\"pause_count\":");
+    if (PauseCount) {
+      std::printf("  server gc pauses: %llu, p50 %.3fms p99 %.3fms "
+                  "max %.3fms, over budget %llu, adaptive runs %llu\n",
+                  static_cast<unsigned long long>(PauseCount),
+                  static_cast<double>(jsonU64(StatsBody, "\"pause_p50_ns\":")) /
+                      1e6,
+                  static_cast<double>(jsonU64(StatsBody, "\"pause_p99_ns\":")) /
+                      1e6,
+                  static_cast<double>(jsonU64(StatsBody, "\"pause_max_ns\":")) /
+                      1e6,
+                  static_cast<unsigned long long>(
+                      jsonU64(StatsBody, "\"over_budget_pauses\":")),
+                  static_cast<unsigned long long>(
+                      jsonU64(StatsBody, "\"adaptive_runs\":")));
+    }
+    if (Opt.Tenants >= 2) {
+      std::string ServerTenants = jsonObject(StatsBody, "\"tenants\":");
+      if (!ServerTenants.empty())
+        std::printf("  server tenants: %s\n", ServerTenants.c_str());
+    }
+  }
   std::string TenantJson;
   if (Opt.Tenants >= 2) {
     TenantJson = ",\"tenants\":[";

@@ -242,6 +242,11 @@ void Server::onRequest(Connection &C, WireRequest Req) {
   SR.DeadlineNanos = Req.DeadlineNanos;
   if (Cfg.StepLimit)
     SR.EvalOpts.StepLimit = Cfg.StepLimit;
+  SR.EvalOpts.AdaptiveGc = Cfg.AdaptiveGc;
+  if (Cfg.GcPauseBudgetNanos)
+    SR.EvalOpts.GcPauseBudgetNanos = Cfg.GcPauseBudgetNanos;
+  if (Cfg.GcThresholdWords)
+    SR.EvalOpts.GcThresholdWords = Cfg.GcThresholdWords;
   switch (Req.Kind) {
   case MsgKind::Compile:
     SR.Run = false;
@@ -275,6 +280,34 @@ void Server::onRequest(Connection &C, WireRequest Req) {
       W.Status = WireStatus::Shed;
       W.Error = "predicted cost " + std::to_string(P.Nanos) +
                 "ns exceeds deadline " + std::to_string(SR.DeadlineNanos) +
+                "ns: request shed at admission";
+      std::string Out;
+      encodeResponse(W, Out);
+      C.sendBytes(std::move(Out));
+      return;
+    }
+    // Predicted-wait shedding: the request may be cheap enough on its
+    // own, but behind the currently queued work it would still miss its
+    // deadline. The expected wait is the summed predicted cost of the
+    // queued jobs spread over the workers — zero on an idle service, so
+    // this path never sheds without actual queueing. Unlike the
+    // own-cost check above, prior-based estimates participate: the wait
+    // term is an aggregate over many requests, where the prior's noise
+    // averages out instead of condemning one source.
+    uint64_t Workers = Svc.config().effectiveWorkers();
+    uint64_t Wait = Svc.queuedCostNanos() / (Workers ? Workers : 1);
+    if (Wait && Wait + P.Nanos > SR.DeadlineNanos) {
+      {
+        std::lock_guard<std::mutex> Lock(StatsMutex);
+        ++Stats.WaitSheds;
+        ++Stats.Responses;
+      }
+      WireResponse W;
+      W.Id = Id;
+      W.Status = WireStatus::Shed;
+      W.Error = "predicted wait " + std::to_string(Wait) + "ns + cost " +
+                std::to_string(P.Nanos) + "ns exceeds deadline " +
+                std::to_string(SR.DeadlineNanos) +
                 "ns: request shed at admission";
       std::string Out;
       encodeResponse(W, Out);

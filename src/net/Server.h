@@ -73,6 +73,12 @@ struct NetStats {
   /// client's deadline (never on prior-based estimates — cold sources
   /// always get their chance). Disjoint from Sheds (queue-full).
   uint64_t DeadlineSheds = 0;
+  /// Requests answered Shed at admission because the *expected wait*
+  /// (summed predicted cost of the queued jobs divided by the worker
+  /// count) plus the request's own predicted cost already exceeded its
+  /// deadline. Fires only when work is actually queued, so an idle
+  /// service never wait-sheds. Disjoint from Sheds and DeadlineSheds.
+  uint64_t WaitSheds = 0;
   /// Malformed frames / HTTP noise; each costs its connection.
   uint64_t ProtocolErrors = 0;
   /// Completions whose connection was already gone (counted, dropped).
@@ -92,6 +98,19 @@ struct ServerConfig {
   /// --step-limit); 0 keeps rt::EvalOptions' own default. A network
   /// service should not let one hostile loop pin a worker forever.
   uint64_t StepLimit = 0;
+  /// Run every admitted execution under the adaptive GC policy (rmld
+  /// --adaptive-gc; see rt/GcPolicy.h). Results and diagnostics are
+  /// unchanged by contract — only pause shape moves.
+  bool AdaptiveGc = false;
+  /// GC pause-time budget in nanoseconds applied to every run (rmld
+  /// --gc-pause-budget); 0 = none.
+  uint64_t GcPauseBudgetNanos = 0;
+  /// Collection trigger in words applied to every run (rmld
+  /// --gc-threshold); 0 keeps rt::EvalOptions' own default. Mostly a
+  /// load-testing knob: small thresholds make short requests collect,
+  /// so the pause histogram and the adaptive policy have something to
+  /// chew on.
+  uint64_t GcThresholdWords = 0;
   /// Tenant label substituted for requests that sent none (rmld
   /// --tenant-default): lets an operator fold untagged legacy traffic
   /// into a named fair-share bucket. Empty keeps them in the anonymous

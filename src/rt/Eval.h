@@ -31,6 +31,7 @@
 #include "rinfer/DropRegions.h"
 #include "rinfer/Multiplicity.h"
 #include "rinfer/RegionKinds.h"
+#include "rt/GcPolicy.h"
 #include "rt/Region.h"
 #include "rt/Value.h"
 #include "support/Interner.h"
@@ -61,6 +62,16 @@ struct EvalOptions {
   /// major collection runs every MinorsPerMajor-th time.
   bool Generational = false;
   unsigned MinorsPerMajor = 8;
+  /// Adaptive GC policy (see rt/GcPolicy.h): the run's GcPolicy moves
+  /// the trigger threshold (and, in generational mode, the major
+  /// cadence) from the pause history instead of holding them at the
+  /// configured constants. Never changes results or diagnostics — only
+  /// pause shape.
+  bool AdaptiveGc = false;
+  /// Pause-time budget in nanoseconds (0 = none): pauses that overrun
+  /// it are counted, and in adaptive mode the policy backs collection
+  /// frequency off until pauses fit.
+  uint64_t GcPauseBudgetNanos = 0;
   /// Optional cross-request page pool (non-owning; must outlive the
   /// run). The run's heap draws standard pages from it and recycles
   /// them back on teardown. Ignored while RetainReleasedPages is on —
@@ -96,6 +107,9 @@ struct RunResult {
   /// Every collector stall of the run, in pause order (begin time, wall
   /// nanos, kind, copied words, live regions).
   std::vector<GcPauseRecord> GcPauses;
+  /// What the run's GC policy did (threshold moves, budget overruns,
+  /// final knob positions). Static-mode runs report zero moves.
+  GcPolicyStats Policy;
   /// The runtime phase's profile (name Compiler::RunPhaseName, wall
   /// time, HeapStats fold-in, GcPauses fold-in). Filled by
   /// Compiler::run, which times the whole execution; empty when

@@ -51,6 +51,7 @@ public:
     R.Output = std::move(Output);
     R.Steps = Steps;
     R.GcPauses = std::move(Pauses);
+    R.Policy = Policy.stats();
     if (Fatal) {
       R.Outcome = FatalKind;
       R.Error = FatalMsg;
@@ -93,14 +94,9 @@ private:
   };
 
   void maybeGc() {
-    if (!Opts.GcEnabled || Heap.allocSinceGc() < Opts.GcThresholdWords)
+    if (!Opts.GcEnabled || !Policy.shouldCollect(Heap.allocSinceGc()))
       return;
-    GcKind Kind = GcKind::Major;
-    if (Opts.Generational) {
-      ++GcTick;
-      Kind = (GcTick % Opts.MinorsPerMajor == 0) ? GcKind::Major
-                                                 : GcKind::Minor;
-    }
+    GcKind Kind = Policy.nextKind();
     std::vector<Value *> Roots;
     Roots.reserve(Env.size() + Temps.size() + Remembered.size() + 1);
     for (auto &[S, V] : Env)
@@ -124,6 +120,12 @@ private:
     Pauses.push_back(Pause);
     if (Opts.PauseSink)
       Opts.PauseSink->recordGcPause(Pause);
+    if (Policy.observe(Pause) && Opts.PauseSink) {
+      Opts.PauseSink->recordCounter("gc_threshold_words",
+                                    Policy.thresholdWords());
+      Opts.PauseSink->recordCounter("gc_minors_per_major",
+                                    Policy.minorsPerMajor());
+    }
     // After any collection every survivor is old: remembered slots are
     // obsolete (and, after a major, dangling into from-space).
     Remembered.clear();
@@ -826,7 +828,8 @@ private:
   Value ExnVal = NilValue;
   std::vector<Value *> Remembered; // old-to-young slots (write barrier)
   std::vector<GcPauseRecord> Pauses; // every collection of this run
-  uint64_t GcTick = 0;
+  GcPolicy Policy{Opts.AdaptiveGc, Opts.GcThresholdWords, Opts.MinorsPerMajor,
+                  Opts.Generational, Opts.GcPauseBudgetNanos};
   bool Fatal = false;
   RunOutcome FatalKind = RunOutcome::Ok;
   std::string FatalMsg;

@@ -1,0 +1,78 @@
+//===- rt/GcPolicy.cpp ----------------------------------------------------===//
+
+#include "rt/GcPolicy.h"
+
+#include <algorithm>
+
+using namespace rml;
+using namespace rml::rt;
+
+GcPolicy::GcPolicy(bool Adaptive, uint64_t ThresholdWords,
+                   unsigned MinorsPerMajor, bool Generational,
+                   uint64_t PauseBudgetNanos)
+    : Adaptive(Adaptive), Generational(Generational),
+      InitialThreshold(std::max<uint64_t>(1, ThresholdWords)),
+      PauseBudget(PauseBudgetNanos),
+      InitialMPM(std::max(1u, MinorsPerMajor)),
+      Threshold(InitialThreshold), MPM(InitialMPM) {
+  Counters.Adaptive = Adaptive;
+}
+
+GcKind GcPolicy::nextKind() {
+  if (!Generational)
+    return GcKind::Major;
+  ++Tick;
+  return (Tick % MPM == 0) ? GcKind::Major : GcKind::Minor;
+}
+
+bool GcPolicy::observe(const GcPauseRecord &Pause) {
+  const bool OverBudget = PauseBudget && Pause.WallNanos > PauseBudget;
+  if (OverBudget)
+    ++Counters.OverBudgetPauses;
+  if (!Adaptive)
+    return false;
+
+  bool Moved = false;
+  const uint64_t Cap = InitialThreshold * 16;
+  if (OverBudget) {
+    // The pause overran its budget: back off — collect less often.
+    if (Threshold < Cap) {
+      Threshold = std::min(Cap, Threshold * 2);
+      ++Counters.BudgetBackoffs;
+      Moved = true;
+    }
+  } else if (2 * Pause.CopiedWords >= Threshold) {
+    if (Threshold < Cap) {
+      Threshold = std::min(Cap, Threshold * 2);
+      ++Counters.ThresholdRaises;
+      Moved = true;
+    }
+  } else if (16 * Pause.CopiedWords <= Threshold &&
+             Threshold > InitialThreshold) {
+    Threshold = std::max(InitialThreshold, Threshold / 2);
+    ++Counters.ThresholdDrops;
+    Moved = true;
+  }
+
+  if (Generational && Pause.Minor) {
+    const unsigned MpmCap = InitialMPM * 4;
+    const unsigned MpmFloor = std::max(2u, InitialMPM / 4);
+    if (16 * Pause.CopiedWords <= Threshold && MPM < MpmCap) {
+      MPM = std::min(MpmCap, MPM * 2);
+      ++Counters.MinorsPerMajorRaises;
+      Moved = true;
+    } else if (2 * Pause.CopiedWords >= Threshold && MPM > MpmFloor) {
+      MPM = std::max(MpmFloor, MPM / 2);
+      ++Counters.MinorsPerMajorDrops;
+      Moved = true;
+    }
+  }
+  return Moved;
+}
+
+GcPolicyStats GcPolicy::stats() const {
+  GcPolicyStats Out = Counters;
+  Out.FinalThresholdWords = Threshold;
+  Out.FinalMinorsPerMajor = MPM;
+  return Out;
+}

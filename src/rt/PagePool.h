@@ -14,18 +14,41 @@
 /// heap's standard pages are recycled into sharded free lists on heap
 /// destruction and handed to the next request's heap on demand.
 ///
-/// Design points:
+/// Design points (v2 — lock-free fast path):
 ///
-///  * **Sharded free lists, striped locks.** NumShards independent
-///    vectors, each behind its own mutex; a thread's home shard is a
-///    hash of its thread id, so workers mostly touch distinct shards.
-///    An acquire that finds its home shard empty steals from the
-///    others before reporting a miss.
+///  * **Treiber free lists, no lock on the home shard.** Each shard is
+///    a lock-free stack of free pages. The stack links live in a
+///    fixed arena of index-linked nodes (one node per capacity slot,
+///    never freed), not in the page memory itself: a stalled pop may
+///    still read a node another thread just recycled, and keeping
+///    those speculative reads on atomic fields of always-live nodes
+///    makes the race benign by construction instead of by argument.
+///    Heads carry a 32-bit ABA tag next to the 32-bit node index.
+///
+///  * **NUMA-aware homing.** Shards are partitioned across the NUMA
+///    nodes reported by rt::Topology (single-node machines see the old
+///    behaviour); a thread's home shard is picked among its own node's
+///    shards, and prewarm fills the calling thread's node partition.
+///    An acquire that finds its home shard empty steals from the other
+///    shards — same-node shards first — before reporting a miss. Only
+///    stealers and trim() take the pool's one mutex; the home-shard
+///    hit path and release path are mutex-free, so a concurrent trim
+///    or steal storm can never serialize hot acquires. Mutex
+///    acquisitions are counted (LockAcquires) so benchmarks can show
+///    locks per request.
+///
+///  * **Batch hand-offs.** releaseMany prepends a whole heap's pages
+///    as one pre-linked chain with a single CAS on the home shard —
+///    RegionHeap teardown touches the shard once per heap instead of
+///    once per page. acquireMany detaches the home chain once and
+///    takes up to N pages from it.
 ///
 ///  * **Bounded capacity.** The pool never holds more than MaxPages
 ///    pages in total (tracked by one atomic counter); releases beyond
 ///    the bound free the page instead (counted as a trim), so a burst
-///    of huge heaps cannot pin memory forever.
+///    of huge heaps cannot pin memory forever. The same bound sizes
+///    the node arena, which is why a release that won a capacity slot
+///    is always guaranteed a free node.
 ///
 ///  * **Standard pages only.** The pool stores raw page buffers of
 ///    exactly RegionHeap::PageWords words. Oversized (finite-region)
@@ -39,7 +62,8 @@
 ///
 /// Thread safety: every member function is safe from any thread; the
 /// counters are relaxed atomics (they are statistics, not
-/// synchronisation — the shard mutexes order the page hand-offs).
+/// synchronisation — the release/acquire CAS pair on each list head
+/// orders the page hand-offs).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -64,6 +88,10 @@ struct PagePoolStats {
   uint64_t Releases = 0;      // pages accepted into the pool
   uint64_t Trims = 0;         // pages freed (over capacity, or trim())
   uint64_t Prewarmed = 0;     // pages allocated eagerly by prewarm()
+  uint64_t Steals = 0;        // hits served from a non-home shard
+  uint64_t BatchAcquires = 0; // acquireMany calls
+  uint64_t BatchReleases = 0; // releaseMany calls
+  uint64_t LockAcquires = 0;  // mutex acquisitions (steal scans, trims)
   uint64_t FreePages = 0;     // pages currently pooled
   uint64_t Capacity = 0;      // the bound (MaxPages)
 
@@ -74,7 +102,7 @@ struct PagePoolStats {
   }
 };
 
-/// A bounded, sharded free list of standard page buffers.
+/// A bounded, sharded, lock-free free list of standard page buffers.
 class PagePool {
 public:
   static constexpr size_t NumShards = 8;
@@ -85,7 +113,7 @@ public:
   static constexpr size_t PageWords = 256; // 2 KiB
 
   explicit PagePool(size_t MaxPages = DefaultMaxPages);
-  ~PagePool() = default;
+  ~PagePool();
 
   PagePool(const PagePool &) = delete;
   PagePool &operator=(const PagePool &) = delete;
@@ -100,14 +128,31 @@ public:
   /// pool by contract.
   void release(std::unique_ptr<uint64_t[]> Buf);
 
-  /// Frees every pooled page (counted as trims).
+  /// Appends up to \p Pages recycled buffers to \p Out, draining the
+  /// home shard's chain in one detach and stealing for any shortfall.
+  /// Counts one hit per page served and one miss per unfilled slot
+  /// (the caller allocates those fresh), so the reuse ratio means the
+  /// same thing whether demand arrives singly or batched. Returns the
+  /// number appended.
+  size_t acquireMany(std::vector<std::unique_ptr<uint64_t[]>> &Out,
+                     size_t Pages);
+
+  /// Hands a whole heap's standard pages back with a single CAS on the
+  /// home shard. Pages beyond the capacity bound are freed (counted as
+  /// trims), exactly as release() would.
+  void releaseMany(std::vector<std::unique_ptr<uint64_t[]>> Bufs);
+
+  /// Frees every pooled page (counted as trims). Never blocks the
+  /// home-shard hit path: each shard's chain is detached with one CAS
+  /// and freed outside any shared state.
   void trim();
 
   /// Eagerly allocates up to \p Pages standard pages into the free
-  /// lists (spread round-robin across the shards), stopping at the
-  /// capacity bound. A cold service otherwise pays one allocator miss
-  /// per page of the first request wave; a prewarmed pool serves that
-  /// wave entirely from reuse. Returns how many pages were added.
+  /// lists (spread round-robin across the calling thread's NUMA node's
+  /// shards), stopping at the capacity bound. A cold service otherwise
+  /// pays one allocator miss per page of the first request wave; a
+  /// prewarmed pool serves that wave entirely from reuse. Returns how
+  /// many pages were added.
   size_t prewarm(size_t Pages);
 
   PagePoolStats stats() const;
@@ -115,16 +160,59 @@ public:
   size_t capacity() const { return MaxPages; }
 
 private:
-  /// Padded so two shards' locks never share a cache line.
-  struct alignas(64) Shard {
-    std::mutex M;
-    std::vector<std::unique_ptr<uint64_t[]>> Free;
+  /// One link of a Treiber stack. Nodes live in the arena for the
+  /// pool's whole lifetime and cycle between the shard chains and the
+  /// node free list; every field a concurrent thread may read
+  /// speculatively is atomic, so a stale pop attempt is a failed CAS,
+  /// never a racy read.
+  struct Node {
+    std::atomic<uint32_t> Next{0};
+    std::atomic<uint64_t *> Page{nullptr};
   };
 
-  static size_t homeShard();
+  /// Head word layout: (ABA tag << 32) | node index.
+  static constexpr uint32_t NoNode = UINT32_MAX;
+  static constexpr uint64_t EmptyHead = NoNode;
+  static uint32_t headIndex(uint64_t Head) {
+    return static_cast<uint32_t>(Head);
+  }
+  static uint64_t packHead(uint32_t Index, uint64_t Tag) {
+    return (Tag << 32) | Index;
+  }
+  static uint64_t headTag(uint64_t Head) { return Head >> 32; }
+
+  /// Padded so two shards' heads never share a cache line.
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> Head{EmptyHead};
+  };
+
+  /// This thread's home shard and its steal order (same-NUMA-node
+  /// shards before remote ones), computed once per thread.
+  struct ShardOrder {
+    std::array<uint8_t, NumShards> Order; // Order[0] is home
+    uint8_t NodeCount = NumShards;        // same-node prefix of Order
+  };
+  static const ShardOrder &shardOrder();
+
+  // Treiber primitives over the node arena.
+  uint32_t popNode(std::atomic<uint64_t> &Head);
+  void pushChain(std::atomic<uint64_t> &Head, uint32_t First, uint32_t Last);
+  /// Detaches a shard's whole chain (its first node index, or NoNode).
+  uint32_t detachChain(std::atomic<uint64_t> &Head);
+
+  /// Pops one page off \p Shard; null when that shard is empty.
+  uint64_t *popPage(Shard &S);
+  /// Reserves up to \p Want capacity slots; returns how many were won.
+  size_t reserveSlots(size_t Want);
 
   const size_t MaxPages;
   std::array<Shard, NumShards> Shards;
+  /// Free Node indices (arena slots not currently carrying a page).
+  std::atomic<uint64_t> FreeNodes{EmptyHead};
+  std::unique_ptr<Node[]> Nodes; // arena of MaxPages nodes
+  /// Serializes cross-shard steal scans and trims against each other
+  /// only — the home-shard acquire/release paths never touch it.
+  std::mutex StealM;
   /// Pages currently pooled, summed over shards; the capacity bound is
   /// enforced on this counter so the total never exceeds MaxPages.
   std::atomic<size_t> TotalFree{0};
@@ -133,6 +221,10 @@ private:
   std::atomic<uint64_t> Accepted{0};
   std::atomic<uint64_t> Trims{0};
   std::atomic<uint64_t> Prewarms{0};
+  std::atomic<uint64_t> StealCount{0};
+  std::atomic<uint64_t> BatchAcq{0};
+  std::atomic<uint64_t> BatchRel{0};
+  std::atomic<uint64_t> Locks{0};
 };
 
 } // namespace rml::rt

@@ -24,12 +24,17 @@ RegionHeap::~RegionHeap() {
   // still attribute to one of this heap's dead regions.
   if (!SharedPool || RetainReleasedPages)
     return;
+  std::vector<std::unique_ptr<uint64_t[]>> Standard;
+  Standard.reserve(Pool.size());
   for (Region &R : Regions)
     for (Page &P : R.Pages)
       if (P.Cap == PageWords)
-        SharedPool->release(std::move(P.Words));
+        Standard.push_back(std::move(P.Words));
   for (Page &P : Pool)
-    SharedPool->release(std::move(P.Words));
+    Standard.push_back(std::move(P.Words));
+  // One batched hand-off: the shared pool's shard is touched once per
+  // heap, not once per page.
+  SharedPool->releaseMany(std::move(Standard));
 }
 
 RegionHeap::Page RegionHeap::newPage(size_t CapWords) {

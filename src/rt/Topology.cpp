@@ -1,0 +1,104 @@
+//===- rt/Topology.cpp ----------------------------------------------------===//
+
+#include "rt/Topology.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+using namespace rml;
+using namespace rml::rt;
+
+namespace {
+
+/// Parses a kernel cpulist ("0-3,8,10-11") into CPU ids, appending
+/// (Cpu, Node) assignments to \p CpuToNode (growing it as needed).
+/// Returns false on any syntax it does not understand — the caller
+/// then falls back to the single-node topology.
+bool assignCpulist(const std::string &List, unsigned Node,
+                   std::vector<unsigned> &CpuToNode) {
+  const char *P = List.c_str();
+  while (*P) {
+    char *End = nullptr;
+    unsigned long Lo = std::strtoul(P, &End, 10);
+    if (End == P)
+      return false;
+    unsigned long Hi = Lo;
+    if (*End == '-') {
+      P = End + 1;
+      Hi = std::strtoul(P, &End, 10);
+      if (End == P || Hi < Lo)
+        return false;
+    }
+    if (Hi >= 4096) // implausible cpu id: refuse rather than OOM
+      return false;
+    if (CpuToNode.size() <= Hi)
+      CpuToNode.resize(Hi + 1, 0);
+    for (unsigned long Cpu = Lo; Cpu <= Hi; ++Cpu)
+      CpuToNode[Cpu] = Node;
+    P = End;
+    if (*P == ',')
+      ++P;
+    else if (*P == '\n' || *P == '\0')
+      break;
+    else
+      return false;
+  }
+  return true;
+}
+
+} // namespace
+
+Topology::Topology(std::vector<unsigned> CpuToNodeMap)
+    : CpuToNode(std::move(CpuToNodeMap)) {
+  for (unsigned Node : CpuToNode)
+    if (Node + 1 > Nodes)
+      Nodes = Node + 1;
+}
+
+Topology::Topology() {
+#if defined(__linux__)
+  std::vector<unsigned> Map;
+  unsigned Found = 0;
+  for (unsigned Node = 0; Node < 64; ++Node) {
+    char Path[96];
+    std::snprintf(Path, sizeof(Path),
+                  "/sys/devices/system/node/node%u/cpulist", Node);
+    std::FILE *F = std::fopen(Path, "r");
+    if (!F)
+      break; // node ids are dense: the first gap ends the scan
+    char Buf[1024];
+    size_t Len = std::fread(Buf, 1, sizeof(Buf) - 1, F);
+    std::fclose(F);
+    Buf[Len] = '\0';
+    if (!assignCpulist(Buf, Node, Map))
+      return; // parse failure: stay single-node
+    ++Found;
+  }
+  if (Found >= 2) { // one node is the fallback anyway
+    CpuToNode = std::move(Map);
+    Nodes = Found;
+  }
+#endif
+}
+
+unsigned Topology::currentNode() const {
+  if (Nodes <= 1)
+    return 0;
+#if defined(__linux__)
+  int Cpu = sched_getcpu();
+  if (Cpu >= 0)
+    return nodeOf(static_cast<unsigned>(Cpu));
+#endif
+  return 0;
+}
+
+const Topology &Topology::get() {
+  static const Topology T;
+  return T;
+}

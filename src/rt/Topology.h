@@ -1,0 +1,63 @@
+//===- rt/Topology.h - CPU/NUMA topology probe ------------------*- C++ -*-===//
+//
+// Part of RegionML, a reproduction of "Garbage-Collection Safety for
+// Region-Based Type-Polymorphic Programs" (Elsman, PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, dependency-free probe of the machine's NUMA layout, read
+/// once from sysfs (`/sys/devices/system/node/node*/cpulist`) at first
+/// use. The page pool homes its shards on nodes with this so a worker
+/// thread's page traffic stays on memory attached to its own socket.
+///
+/// Deliberately libnuma-free: the probe parses the kernel's cpulist
+/// files directly and degrades gracefully — on a single-node machine,
+/// a kernel without NUMA sysfs, or any parse failure, it reports one
+/// node containing every CPU, which reproduces the pre-NUMA behaviour
+/// exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RML_RT_TOPOLOGY_H
+#define RML_RT_TOPOLOGY_H
+
+#include <vector>
+
+namespace rml::rt {
+
+/// The machine's NUMA layout. Immutable after construction; the
+/// process-wide instance from get() is safe to read from any thread.
+class Topology {
+public:
+  /// The probed topology of this machine (probed once, then cached).
+  static const Topology &get();
+
+  /// Number of NUMA nodes, always >= 1.
+  unsigned numNodes() const { return Nodes; }
+
+  /// The node owning \p Cpu (0 when the CPU is unknown to the probe).
+  unsigned nodeOf(unsigned Cpu) const {
+    return Cpu < CpuToNode.size() ? CpuToNode[Cpu] : 0;
+  }
+
+  /// The node of the CPU the calling thread is running on right now
+  /// (0 when the kernel cannot say). Cheap enough to cache per thread:
+  /// migrations across nodes are rare and mis-homing is only a
+  /// performance matter, never a correctness one.
+  unsigned currentNode() const;
+
+  /// Constructs directly from a cpu->node map (tests). \p CpuToNode[i]
+  /// is the node of CPU i; node ids must be dense from 0.
+  explicit Topology(std::vector<unsigned> CpuToNodeMap);
+
+private:
+  Topology(); // sysfs probe
+
+  unsigned Nodes = 1;
+  std::vector<unsigned> CpuToNode;
+};
+
+} // namespace rml::rt
+
+#endif // RML_RT_TOPOLOGY_H

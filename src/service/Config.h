@@ -66,6 +66,16 @@ struct ServiceConfig {
   /// it too (the disk tier sits beneath the memory tier, not beside
   /// it). See service/DiskCache.h for the format and fail-closed rules.
   std::string CacheDir;
+  /// Retention bounds for the disk tier (rmlc/rmld --cache-max-bytes,
+  /// --cache-max-age): when either is nonzero the service runs the
+  /// cache's background sweeper, which evicts entries past the age
+  /// cut-off and then oldest-first past the byte watermark (see
+  /// DiskCache::SweepConfig). Both zero (the default) leaves the
+  /// directory unbounded, exactly as before.
+  uint64_t CacheMaxBytes = 0;
+  uint64_t CacheMaxAgeSeconds = 0;
+  /// Background sweep cadence in milliseconds.
+  uint64_t CacheSweepIntervalMillis = 5000;
   /// Standard region pages the cross-request PagePool may hold; worker
   /// runs draw pages from it and recycle them back on heap teardown.
   /// 0 disables pooling (every run round-trips the allocator). Requests

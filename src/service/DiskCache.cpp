@@ -6,10 +6,13 @@
 
 #include "flat/Flat.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <vector>
 
 using namespace rml;
 using namespace rml::service;
@@ -99,6 +102,8 @@ DiskCache::DiskCache(std::string DirIn) : Dir(std::move(DirIn)) {
   std::error_code Ec;
   fs::create_directories(Dir, Ec);
 }
+
+DiskCache::~DiskCache() { stopSweeper(); }
 
 std::string DiskCache::entryFileName(uint64_t Hash) {
   char Buf[32];
@@ -247,5 +252,171 @@ DiskCache::Counters DiskCache::counters() const {
   C.Misses = Misses.load(std::memory_order_relaxed);
   C.WriteErrors = WriteErrors.load(std::memory_order_relaxed);
   C.LoadRejects = LoadRejects.load(std::memory_order_relaxed);
+  C.SweptFiles = SweptFiles.load(std::memory_order_relaxed);
+  C.SweptBytes = SweptBytes.load(std::memory_order_relaxed);
+  C.SweepErrors = SweepErrors.load(std::memory_order_relaxed);
   return C;
+}
+
+//===----------------------------------------------------------------------===//
+// Sweeper
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Only published entry files ("<16 hex>.rmlc") are sweepable. Temp
+/// files (dot-prefixed, mid-publication) and anything foreign the
+/// operator parked in the directory are left alone.
+bool isEntryFileName(const std::string &Name) {
+  constexpr std::string_view Suffix = ".rmlc";
+  if (Name.size() != 16 + Suffix.size())
+    return false;
+  if (std::string_view(Name).substr(16) != Suffix)
+    return false;
+  for (size_t I = 0; I < 16; ++I) {
+    char C = Name[I];
+    if (!((C >= '0' && C <= '9') || (C >= 'a' && C <= 'f')))
+      return false;
+  }
+  return true;
+}
+
+struct SweepCandidate {
+  fs::path Path;
+  uint64_t Bytes = 0;
+  fs::file_time_type Mtime;
+};
+
+} // namespace
+
+uint64_t DiskCache::sweepNow(const SweepConfig &Cfg) const {
+  if (Cfg.MaxBytes == 0 && Cfg.MaxAgeSeconds == 0)
+    return 0; // unbounded: nothing to enforce
+
+  // Snapshot the directory first. Entries published after the scan are
+  // simply next sweep's problem; entries removed under us (another
+  // sweeper, an operator's rm) just make the removal below a no-op.
+  std::vector<SweepCandidate> Entries;
+  uint64_t TotalBytes = 0;
+  {
+    std::error_code Ec;
+    fs::directory_iterator It(Dir, Ec), End;
+    if (Ec) {
+      ++SweepErrors;
+      return 0;
+    }
+    for (; It != End; It.increment(Ec)) {
+      if (Ec) {
+        ++SweepErrors;
+        return 0;
+      }
+      std::error_code FileEc;
+      if (!It->is_regular_file(FileEc) || FileEc)
+        continue;
+      std::string Name = It->path().filename().string();
+      if (!isEntryFileName(Name))
+        continue; // dot-prefixed temp files and foreign files stay
+      SweepCandidate C;
+      C.Path = It->path();
+      auto Sz = fs::file_size(C.Path, FileEc);
+      if (FileEc)
+        continue; // unlinked between iteration and stat: already gone
+      C.Bytes = Sz;
+      C.Mtime = fs::last_write_time(C.Path, FileEc);
+      if (FileEc)
+        continue;
+      TotalBytes += C.Bytes;
+      Entries.push_back(std::move(C));
+    }
+  }
+
+  uint64_t Evicted = 0;
+  auto evict = [&](const SweepCandidate &C) {
+    std::error_code Ec;
+    if (fs::remove(C.Path, Ec) && !Ec) {
+      ++SweptFiles;
+      SweptBytes.fetch_add(C.Bytes, std::memory_order_relaxed);
+      TotalBytes -= std::min(TotalBytes, C.Bytes);
+      ++Evicted;
+    } else if (Ec) {
+      ++SweepErrors;
+    } else {
+      // remove() returned false without error: the file vanished under
+      // us (a racing sweeper won). Not an error, but the bytes are
+      // gone from the directory either way.
+      TotalBytes -= std::min(TotalBytes, C.Bytes);
+    }
+  };
+
+  // Age pass: anything older than the cut-off goes, independent of the
+  // byte total.
+  if (Cfg.MaxAgeSeconds) {
+    auto CutOff = fs::file_time_type::clock::now() -
+                  std::chrono::seconds(Cfg.MaxAgeSeconds);
+    std::vector<SweepCandidate> Kept;
+    Kept.reserve(Entries.size());
+    for (SweepCandidate &C : Entries) {
+      if (C.Mtime < CutOff)
+        evict(C);
+      else
+        Kept.push_back(std::move(C));
+    }
+    Entries = std::move(Kept);
+  }
+
+  // Size pass: oldest mtime first until the watermark holds. Mtime is
+  // the only recency signal every process sharing the directory
+  // updates, which makes this LRU-by-publication — good enough, since
+  // a wrongly evicted entry costs one recompile, never a wrong answer.
+  if (Cfg.MaxBytes && TotalBytes > Cfg.MaxBytes) {
+    std::sort(Entries.begin(), Entries.end(),
+              [](const SweepCandidate &A, const SweepCandidate &B) {
+                return A.Mtime < B.Mtime;
+              });
+    for (const SweepCandidate &C : Entries) {
+      if (TotalBytes <= Cfg.MaxBytes)
+        break;
+      evict(C);
+    }
+  }
+  return Evicted;
+}
+
+void DiskCache::startSweeper(const SweepConfig &Cfg) {
+  if (Sweeper.joinable())
+    return; // already running
+  if (Cfg.MaxBytes == 0 && Cfg.MaxAgeSeconds == 0)
+    return; // nothing to enforce, no thread to pay for
+  {
+    std::lock_guard<std::mutex> Lock(SweepM);
+    SweepStop = false;
+  }
+  Sweeper = std::thread([this, Cfg] { sweeperMain(Cfg); });
+}
+
+void DiskCache::stopSweeper() {
+  if (!Sweeper.joinable())
+    return;
+  {
+    std::lock_guard<std::mutex> Lock(SweepM);
+    SweepStop = true;
+  }
+  SweepCv.notify_all();
+  Sweeper.join();
+}
+
+void DiskCache::sweeperMain(SweepConfig Cfg) {
+  const auto Interval =
+      std::chrono::milliseconds(std::max<uint64_t>(1, Cfg.IntervalMillis));
+  // Sweep immediately: a process started against an over-watermark
+  // directory (say, after lowering --cache-max-bytes) should bound it
+  // now, not one interval from now.
+  sweepNow(Cfg);
+  for (;;) {
+    std::unique_lock<std::mutex> Lock(SweepM);
+    if (SweepCv.wait_for(Lock, Interval, [this] { return SweepStop; }))
+      return;
+    Lock.unlock();
+    sweepNow(Cfg);
+  }
 }

@@ -37,6 +37,18 @@
 /// whole entry to a miss (counted in LoadRejects) rather than loading
 /// a half-runnable entry.
 ///
+/// **Bounded growth.** Left alone the directory grows one file per
+/// distinct compile forever. A SweepConfig bounds it by total bytes
+/// and/or entry age; a background sweeper thread (started by the
+/// owning Service, or driven deterministically via sweepNow()) walks
+/// the directory, drops entries past the age cut-off, then evicts
+/// oldest-mtime-first until the byte watermark holds — LRU by the only
+/// recency signal a shared directory offers. Sweeping is safe against
+/// concurrent stores because publication is temp+rename: the sweeper
+/// skips dot-prefixed temp files, and unlinking a just-published entry
+/// merely costs the next load a recompile. It never serves, nor
+/// destroys, a half-written entry.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RML_SERVICE_DISKCACHE_H
@@ -45,9 +57,12 @@
 #include "service/Hash.h"
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 
 namespace rml::service {
 
@@ -72,11 +87,35 @@ public:
     /// corruption, or a hash collision (embedded source/options differ
     /// from the key). All degrade to a miss.
     uint64_t LoadRejects = 0;
+    /// Entry files the sweeper evicted (age cut-off or byte
+    /// watermark), and their summed sizes.
+    uint64_t SweptFiles = 0;
+    uint64_t SweptBytes = 0;
+    /// Sweeper passes that could not scan the directory, plus
+    /// individual removals that failed (permissions, races lost in
+    /// unexpected ways). The sweeper carries on; nothing throws.
+    uint64_t SweepErrors = 0;
+  };
+
+  /// Retention policy for the sweeper. Zero fields impose no bound of
+  /// that kind; an all-zero config makes every sweep a no-op.
+  struct SweepConfig {
+    /// Byte watermark over the summed entry sizes: the sweeper evicts
+    /// oldest-mtime-first until the total fits.
+    uint64_t MaxBytes = 0;
+    /// Age cut-off: entries whose mtime is older than this many
+    /// seconds are evicted regardless of the byte total.
+    uint64_t MaxAgeSeconds = 0;
+    /// Cadence of the background sweeper thread.
+    uint64_t IntervalMillis = 5000;
   };
 
   /// Binds the cache to \p Dir, creating it (and parents) best-effort;
   /// a directory that cannot be created simply fails every store.
   explicit DiskCache(std::string Dir);
+
+  /// Joins the sweeper if it is still running.
+  ~DiskCache();
 
   /// Loads and verifies the entry for \p K; null on miss or rejection.
   /// A returned entry has FromDisk set and no Owner/Unit, but carries
@@ -92,6 +131,21 @@ public:
 
   Counters counters() const;
   const std::string &dir() const { return Dir; }
+
+  /// Starts the background sweeper under \p Cfg. Idempotent per cache
+  /// (a second call is ignored); an all-zero config starts nothing.
+  /// The thread sweeps once immediately, then every IntervalMillis
+  /// until stopSweeper() (or destruction) joins it.
+  void startSweeper(const SweepConfig &Cfg);
+
+  /// Stops and joins the sweeper thread. Safe to call when it was
+  /// never started, and again after it stopped.
+  void stopSweeper();
+
+  /// One synchronous sweep pass under \p Cfg, independent of the
+  /// background thread — the deterministic path tests and tools use.
+  /// \returns files evicted by this pass.
+  uint64_t sweepNow(const SweepConfig &Cfg) const;
 
   /// "<16 hex digits>.rmlc" — the entry file name for \p Hash.
   static std::string entryFileName(uint64_t Hash);
@@ -109,8 +163,20 @@ private:
   mutable std::atomic<uint64_t> Misses{0};
   mutable std::atomic<uint64_t> WriteErrors{0};
   mutable std::atomic<uint64_t> LoadRejects{0};
+  mutable std::atomic<uint64_t> SweptFiles{0};
+  mutable std::atomic<uint64_t> SweptBytes{0};
+  mutable std::atomic<uint64_t> SweepErrors{0};
   /// Distinguishes temp files of concurrent writers in one process.
   mutable std::atomic<uint64_t> TmpCounter{0};
+
+  // Background sweeper state. The mutex/cv pair exists only to make
+  // stopSweeper() wake a sleeping thread promptly; sweeping itself
+  // takes no lock (the filesystem is the shared state).
+  std::thread Sweeper;
+  std::mutex SweepM;
+  std::condition_variable SweepCv;
+  bool SweepStop = false;
+  void sweeperMain(SweepConfig Cfg);
 };
 
 } // namespace rml::service

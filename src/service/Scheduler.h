@@ -96,7 +96,9 @@ public:
   /// Admission: stamps CostKey (from the provider — consulted exactly
   /// once, here and nowhere else) and the absolute DeadlineAt, then
   /// hands the job to the policy. The caller stamps Seq first.
-  void admit(ScheduledJob J) {
+  /// \returns the stamped CostKey, so the caller can account queued
+  /// predicted cost without consulting the provider a second time.
+  uint64_t admit(ScheduledJob J) {
     static_assert(std::is_invocable_r_v<uint64_t, const CostFn &,
                                         const Request &>,
                   "the cost provider must map a const Request & to a "
@@ -105,7 +107,9 @@ public:
     J.DeadlineAt = J.Req.DeadlineNanos
                        ? traceNowNanos() + J.Req.DeadlineNanos
                        : ScheduledJob::NoDeadline;
+    uint64_t Cost = J.CostKey;
     push(std::move(J));
+    return Cost;
   }
 
   /// Enqueues a fully stamped job (admit() is the normal entry; tests

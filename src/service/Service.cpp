@@ -66,6 +66,15 @@ Service::Service(ServiceConfig CfgIn)
   for (const std::string &Name : Compiler::staticPhaseNames())
     Counters.Phases.push_back({Name, 0, 0, 0});
   Counters.Phases.push_back({Compiler::RunPhaseName, 0, 0, 0});
+  // Bound the disk tier when asked: the sweeper's lifetime is the
+  // service's (stopped in shutdown(), and by ~DiskCache regardless).
+  if (Disk && (Cfg.CacheMaxBytes || Cfg.CacheMaxAgeSeconds)) {
+    DiskCache::SweepConfig SC;
+    SC.MaxBytes = Cfg.CacheMaxBytes;
+    SC.MaxAgeSeconds = Cfg.CacheMaxAgeSeconds;
+    SC.IntervalMillis = Cfg.CacheSweepIntervalMillis;
+    Disk->startSweeper(SC);
+  }
   unsigned N = Cfg.effectiveWorkers();
   Threads.reserve(N);
   for (unsigned I = 0; I < N; ++I)
@@ -80,10 +89,13 @@ void Service::enqueue(ScheduledJob J) {
   // absolute deadline; Seq is stamped here because admission order is
   // the Service's to define.
   J.Seq = NextSeq++;
-  Sched->admit(std::move(J));
+  std::string Tenant = J.Req.Tenant;
+  uint64_t Cost = Sched->admit(std::move(J));
+  QueuedCost.fetch_add(Cost, std::memory_order_relaxed);
   size_t Depth = Sched->size();
   std::lock_guard<std::mutex> SLock(StatsMutex);
   ++Counters.Submitted;
+  ++Counters.Tenants[Tenant].Admitted;
   if (Depth > Counters.QueueHighWater)
     Counters.QueueHighWater = Depth;
 }
@@ -161,6 +173,7 @@ std::optional<std::future<Response>> Service::trySubmit(Request R) {
     } else if (Sched->size() >= Cfg.QueueCapacity) {
       std::lock_guard<std::mutex> SLock(StatsMutex);
       ++Counters.Rejected;
+      ++Counters.Tenants[J.Req.Tenant].Shed;
       return std::nullopt;
     } else {
       enqueue(std::move(J));
@@ -193,6 +206,7 @@ bool Service::trySubmit(Request R, std::function<void(Response)> Done) {
     } else if (Sched->size() >= Cfg.QueueCapacity) {
       std::lock_guard<std::mutex> SLock(StatsMutex);
       ++Counters.Rejected;
+      ++Counters.Tenants[J.Req.Tenant].Shed;
       return false;
     } else {
       enqueue(std::move(J));
@@ -226,6 +240,11 @@ void Service::shutdown() {
     if (T.joinable())
       T.join();
   Threads.clear();
+  // The sweeper outlived the workers so a final flood of stores could
+  // still be bounded; it stops with the service (idempotent — the
+  // DiskCache destructor would also catch it).
+  if (Disk)
+    Disk->stopSweeper();
 }
 
 void Service::workerMain() {
@@ -238,6 +257,7 @@ void Service::workerMain() {
         return; // stopping and drained
       J = Sched->pop();
     }
+    QueuedCost.fetch_sub(J.CostKey, std::memory_order_relaxed);
     NotFull.notify_one();
     {
       std::lock_guard<std::mutex> SLock(StatsMutex);
@@ -277,6 +297,7 @@ void Service::workerMain() {
         ++Counters.InternalErrors;
       else if (!Resp.CompileOk)
         ++Counters.CompileErrors;
+      ++Counters.Tenants[J.Req.Tenant].Completed;
       if (Resp.Ran) {
         if (Resp.Outcome == rt::RunOutcome::Ok)
           ++Counters.RunsOk;
@@ -285,6 +306,27 @@ void Service::workerMain() {
         Counters.TotalGcCount += Resp.Heap.GcCount;
         Counters.TotalAllocWords += Resp.Heap.AllocWords;
         Counters.TotalCopiedWords += Resp.Heap.CopiedWords;
+        Counters.GcAdaptiveRuns += Resp.GcPolicy.Adaptive ? 1 : 0;
+        Counters.GcThresholdRaises += Resp.GcPolicy.ThresholdRaises;
+        Counters.GcThresholdDrops += Resp.GcPolicy.ThresholdDrops;
+        Counters.GcBudgetBackoffs += Resp.GcPolicy.BudgetBackoffs;
+        Counters.GcOverBudgetPauses += Resp.GcPolicy.OverBudgetPauses;
+        Counters.GcMinorsPerMajorRaises += Resp.GcPolicy.MinorsPerMajorRaises;
+        Counters.GcMinorsPerMajorDrops += Resp.GcPolicy.MinorsPerMajorDrops;
+        // Pause histogram: the run phase's GcPauses (static phases
+        // carry none), bucketed by floor(log2(wall nanos)).
+        for (const PhaseProfile &P : Resp.Profiles)
+          for (const GcPauseRecord &G : P.GcPauses) {
+            ++Counters.GcPauseCount;
+            if (G.WallNanos > Counters.GcPauseMaxNanos)
+              Counters.GcPauseMaxNanos = G.WallNanos;
+            size_t B = 0;
+            for (uint64_t W = G.WallNanos; W >>= 1;)
+              ++B;
+            if (B >= ServiceStats::GcPauseBuckets)
+              B = ServiceStats::GcPauseBuckets - 1;
+            ++Counters.GcPauseHist[B];
+          }
       }
       for (const PhaseProfile &P : Resp.Profiles) {
         if (P.Skipped)
@@ -329,6 +371,9 @@ ServiceStats Service::stats() const {
     Out.DiskMisses = DC.Misses;
     Out.DiskWriteErrors = DC.WriteErrors;
     Out.DiskLoadRejects = DC.LoadRejects;
+    Out.SweptFiles = DC.SweptFiles;
+    Out.SweptBytes = DC.SweptBytes;
+    Out.SweepErrors = DC.SweepErrors;
   }
   Out.DiskHydrations = Exec.diskHydrations();
   Out.BudgetAutoDerived = Exec.budgetAutoDerived();
@@ -346,6 +391,10 @@ ServiceStats Service::stats() const {
     Out.PoolReleases = PS.Releases;
     Out.PoolTrims = PS.Trims;
     Out.PoolPrewarmed = PS.Prewarmed;
+    Out.PoolSteals = PS.Steals;
+    Out.PoolBatchAcquires = PS.BatchAcquires;
+    Out.PoolBatchReleases = PS.BatchReleases;
+    Out.PoolLockAcquires = PS.LockAcquires;
     Out.PoolFreePages = PS.FreePages;
     Out.PoolCapacity = PS.Capacity;
   }

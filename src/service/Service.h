@@ -44,6 +44,7 @@
 
 #include "rt/PagePool.h"
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -113,6 +114,14 @@ public:
   /// network front door can consult predictions at admission (shedding
   /// predicted-over-deadline work before it queues).
   const CostModel &costModel() const { return Model; }
+  /// Summed predicted cost (CostKey nanos) of the jobs currently
+  /// queued — not yet picked up by a worker. The network front door
+  /// divides this by the worker count for an expected-wait estimate at
+  /// admission (predicted-wait shedding). Relaxed: a load races with
+  /// enqueues/dequeues by design; shedding is heuristic.
+  uint64_t queuedCostNanos() const {
+    return QueuedCost.load(std::memory_order_relaxed);
+  }
 
 private:
   /// Admission: stamps Seq and hands the job to Scheduler::admit()
@@ -147,6 +156,9 @@ private:
   /// Admission order stamp for ScheduledJob::Seq (under QueueMutex).
   uint64_t NextSeq = 0;
   bool Stopping = false;
+  /// Summed CostKeys of queued (admitted, not yet dequeued) jobs.
+  /// Atomic so queuedCostNanos() needs no lock.
+  std::atomic<uint64_t> QueuedCost{0};
 
   /// Serializes the join phase of racing shutdown() calls (QueueMutex
   /// cannot be held across join — workers take it to drain).

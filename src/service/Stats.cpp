@@ -9,6 +9,24 @@
 using namespace rml;
 using namespace rml::service;
 
+uint64_t ServiceStats::gcPausePercentileNanos(double P) const {
+  if (GcPauseCount == 0)
+    return 0;
+  uint64_t Target = static_cast<uint64_t>(P * static_cast<double>(GcPauseCount));
+  if (Target >= GcPauseCount)
+    Target = GcPauseCount - 1;
+  uint64_t Cum = 0;
+  for (size_t I = 0; I < GcPauseBuckets; ++I) {
+    Cum += GcPauseHist[I];
+    if (Cum > Target) {
+      uint64_t Bound = I + 1 >= 64 ? UINT64_MAX : (uint64_t(1) << (I + 1));
+      return GcPauseMaxNanos && Bound > GcPauseMaxNanos ? GcPauseMaxNanos
+                                                        : Bound;
+    }
+  }
+  return GcPauseMaxNanos;
+}
+
 std::string ServiceStats::json() const {
   std::ostringstream Out;
   Out << "{\"submitted\":" << Submitted << ",\"rejected\":" << Rejected
@@ -25,6 +43,9 @@ std::string ServiceStats::json() const {
       << ",\"disk_write_errors\":" << DiskWriteErrors
       << ",\"disk_load_rejects\":" << DiskLoadRejects
       << ",\"disk_hydrations\":" << DiskHydrations
+      << ",\"swept_files\":" << SweptFiles
+      << ",\"swept_bytes\":" << SweptBytes
+      << ",\"sweep_errors\":" << SweepErrors
       << ",\"queue_depth\":" << QueueDepth
       << ",\"queue_high_water\":" << QueueHighWater
       << ",\"in_flight\":" << InFlight
@@ -38,9 +59,24 @@ std::string ServiceStats::json() const {
       << ",\"pool_releases\":" << PoolReleases
       << ",\"pool_trims\":" << PoolTrims
       << ",\"pool_prewarmed\":" << PoolPrewarmed
+      << ",\"pool_steals\":" << PoolSteals
+      << ",\"pool_batch_acquires\":" << PoolBatchAcquires
+      << ",\"pool_batch_releases\":" << PoolBatchReleases
+      << ",\"pool_lock_acquires\":" << PoolLockAcquires
       << ",\"pool_free_pages\":" << PoolFreePages
       << ",\"pool_capacity\":" << PoolCapacity
       << ",\"pool_reuse\":" << jsonFixed(poolReuseRatio())
+      << ",\"gc_policy\":{\"adaptive_runs\":" << GcAdaptiveRuns
+      << ",\"threshold_raises\":" << GcThresholdRaises
+      << ",\"threshold_drops\":" << GcThresholdDrops
+      << ",\"budget_backoffs\":" << GcBudgetBackoffs
+      << ",\"over_budget_pauses\":" << GcOverBudgetPauses
+      << ",\"minors_per_major_raises\":" << GcMinorsPerMajorRaises
+      << ",\"minors_per_major_drops\":" << GcMinorsPerMajorDrops
+      << ",\"pause_count\":" << GcPauseCount
+      << ",\"pause_p50_ns\":" << gcPausePercentileNanos(0.50)
+      << ",\"pause_p99_ns\":" << gcPausePercentileNanos(0.99)
+      << ",\"pause_max_ns\":" << GcPauseMaxNanos << "}"
       << ",\"cost_model\":{\"entries\":" << CostModelEntries
       << ",\"hits\":" << CostModelHits
       << ",\"prior_uses\":" << CostModelPriorUses
@@ -53,6 +89,17 @@ std::string ServiceStats::json() const {
         << "\":{\"sum_nanos\":" << Phases[I].SumNanos
         << ",\"max_nanos\":" << Phases[I].MaxNanos
         << ",\"count\":" << Phases[I].Count << "}";
+  }
+  Out << "},\"tenants\":{";
+  {
+    bool First = true;
+    for (const auto &[Name, T] : Tenants) {
+      if (!First)
+        Out << ",";
+      First = false;
+      Out << "\"" << jsonEscaped(Name) << "\":{\"admitted\":" << T.Admitted
+          << ",\"completed\":" << T.Completed << ",\"shed\":" << T.Shed << "}";
+    }
   }
   Out << "},\"busy_nanos\":" << BusyNanos << ",\"uptime_nanos\":" << UptimeNanos
       << ",\"uptime_seconds\":" << UptimeNanos / 1000000000

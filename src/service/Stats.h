@@ -8,7 +8,9 @@
 #ifndef RML_SERVICE_STATS_H
 #define RML_SERVICE_STATS_H
 
+#include <array>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -27,6 +29,16 @@ struct ServiceStats {
     uint64_t MaxNanos = 0;
     /// Executed (non-skipped) instances of the phase.
     uint64_t Count = 0;
+  };
+
+  /// Per-tenant request disposition (keyed by Request::Tenant; the
+  /// empty string is the anonymous tenant). Admitted counts enqueues,
+  /// Completed counts worker completions, Shed counts queue-full
+  /// trySubmit rejections — the operator's per-tenant fairness view.
+  struct TenantCounts {
+    uint64_t Admitted = 0;
+    uint64_t Completed = 0;
+    uint64_t Shed = 0;
   };
 
   uint64_t Submitted = 0;
@@ -66,6 +78,12 @@ struct ServiceStats {
   /// steady state — nonzero means warm restarts are paying for compiles
   /// they thought they had cached.
   uint64_t DiskHydrations = 0;
+  /// Disk-sweeper counters (zero without --cache-max-bytes/--cache-max-age):
+  /// entry files evicted by the retention policy, their summed bytes,
+  /// and sweep passes or removals that failed.
+  uint64_t SweptFiles = 0;
+  uint64_t SweptBytes = 0;
+  uint64_t SweepErrors = 0;
   /// Deepest the queue ever got (backpressure high-water mark).
   uint64_t QueueHighWater = 0;
   uint64_t QueueDepth = 0;
@@ -86,8 +104,34 @@ struct ServiceStats {
   uint64_t PoolReleases = 0;
   uint64_t PoolTrims = 0;
   uint64_t PoolPrewarmed = 0;
+  /// v2 pool counters: hits served off a non-home shard, batch API
+  /// calls, and mutex acquisitions (steal scans and trims only — the
+  /// home-shard paths are lock-free, so locks per request is the
+  /// contention figure of merit).
+  uint64_t PoolSteals = 0;
+  uint64_t PoolBatchAcquires = 0;
+  uint64_t PoolBatchReleases = 0;
+  uint64_t PoolLockAcquires = 0;
   uint64_t PoolFreePages = 0;
   uint64_t PoolCapacity = 0;
+  /// GC-policy aggregates summed over executed runs (see
+  /// rt/GcPolicyStats): runs under the adaptive policy, knob moves by
+  /// cause, and pauses that overran the configured budget.
+  uint64_t GcAdaptiveRuns = 0;
+  uint64_t GcThresholdRaises = 0;
+  uint64_t GcThresholdDrops = 0;
+  uint64_t GcBudgetBackoffs = 0;
+  uint64_t GcOverBudgetPauses = 0;
+  uint64_t GcMinorsPerMajorRaises = 0;
+  uint64_t GcMinorsPerMajorDrops = 0;
+  /// Log-2 histogram of collector pause wall times across every run:
+  /// bucket I counts pauses with WallNanos in [2^I, 2^(I+1)). Powers
+  /// the pause-percentile estimates an operator reads against
+  /// --gc-pause-budget (gc_pause_p99_ns in the stats JSON).
+  static constexpr size_t GcPauseBuckets = 40;
+  std::array<uint64_t, GcPauseBuckets> GcPauseHist{};
+  uint64_t GcPauseCount = 0;
+  uint64_t GcPauseMaxNanos = 0;
   /// Learned-cost-model counters (see service/CostModel.h): distinct
   /// keys with history, predictions served from an entry vs the prior,
   /// and the current cost-per-byte prior in nanos (a double — rendered
@@ -102,12 +146,20 @@ struct ServiceStats {
   /// One aggregate per pipeline phase, in stable order: the static
   /// phases (Compiler::staticPhaseNames()) then the runtime phase.
   std::vector<PhaseAggregate> Phases;
+  /// Per-tenant dispositions, keyed by Request::Tenant (sorted, so the
+  /// JSON rendering is stable).
+  std::map<std::string, TenantCounts> Tenants;
 
   /// Fraction of standard-page demand served by pool reuse, in [0,1].
   double poolReuseRatio() const {
     uint64_t Total = PoolAcquireHits + PoolAcquireMisses;
     return Total ? static_cast<double>(PoolAcquireHits) / Total : 0.0;
   }
+
+  /// Histogram-derived pause percentile in nanos: the upper bound of
+  /// the bucket holding the \p P quantile (conservative within 2x),
+  /// clamped to the observed maximum. Zero when no pause was recorded.
+  uint64_t gcPausePercentileNanos(double P) const;
 
   /// Fraction of worker-thread time spent processing, in [0,1].
   double utilization() const {

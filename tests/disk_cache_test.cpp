@@ -17,9 +17,11 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace rml;
@@ -474,6 +476,210 @@ TEST(DiskServiceTest, ConcurrentServicesShareOneDirectory) {
   for (auto &F : Futures)
     EXPECT_TRUE(F.get().CacheHit);
   EXPECT_EQ(C.stats().DiskHits, Sources.size());
+}
+
+//===----------------------------------------------------------------------===//
+// The sweeper: bounded growth.
+//===----------------------------------------------------------------------===//
+
+/// Stores \p N distinct tiny entries and returns their keys, oldest
+/// mtime first: entry I's file is back-dated (N - I) minutes so the
+/// LRU order under test is explicit, not a racy store-order artifact.
+std::vector<CacheKey> storeGradedEntries(const DiskCache &Disk,
+                                         const fs::path &Dir, size_t N) {
+  std::vector<CacheKey> Keys;
+  CompileOptions Opts;
+  for (size_t I = 0; I < N; ++I) {
+    std::string Src = ";1 + " + std::to_string(I) + "\n";
+    CacheKey K = CacheKey::of(Src, Opts);
+    CachedCompileRef V = compileShared(Src, Opts);
+    Disk.store(K, *V);
+    fs::path P = Dir / DiskCache::entryFileName(K.Hash);
+    EXPECT_TRUE(fs::exists(P));
+    fs::last_write_time(P, fs::file_time_type::clock::now() -
+                               std::chrono::minutes((N - I) * 10));
+    Keys.push_back(K);
+  }
+  return Keys;
+}
+
+uint64_t dirEntryBytes(const fs::path &Dir) {
+  uint64_t Total = 0;
+  for (const auto &E : fs::directory_iterator(Dir))
+    if (E.path().extension() == ".rmlc")
+      Total += fs::file_size(E.path());
+  return Total;
+}
+
+TEST(DiskCacheSweepTest, AllZeroConfigIsANoOp) {
+  ScratchDir Dir("sweep_noop");
+  DiskCache Disk(Dir.str());
+  storeGradedEntries(Disk, Dir.Path, 3);
+  EXPECT_EQ(Disk.sweepNow({}), 0u);
+  EXPECT_EQ(entryCount(Dir.Path), 3u);
+  EXPECT_EQ(Disk.counters().SweptFiles, 0u);
+  // startSweeper with an all-zero config starts nothing; stop is a
+  // no-op either way.
+  Disk.startSweeper({});
+  Disk.stopSweeper();
+}
+
+TEST(DiskCacheSweepTest, ByteWatermarkEvictsOldestFirst) {
+  ScratchDir Dir("sweep_bytes");
+  DiskCache Disk(Dir.str());
+  std::vector<CacheKey> Keys = storeGradedEntries(Disk, Dir.Path, 4);
+  uint64_t Total = dirEntryBytes(Dir.Path);
+  uint64_t Oldest =
+      fs::file_size(Dir.Path / DiskCache::entryFileName(Keys[0].Hash));
+
+  // One byte under the total: exactly the oldest entry must go.
+  DiskCache::SweepConfig Cfg;
+  Cfg.MaxBytes = Total - 1;
+  EXPECT_EQ(Disk.sweepNow(Cfg), 1u);
+  EXPECT_FALSE(fs::exists(Dir.Path / DiskCache::entryFileName(Keys[0].Hash)));
+  for (size_t I = 1; I < Keys.size(); ++I)
+    EXPECT_TRUE(fs::exists(Dir.Path / DiskCache::entryFileName(Keys[I].Hash)))
+        << "entry " << I << " should have survived";
+  EXPECT_LE(dirEntryBytes(Dir.Path), Cfg.MaxBytes);
+
+  DiskCache::Counters C = Disk.counters();
+  EXPECT_EQ(C.SweptFiles, 1u);
+  EXPECT_EQ(C.SweptBytes, Oldest);
+  EXPECT_EQ(C.SweepErrors, 0u);
+
+  // Tighten to one byte: everything sweepable goes.
+  Cfg.MaxBytes = 1;
+  EXPECT_EQ(Disk.sweepNow(Cfg), 3u);
+  EXPECT_EQ(entryCount(Dir.Path), 0u);
+  EXPECT_EQ(Disk.counters().SweptBytes, Total);
+}
+
+TEST(DiskCacheSweepTest, AgeCutOffEvictsStaleEntriesOnly) {
+  ScratchDir Dir("sweep_age");
+  DiskCache Disk(Dir.str());
+  // Entries are back-dated 30/20/10 minutes old (oldest first).
+  std::vector<CacheKey> Keys = storeGradedEntries(Disk, Dir.Path, 3);
+
+  DiskCache::SweepConfig Cfg;
+  Cfg.MaxAgeSeconds = 15 * 60; // the 30- and 20-minute entries are stale
+  EXPECT_EQ(Disk.sweepNow(Cfg), 2u);
+  EXPECT_FALSE(fs::exists(Dir.Path / DiskCache::entryFileName(Keys[0].Hash)));
+  EXPECT_FALSE(fs::exists(Dir.Path / DiskCache::entryFileName(Keys[1].Hash)));
+  EXPECT_TRUE(fs::exists(Dir.Path / DiskCache::entryFileName(Keys[2].Hash)));
+  // A second pass finds nothing new to do.
+  EXPECT_EQ(Disk.sweepNow(Cfg), 0u);
+}
+
+TEST(DiskCacheSweepTest, ForeignAndTempFilesAreNeverSwept) {
+  ScratchDir Dir("sweep_foreign");
+  DiskCache Disk(Dir.str());
+  storeGradedEntries(Disk, Dir.Path, 2);
+  // An operator note, a mid-publication temp file, and an almost-entry
+  // with the wrong name shape: none of these are the sweeper's to take.
+  writeFileBytes(Dir.Path / "README.txt", "operator notes");
+  writeFileBytes(Dir.Path / ".0123456789abcdef.rmlc.tmp.1.2", "half-written");
+  writeFileBytes(Dir.Path / "short.rmlc", "not a hash name");
+
+  DiskCache::SweepConfig Cfg;
+  Cfg.MaxBytes = 1; // evict every real entry
+  EXPECT_EQ(Disk.sweepNow(Cfg), 2u);
+  EXPECT_TRUE(fs::exists(Dir.Path / "README.txt"));
+  EXPECT_TRUE(fs::exists(Dir.Path / ".0123456789abcdef.rmlc.tmp.1.2"));
+  EXPECT_TRUE(fs::exists(Dir.Path / "short.rmlc"));
+  EXPECT_EQ(Disk.counters().SweepErrors, 0u);
+}
+
+TEST(DiskCacheSweepTest, SweptEntryDegradesToAMissAndCanBeRestored) {
+  ScratchDir Dir("sweep_miss");
+  DiskCache Disk(Dir.str());
+  CompileOptions Opts;
+  CacheKey K = CacheKey::of(ComposeProgram, Opts);
+  CachedCompileRef V = compileShared(ComposeProgram, Opts);
+  Disk.store(K, *V);
+  ASSERT_NE(Disk.load(K), nullptr);
+
+  DiskCache::SweepConfig Cfg;
+  Cfg.MaxBytes = 1;
+  EXPECT_EQ(Disk.sweepNow(Cfg), 1u);
+  // The eviction costs exactly one recompile, never a wrong answer.
+  EXPECT_EQ(Disk.load(K), nullptr);
+  EXPECT_GE(Disk.counters().Misses, 1u);
+  Disk.store(K, *V);
+  CachedCompileRef Back = Disk.load(K);
+  ASSERT_NE(Back, nullptr);
+  EXPECT_EQ(Back->Printed, V->Printed);
+}
+
+TEST(DiskCacheSweepTest, MissingDirectoryCountsASweepError) {
+  ScratchDir Dir("sweep_err");
+  DiskCache Disk(Dir.str());
+  fs::remove_all(Dir.Path);
+  DiskCache::SweepConfig Cfg;
+  Cfg.MaxBytes = 1;
+  EXPECT_EQ(Disk.sweepNow(Cfg), 0u);
+  EXPECT_EQ(Disk.counters().SweepErrors, 1u);
+}
+
+TEST(DiskCacheSweepTest, BackgroundSweeperBoundsTheDirectory) {
+  ScratchDir Dir("sweep_bg");
+  DiskCache Disk(Dir.str());
+  std::vector<CacheKey> Keys = storeGradedEntries(Disk, Dir.Path, 4);
+
+  DiskCache::SweepConfig Cfg;
+  Cfg.MaxBytes = 1;
+  Cfg.IntervalMillis = 5;
+  Disk.startSweeper(Cfg);
+  Disk.startSweeper(Cfg); // idempotent: the second call is ignored
+  // The thread sweeps once immediately; poll until it has.
+  for (int I = 0; I < 1000 && entryCount(Dir.Path) > 0; ++I)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_EQ(entryCount(Dir.Path), 0u);
+  EXPECT_EQ(Disk.counters().SweptFiles, Keys.size());
+  Disk.stopSweeper();
+  Disk.stopSweeper(); // safe again after it stopped
+}
+
+TEST(DiskCacheSweepTest, SweepRacesStoresAndLoadsSafely) {
+  ScratchDir Dir("sweep_race");
+  DiskCache Disk(Dir.str());
+  // A watermark of one byte keeps the sweeper permanently hungry while
+  // writers republish and readers load the same keys: every load must
+  // be a verified hit or a clean miss — a torn read would reject
+  // (LoadRejects) and fail the test.
+  DiskCache::SweepConfig Cfg;
+  Cfg.MaxBytes = 1;
+  Cfg.IntervalMillis = 1;
+  Disk.startSweeper(Cfg);
+
+  CompileOptions Opts;
+  std::vector<std::string> Sources;
+  std::vector<CacheKey> Keys;
+  std::vector<CachedCompileRef> Values;
+  for (int I = 0; I < 3; ++I) {
+    Sources.push_back(";2 * " + std::to_string(I) + "\n");
+    Keys.push_back(CacheKey::of(Sources.back(), Opts));
+    Values.push_back(compileShared(Sources.back(), Opts));
+  }
+
+  std::vector<std::thread> Workers;
+  for (int T = 0; T < 3; ++T)
+    Workers.emplace_back([&, T] {
+      for (int I = 0; I < 200; ++I) {
+        size_t K = static_cast<size_t>((T + I) % 3);
+        Disk.store(Keys[K], *Values[K]);
+        CachedCompileRef L = Disk.load(Keys[K]);
+        if (L) { // a hit must be the genuine article
+          EXPECT_EQ(L->Printed, Values[K]->Printed);
+        }
+      }
+    });
+  for (std::thread &W : Workers)
+    W.join();
+  Disk.stopSweeper();
+
+  DiskCache::Counters C = Disk.counters();
+  EXPECT_EQ(C.LoadRejects, 0u) << "a sweep exposed a torn entry";
+  EXPECT_GT(C.SweptFiles, 0u);
 }
 
 } // namespace

@@ -16,6 +16,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 using namespace rml;
 using namespace rml::rt;
 
@@ -139,9 +143,145 @@ TEST(PagePoolTest, PrewarmRespectsTheCapacityBound) {
   EXPECT_EQ(Pool.stats().Trims, 1u);
 }
 
+TEST(PagePoolTest, HomeShardTrafficNeverTakesTheMutex) {
+  // The v2 contract: same-thread release/acquire pairs ride the
+  // lock-free home-shard fast path; the pool's one mutex is reserved
+  // for steal scans and trims.
+  PagePool Pool(16);
+  for (int I = 0; I < 8; ++I)
+    Pool.release(standardBuffer());
+  for (int I = 0; I < 8; ++I)
+    EXPECT_NE(Pool.acquire(), nullptr);
+  EXPECT_EQ(Pool.stats().LockAcquires, 0u);
+  EXPECT_EQ(Pool.stats().Steals, 0u);
+}
+
+TEST(PagePoolTest, AcquireStealsFromOtherShardsBeforeMissing) {
+  // prewarm spreads round-robin across this thread's node partition, so
+  // with one page per shard all but the home shard's page must be
+  // served by steal scans — each of which takes the mutex.
+  PagePool Pool(PagePool::NumShards);
+  ASSERT_EQ(Pool.prewarm(PagePool::NumShards), PagePool::NumShards);
+  for (size_t I = 0; I < PagePool::NumShards; ++I)
+    EXPECT_NE(Pool.acquire(), nullptr) << "page " << I;
+  PagePoolStats S = Pool.stats();
+  EXPECT_EQ(S.AcquireHits, PagePool::NumShards);
+  EXPECT_EQ(S.AcquireMisses, 0u); // nothing missed while pages remained
+  EXPECT_GT(S.Steals, 0u);
+  EXPECT_GT(S.LockAcquires, 0u);
+  EXPECT_EQ(S.FreePages, 0u);
+}
+
+TEST(PagePoolTest, AcquireManyOnEmptyPoolCountsOneMissPerSlot) {
+  PagePool Pool(8);
+  std::vector<std::unique_ptr<uint64_t[]>> Out;
+  EXPECT_EQ(Pool.acquireMany(Out, 5), 0u);
+  EXPECT_TRUE(Out.empty());
+  PagePoolStats S = Pool.stats();
+  EXPECT_EQ(S.BatchAcquires, 1u);
+  EXPECT_EQ(S.AcquireMisses, 5u); // reuse ratio means the same batched
+  EXPECT_EQ(S.AcquireHits, 0u);
+}
+
+TEST(PagePoolTest, BatchReleaseThenBatchAcquireRoundTrips) {
+  PagePool Pool(16);
+  std::vector<std::unique_ptr<uint64_t[]>> Bufs;
+  for (int I = 0; I < 6; ++I)
+    Bufs.push_back(standardBuffer());
+  Pool.releaseMany(std::move(Bufs));
+  PagePoolStats S0 = Pool.stats();
+  EXPECT_EQ(S0.BatchReleases, 1u);
+  EXPECT_EQ(S0.Releases, 6u); // accounted page-by-page
+  EXPECT_EQ(S0.FreePages, 6u);
+
+  std::vector<std::unique_ptr<uint64_t[]>> Out;
+  EXPECT_EQ(Pool.acquireMany(Out, 6), 6u);
+  ASSERT_EQ(Out.size(), 6u);
+  for (const auto &B : Out)
+    EXPECT_NE(B, nullptr);
+  PagePoolStats S1 = Pool.stats();
+  EXPECT_EQ(S1.AcquireHits, 6u);
+  EXPECT_EQ(S1.AcquireMisses, 0u);
+  EXPECT_EQ(S1.FreePages, 0u);
+  // Same thread, same home shard: the whole round trip is lock-free.
+  EXPECT_EQ(S1.LockAcquires, 0u);
+}
+
+TEST(PagePoolTest, BatchReleaseRespectsTheCapacityBound) {
+  PagePool Pool(4);
+  std::vector<std::unique_ptr<uint64_t[]>> Bufs;
+  for (int I = 0; I < 7; ++I)
+    Bufs.push_back(standardBuffer());
+  Pool.releaseMany(std::move(Bufs));
+  EXPECT_EQ(Pool.freePages(), 4u);
+  PagePoolStats S = Pool.stats();
+  EXPECT_EQ(S.Releases, 4u);
+  EXPECT_EQ(S.Trims, 3u); // the overflow was freed, exactly as release()
+}
+
+TEST(PagePoolTest, AcquireManyPartialFillCountsTheShortfallAsMisses) {
+  PagePool Pool(16);
+  std::vector<std::unique_ptr<uint64_t[]>> Bufs;
+  for (int I = 0; I < 3; ++I)
+    Bufs.push_back(standardBuffer());
+  Pool.releaseMany(std::move(Bufs));
+
+  std::vector<std::unique_ptr<uint64_t[]>> Out;
+  EXPECT_EQ(Pool.acquireMany(Out, 5), 3u);
+  EXPECT_EQ(Out.size(), 3u);
+  PagePoolStats S = Pool.stats();
+  EXPECT_EQ(S.AcquireHits, 3u);
+  EXPECT_EQ(S.AcquireMisses, 2u); // the caller allocates these fresh
+}
+
+TEST(PagePoolTest, ConcurrentTrimNeverLosesOrDoublesAPage) {
+  // Trim storms against acquire/release traffic: the invariant checked
+  // is conservation — every page that entered the pool left exactly
+  // once (acquired or trimmed) or is still free at the end.
+  PagePool Pool(64);
+  std::atomic<bool> Stop{false};
+  std::thread Trimmer([&] {
+    while (!Stop.load(std::memory_order_relaxed))
+      Pool.trim();
+  });
+  std::vector<std::thread> Workers;
+  for (int T = 0; T < 4; ++T)
+    Workers.emplace_back([&] {
+      for (int I = 0; I < 2000; ++I) {
+        Pool.release(standardBuffer());
+        auto P = Pool.acquire(); // may hit or miss under the storm
+      }
+    });
+  for (std::thread &W : Workers)
+    W.join();
+  Stop.store(true, std::memory_order_relaxed);
+  Trimmer.join();
+
+  PagePoolStats S = Pool.stats();
+  EXPECT_EQ(S.Releases + S.Prewarmed,
+            S.AcquireHits + (S.Trims - (8000 - S.Releases)) + S.FreePages)
+      << "pages in != pages out (trims over capacity excluded)";
+  EXPECT_LE(S.FreePages, Pool.capacity());
+}
+
 //===----------------------------------------------------------------------===//
 // RegionHeap integration.
 //===----------------------------------------------------------------------===//
+
+TEST(PagePoolTest, HeapTeardownUsesOneBatchRelease) {
+  PagePool Pool(64);
+  {
+    RegionHeap Heap;
+    Heap.SharedPool = &Pool;
+    uint32_t R = Heap.create(1, RegionKind::Mixed);
+    for (int I = 0; I < 4; ++I)
+      Heap.alloc(R, RegionHeap::PageWords);
+    Heap.release(R);
+  }
+  PagePoolStats S = Pool.stats();
+  EXPECT_GE(S.Releases, 4u);
+  EXPECT_EQ(S.BatchReleases, 1u); // one shard touch per heap, not per page
+}
 
 TEST(PagePoolTest, HeapRecyclesStandardPagesAcrossHeaps) {
   PagePool Pool(64);

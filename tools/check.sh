@@ -12,9 +12,10 @@
 #      multi-service stress), the network front door (wire codec,
 #      HTTP shim, and loopback end-to-end against a live Server),
 #      the flat runnable IR (round-trip/corruption fuzz plus the
-#      warm-restart execute-from-disk service tests), and the learned
+#      warm-restart execute-from-disk service tests), the learned
 #      cost model (prediction/EWMA/budget units plus a multi-threaded
-#      coherence check).
+#      coherence check), and the memory system (GcPolicy units plus
+#      the adaptive-vs-static and tree-vs-flat differentials).
 #
 # Usage: tools/check.sh            # from anywhere inside the repo
 #
@@ -30,9 +31,9 @@ cmake -B "$ROOT/build" -S "$ROOT"
 cmake --build "$ROOT/build" -j "$JOBS"
 ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS"
 
-echo "== tsan: service + pool + sched + disk + net + flat + cost labels =="
+echo "== tsan: service + pool + sched + disk + net + flat + cost + mem labels =="
 cmake -B "$ROOT/build-tsan" -S "$ROOT" -DRML_SANITIZE=thread
 cmake --build "$ROOT/build-tsan" -j "$JOBS"
-ctest --test-dir "$ROOT/build-tsan" -L 'service|pool|sched|disk|net|flat|cost' --output-on-failure
+ctest --test-dir "$ROOT/build-tsan" -L 'service|pool|sched|disk|net|flat|cost|mem' --output-on-failure
 
 echo "== check.sh: all green =="

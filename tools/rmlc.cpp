@@ -60,6 +60,13 @@ void usage() {
       "  --generational         minor/major collections ([16,17])\n"
       "  --no-tagfree           disable the tag-free representation\n"
       "  --no-finite            disable finite (exact-size) regions\n"
+      "  --adaptive-gc          adapt the GC trigger (and generational\n"
+      "                         cadence) to the run's own pause history;\n"
+      "                         identical results, adapted pause shape\n"
+      "  --gc-pause-budget NS   GC pause-time budget in nanos: overruns\n"
+      "                         are counted, and with --adaptive-gc the\n"
+      "                         policy collects less often until pauses\n"
+      "                         fit\n"
       "  --serve-batch PATHS    compile+run every .mml program named by\n"
       "                         PATHS (comma-separated files and/or\n"
       "                         directories) through the concurrent\n"
@@ -75,6 +82,14 @@ void usage() {
       "                         file each) and reused across process\n"
       "                         restarts; safe to share between\n"
       "                         processes (--serve-batch only)\n"
+      "  --cache-max-bytes N    disk-cache byte watermark: a background\n"
+      "                         sweeper evicts oldest entries until the\n"
+      "                         directory fits (0 = unbounded;\n"
+      "                         --serve-batch only)\n"
+      "  --cache-max-age SECS   disk-cache entry age cut-off (0 = no\n"
+      "                         limit; --serve-batch only)\n"
+      "  --cache-sweep-ms MS    sweep cadence (default 5000;\n"
+      "                         --serve-batch only)\n"
       "  --page-pool N          standard pages the cross-request page\n"
       "                         pool may hold; 0 disables pooling\n"
       "                         (default 1024; --serve-batch only)\n"
@@ -190,7 +205,9 @@ void finishTrace(const ChromeTraceSink &Sink, const std::string &Path) {
 /// The --serve-batch driver: every program goes through the concurrent
 /// service; results print in submission order.
 int serveBatch(const std::string &Spec, unsigned Jobs, size_t CacheCap,
-               const std::string &CacheDir, size_t PoolPages, bool PrewarmPool,
+               const std::string &CacheDir, uint64_t CacheMaxBytes,
+               uint64_t CacheMaxAge, uint64_t CacheSweepMs, size_t PoolPages,
+               bool PrewarmPool,
                service::SchedPolicy Policy,
                const std::map<std::string, uint64_t> &Budgets, bool AutoBudget,
                const CompileOptions &Opts, const rt::EvalOptions &EvalOpts,
@@ -207,6 +224,10 @@ int serveBatch(const std::string &Spec, unsigned Jobs, size_t CacheCap,
   Cfg.Workers = Jobs;
   Cfg.CacheCapacity = CacheCap;
   Cfg.CacheDir = CacheDir;
+  Cfg.CacheMaxBytes = CacheMaxBytes;
+  Cfg.CacheMaxAgeSeconds = CacheMaxAge;
+  if (CacheSweepMs)
+    Cfg.CacheSweepIntervalMillis = CacheSweepMs;
   Cfg.PagePoolPages = PoolPages;
   Cfg.PrewarmPool = PrewarmPool;
   Cfg.Policy = Policy;
@@ -270,13 +291,20 @@ int serveBatch(const std::string &Spec, unsigned Jobs, size_t CacheCap,
   if (S.BudgetAutoDerived)
     std::printf("[auto-budget engaged on %llu compile(s)]\n",
                 static_cast<unsigned long long>(S.BudgetAutoDerived));
-  if (!CacheDir.empty())
+  if (!CacheDir.empty()) {
     std::printf("[disk cache '%s': %llu hit(s), %llu miss(es), %llu "
                 "reject(s), %llu write error(s)]\n",
                 CacheDir.c_str(), static_cast<unsigned long long>(S.DiskHits),
                 static_cast<unsigned long long>(S.DiskMisses),
                 static_cast<unsigned long long>(S.DiskLoadRejects),
                 static_cast<unsigned long long>(S.DiskWriteErrors));
+    if (S.SweptFiles || S.SweepErrors)
+      std::printf("[disk sweeper: %llu file(s) evicted, %llu byte(s), "
+                  "%llu error(s)]\n",
+                  static_cast<unsigned long long>(S.SweptFiles),
+                  static_cast<unsigned long long>(S.SweptBytes),
+                  static_cast<unsigned long long>(S.SweepErrors));
+  }
   std::printf("%zu program(s), %d failure(s); %llu cache hit(s), "
               "%llu miss(es); queue high-water %llu; %.0f%% worker "
               "utilization; %llu gc run(s), %llu words allocated; "
@@ -312,6 +340,7 @@ int main(int Argc, char **Argv) {
   unsigned Jobs = 0;
   size_t CacheCap = 128;
   std::string CacheDir;
+  uint64_t CacheMaxBytes = 0, CacheMaxAge = 0, CacheSweepMs = 0;
   size_t PoolPages = rt::PagePool::DefaultMaxPages; // on by default
   bool PrewarmPool = false, TimePhases = false, AutoBudget = false;
   service::SchedPolicy Policy = service::SchedPolicy::Fifo;
@@ -368,6 +397,10 @@ int main(int Argc, char **Argv) {
       EvalOpts.TagFreePairs = false;
     } else if (!std::strcmp(A, "--no-finite")) {
       EvalOpts.UseFiniteRegions = false;
+    } else if (!std::strcmp(A, "--adaptive-gc")) {
+      EvalOpts.AdaptiveGc = true;
+    } else if (!std::strcmp(A, "--gc-pause-budget")) {
+      EvalOpts.GcPauseBudgetNanos = std::strtoull(Next(), nullptr, 10);
     } else if (!std::strcmp(A, "--serve-batch")) {
       BatchSpec = Next();
     } else if (!std::strcmp(A, "--jobs")) {
@@ -376,6 +409,12 @@ int main(int Argc, char **Argv) {
       CacheCap = std::strtoull(Next(), nullptr, 10);
     } else if (!std::strcmp(A, "--cache-dir")) {
       CacheDir = Next();
+    } else if (!std::strcmp(A, "--cache-max-bytes")) {
+      CacheMaxBytes = std::strtoull(Next(), nullptr, 10);
+    } else if (!std::strcmp(A, "--cache-max-age")) {
+      CacheMaxAge = std::strtoull(Next(), nullptr, 10);
+    } else if (!std::strcmp(A, "--cache-sweep-ms")) {
+      CacheSweepMs = std::strtoull(Next(), nullptr, 10);
     } else if (!std::strcmp(A, "--page-pool")) {
       PoolPages = std::strtoull(Next(), nullptr, 10);
     } else if (!std::strncmp(A, "--page-pool=", 12)) {
@@ -424,9 +463,10 @@ int main(int Argc, char **Argv) {
     }
   }
   if (!BatchSpec.empty())
-    return serveBatch(BatchSpec, Jobs, CacheCap, CacheDir, PoolPages,
-                      PrewarmPool, Policy, Budgets, AutoBudget, Opts,
-                      EvalOpts, Stats, TimePhases, TracePath);
+    return serveBatch(BatchSpec, Jobs, CacheCap, CacheDir, CacheMaxBytes,
+                      CacheMaxAge, CacheSweepMs, PoolPages, PrewarmPool, Policy,
+                      Budgets, AutoBudget, Opts, EvalOpts, Stats, TimePhases,
+                      TracePath);
   if (!HaveSource) {
     usage();
     return 2;

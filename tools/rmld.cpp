@@ -49,6 +49,12 @@ void usage() {
       "                         response (default 256)\n"
       "  --cache N              compile-cache entries (default 128)\n"
       "  --cache-dir DIR        persistent compile-cache directory\n"
+      "  --cache-max-bytes N    disk-cache byte watermark; a background\n"
+      "                         sweeper evicts oldest entries past it\n"
+      "                         (default 0 = unbounded)\n"
+      "  --cache-max-age SECS   disk-cache entry age cut-off (default 0\n"
+      "                         = no age limit)\n"
+      "  --cache-sweep-ms MS    sweep cadence (default 5000)\n"
       "  --page-pool N          cross-request page-pool pages; 0\n"
       "                         disables pooling (default 1024)\n"
       "  --prewarm-pool         allocate the page pool eagerly\n"
@@ -70,6 +76,16 @@ void usage() {
       "  --budget-multiplier M  auto-budget safety factor (default 8)\n"
       "  --step-limit N         evaluation fuel per run; 0 keeps the\n"
       "                         runtime default\n"
+      "  --adaptive-gc          run every execution under the adaptive\n"
+      "                         GC policy (same results, adapted pause\n"
+      "                         shape)\n"
+      "  --gc-pause-budget NS   GC pause-time budget in nanos per run;\n"
+      "                         with --adaptive-gc the policy backs\n"
+      "                         collection off until pauses fit\n"
+      "  --gc-threshold WORDS   collection trigger per run; 0 keeps the\n"
+      "                         runtime default (load-testing knob:\n"
+      "                         small values make short requests\n"
+      "                         collect)\n"
       "  --max-conns N          open-connection bound (default 1024)\n"
       "  --drain-grace MS       grace period for the shutdown drain\n"
       "                         before stragglers are closed "
@@ -112,6 +128,13 @@ int main(int Argc, char **Argv) {
       SvcCfg.CacheCapacity = std::strtoull(Next(), nullptr, 10);
     } else if (!std::strcmp(A, "--cache-dir")) {
       SvcCfg.CacheDir = Next();
+    } else if (!std::strcmp(A, "--cache-max-bytes")) {
+      SvcCfg.CacheMaxBytes = std::strtoull(Next(), nullptr, 10);
+    } else if (!std::strcmp(A, "--cache-max-age")) {
+      SvcCfg.CacheMaxAgeSeconds = std::strtoull(Next(), nullptr, 10);
+    } else if (!std::strcmp(A, "--cache-sweep-ms")) {
+      SvcCfg.CacheSweepIntervalMillis =
+          std::max<uint64_t>(std::strtoull(Next(), nullptr, 10), 1);
     } else if (!std::strcmp(A, "--page-pool")) {
       SvcCfg.PagePoolPages = std::strtoull(Next(), nullptr, 10);
     } else if (!std::strcmp(A, "--prewarm-pool")) {
@@ -145,6 +168,12 @@ int main(int Argc, char **Argv) {
           std::strtoull(Eq + 1, nullptr, 10);
     } else if (!std::strcmp(A, "--step-limit")) {
       NetCfg.StepLimit = std::strtoull(Next(), nullptr, 10);
+    } else if (!std::strcmp(A, "--adaptive-gc")) {
+      NetCfg.AdaptiveGc = true;
+    } else if (!std::strcmp(A, "--gc-pause-budget")) {
+      NetCfg.GcPauseBudgetNanos = std::strtoull(Next(), nullptr, 10);
+    } else if (!std::strcmp(A, "--gc-threshold")) {
+      NetCfg.GcThresholdWords = std::strtoull(Next(), nullptr, 10);
     } else if (!std::strcmp(A, "--max-conns")) {
       NetCfg.MaxConnections = std::strtoull(Next(), nullptr, 10);
     } else if (!std::strcmp(A, "--drain-grace")) {
@@ -190,6 +219,7 @@ int main(int Argc, char **Argv) {
   std::fprintf(stderr,
                "rmld: net accepted=%llu closed=%llu requests=%llu "
                "http=%llu responses=%llu sheds=%llu deadline_sheds=%llu "
+               "wait_sheds=%llu "
                "protocol_errors=%llu orphaned=%llu overflows=%llu\n",
                static_cast<unsigned long long>(NS.Accepted),
                static_cast<unsigned long long>(NS.Closed),
@@ -198,6 +228,7 @@ int main(int Argc, char **Argv) {
                static_cast<unsigned long long>(NS.Responses),
                static_cast<unsigned long long>(NS.Sheds),
                static_cast<unsigned long long>(NS.DeadlineSheds),
+               static_cast<unsigned long long>(NS.WaitSheds),
                static_cast<unsigned long long>(NS.ProtocolErrors),
                static_cast<unsigned long long>(NS.OrphanedCompletions),
                static_cast<unsigned long long>(NS.AcceptOverflows));
