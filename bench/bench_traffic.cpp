@@ -29,6 +29,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "net/Latency.h"
 #include "net/Protocol.h"
 
 #include <algorithm>
@@ -57,9 +58,10 @@ struct Options {
   double Rate = 100.0;     // requests per second
   double Duration = 5.0;   // seconds of arrivals
   unsigned Conns = 4;      // connections (requests round-robin)
-  unsigned MixCompile = 1; // --mix c:r:s weights
+  unsigned MixCompile = 1; // --mix c:r:s[:q] weights
   unsigned MixRun = 8;
   unsigned MixScheme = 1;
+  unsigned MixCapture = 0;
   unsigned HotPrograms = 4;  // size of the hot (cache-friendly) set
   double HotRatio = 0.8;     // probability a request draws from it
   bool Poisson = false;      // exponential inter-arrivals vs fixed pace
@@ -77,8 +79,9 @@ void usage() {
       "  --rate R               arrivals per second (default 100)\n"
       "  --duration S           seconds of arrivals (default 5)\n"
       "  --conns N              client connections (default 4)\n"
-      "  --mix C:R:S            weight of compile-only, compile+run and\n"
-      "                         scheme-query requests (default 1:8:1)\n"
+      "  --mix C:R:S[:Q]        weight of compile-only, compile+run,\n"
+      "                         scheme-query and capture-query requests\n"
+      "                         (default 1:8:1:0)\n"
       "  --hot K                hot program set size (default 4)\n"
       "  --hot-ratio F          fraction of requests drawn from the hot\n"
       "                         set; the rest are unique cold sources\n"
@@ -194,15 +197,6 @@ void receiverMain(int Fd, Clock::time_point T0, std::vector<Received> &Out) {
   }
 }
 
-double percentileMs(const std::vector<uint64_t> &SortedNanos, double P) {
-  if (SortedNanos.empty())
-    return 0.0;
-  size_t Idx = static_cast<size_t>(P * static_cast<double>(SortedNanos.size()));
-  if (Idx >= SortedNanos.size())
-    Idx = SortedNanos.size() - 1;
-  return static_cast<double>(SortedNanos[Idx]) / 1e6;
-}
-
 /// Fetches the daemon's /stats JSON (empty on any failure — the server
 /// view is a best-effort addendum, never a reason to fail the bench).
 std::string httpGetStats(const std::string &Host, uint16_t Port) {
@@ -282,11 +276,16 @@ int main(int Argc, char **Argv) {
       Opt.Conns = static_cast<unsigned>(std::strtoul(Next(), nullptr, 10));
     } else if (!std::strcmp(A, "--mix")) {
       const char *S = Next();
-      if (std::sscanf(S, "%u:%u:%u", &Opt.MixCompile, &Opt.MixRun,
-                      &Opt.MixScheme) != 3 ||
-          Opt.MixCompile + Opt.MixRun + Opt.MixScheme == 0) {
-        std::fprintf(stderr, "bench_traffic: --mix wants C:R:S, got '%s'\n",
-                     S);
+      // Three weights is the historical spelling; the optional fourth
+      // slot adds capture queries without breaking existing scripts.
+      Opt.MixCapture = 0;
+      int Got = std::sscanf(S, "%u:%u:%u:%u", &Opt.MixCompile, &Opt.MixRun,
+                            &Opt.MixScheme, &Opt.MixCapture);
+      if (Got < 3 || Opt.MixCompile + Opt.MixRun + Opt.MixScheme +
+                             Opt.MixCapture ==
+                         0) {
+        std::fprintf(stderr,
+                     "bench_traffic: --mix wants C:R:S[:Q], got '%s'\n", S);
         return 2;
       }
     } else if (!std::strcmp(A, "--hot")) {
@@ -356,11 +355,15 @@ int main(int Argc, char **Argv) {
   std::mt19937_64 Rng(Opt.Seed);
   std::exponential_distribution<double> Gap(Opt.Rate);
   std::uniform_real_distribution<double> Unit(0.0, 1.0);
-  unsigned MixTotal = Opt.MixCompile + Opt.MixRun + Opt.MixScheme;
-  std::vector<uint64_t> SendNanos(N, 0);
+  unsigned MixTotal =
+      Opt.MixCompile + Opt.MixRun + Opt.MixScheme + Opt.MixCapture;
+  // Latency is measured from the *scheduled* arrival (see net/Latency.h):
+  // sender lag behind its own clock is queueing delay charged to the
+  // daemon, not silently forgiven.
+  std::vector<uint64_t> ScheduledNanos(N, 0);
   std::vector<uint8_t> SentTenant(N, 0);
   uint64_t SendFailures = 0;
-  std::vector<uint64_t> SentKind(3, 0);
+  std::vector<uint64_t> SentKind(4, 0);
   double DueSecs = 0.0;
   for (uint64_t I = 0; I < N; ++I) {
     DueSecs += Opt.Poisson ? Gap(Rng) : 1.0 / Opt.Rate;
@@ -392,9 +395,11 @@ int main(int Argc, char **Argv) {
         Req.Kind = MsgKind::Compile;
       } else if (Pick < Opt.MixCompile + Opt.MixRun) {
         Req.Kind = MsgKind::CompileRun;
-      } else {
+      } else if (Pick < Opt.MixCompile + Opt.MixRun + Opt.MixScheme) {
         Req.Kind = MsgKind::SchemeQuery;
         Req.SchemeNames = {"compose", "iter"};
+      } else {
+        Req.Kind = MsgKind::CaptureQuery;
       }
       ++SentKind[static_cast<unsigned>(Req.Kind)];
       // Hot draws repeat a small salt set (compile-cache hits); cold
@@ -405,9 +410,8 @@ int main(int Argc, char **Argv) {
 
     std::string Frame;
     encodeRequest(Req, Frame);
-    SendNanos[I] = static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - T0)
-            .count());
+    ScheduledNanos[I] =
+        static_cast<uint64_t>(DueSecs * 1e9);
     if (!sendAll(Fds[I % Opt.Conns], Frame))
       ++SendFailures;
   }
@@ -422,10 +426,12 @@ int main(int Argc, char **Argv) {
   for (int Fd : Fds)
     ::close(Fd);
 
-  // Merge and tally.
+  // Merge and tally. Every non-shed response with a known id lands one
+  // latency sample — negative pairs are clamped and counted, never
+  // dropped (a silently thinned population skews every percentile).
   uint64_t Responses = 0, Sheds = 0, Ok = 0, Errors = 0;
-  std::vector<uint64_t> LatNanos;
-  std::vector<std::vector<uint64_t>> TenantLat(Opt.Tenants);
+  LatencyAccumulator Lat;
+  std::vector<LatencyAccumulator> TenantLat(Opt.Tenants);
   std::vector<uint64_t> TenantOk(Opt.Tenants, 0), TenantShed(Opt.Tenants, 0);
   for (const std::vector<Received> &V : PerConn)
     for (const Received &R : V) {
@@ -441,31 +447,32 @@ int main(int Argc, char **Argv) {
         ++Ok;
       else
         ++Errors;
-      if (R.Id < N && R.RecvNanos >= SendNanos[R.Id]) {
-        uint64_t Lat = R.RecvNanos - SendNanos[R.Id];
-        LatNanos.push_back(Lat);
+      if (R.Id < N) {
+        Lat.record(ScheduledNanos[R.Id], R.RecvNanos);
         if (Opt.Tenants >= 2) {
           ++TenantOk[TI];
-          TenantLat[TI].push_back(Lat);
+          TenantLat[TI].record(ScheduledNanos[R.Id], R.RecvNanos);
         }
       }
     }
-  std::sort(LatNanos.begin(), LatNanos.end());
-  double P50 = percentileMs(LatNanos, 0.50);
-  double P95 = percentileMs(LatNanos, 0.95);
-  double P99 = percentileMs(LatNanos, 0.99);
+  Lat.finalize();
+  double P50 = Lat.percentileMs(0.50);
+  double P95 = Lat.percentileMs(0.95);
+  double P99 = Lat.percentileMs(0.99);
   double Throughput =
       WallSecs > 0 ? static_cast<double>(Responses - Sheds) / WallSecs : 0.0;
   double ShedRate =
       N > 0 ? static_cast<double>(Sheds) / static_cast<double>(N) : 0.0;
 
   std::printf("bench_traffic: %llu arrivals over %.2fs (%s pace, "
-              "%.0f/s target, %u conns, mix c:r:s = %llu:%llu:%llu)\n",
+              "%.0f/s target, %u conns, mix c:r:s:q = "
+              "%llu:%llu:%llu:%llu)\n",
               static_cast<unsigned long long>(N), WallSecs,
               Opt.Poisson ? "poisson" : "fixed", Opt.Rate, Opt.Conns,
               static_cast<unsigned long long>(SentKind[0]),
               static_cast<unsigned long long>(SentKind[1]),
-              static_cast<unsigned long long>(SentKind[2]));
+              static_cast<unsigned long long>(SentKind[2]),
+              static_cast<unsigned long long>(SentKind[3]));
   std::printf("  responses %llu (ok %llu, errors %llu, shed %llu"
               ", send failures %llu, missing %lld)\n",
               static_cast<unsigned long long>(Responses),
@@ -476,8 +483,10 @@ int main(int Argc, char **Argv) {
               static_cast<long long>(N - Responses - SendFailures));
   std::printf("  served throughput %.1f/s, shed rate %.1f%%\n", Throughput,
               100.0 * ShedRate);
-  std::printf("  latency p50 %.2fms p95 %.2fms p99 %.2fms (n=%zu)\n", P50,
-              P95, P99, LatNanos.size());
+  std::printf("  latency p50 %.2fms p95 %.2fms p99 %.2fms (n=%zu, "
+              "clamped %llu; scheduled-arrival basis)\n",
+              P50, P95, P99, Lat.count(),
+              static_cast<unsigned long long>(Lat.clamped()));
   // The server-side view: GC pause shape (the figure an operator reads
   // against rmld --gc-pause-budget) and, for tenant runs, the daemon's
   // own per-tenant admitted/completed/shed ledger.
@@ -509,10 +518,10 @@ int main(int Argc, char **Argv) {
   if (Opt.Tenants >= 2) {
     TenantJson = ",\"tenants\":[";
     for (unsigned TI = 0; TI < Opt.Tenants; ++TI) {
-      std::sort(TenantLat[TI].begin(), TenantLat[TI].end());
-      double TP50 = percentileMs(TenantLat[TI], 0.50);
-      double TP95 = percentileMs(TenantLat[TI], 0.95);
-      double TP99 = percentileMs(TenantLat[TI], 0.99);
+      TenantLat[TI].finalize();
+      double TP50 = TenantLat[TI].percentileMs(0.50);
+      double TP95 = TenantLat[TI].percentileMs(0.95);
+      double TP99 = TenantLat[TI].percentileMs(0.99);
       std::printf("  tenant t%u (%s): ok %llu shed %llu latency "
                   "p50 %.2fms p95 %.2fms p99 %.2fms\n",
                   TI, TI == 0 ? "heavy flood" : "light",
@@ -534,13 +543,15 @@ int main(int Argc, char **Argv) {
   std::printf("{\"sent\":%llu,\"responses\":%llu,\"ok\":%llu,"
               "\"errors\":%llu,\"shed\":%llu,\"shed_rate\":%.4f,"
               "\"throughput_rps\":%.1f,\"p50_ms\":%.2f,\"p95_ms\":%.2f,"
-              "\"p99_ms\":%.2f%s}\n",
+              "\"p99_ms\":%.2f,\"clamped\":%llu%s}\n",
               static_cast<unsigned long long>(N),
               static_cast<unsigned long long>(Responses),
               static_cast<unsigned long long>(Ok),
               static_cast<unsigned long long>(Errors),
               static_cast<unsigned long long>(Sheds), ShedRate, Throughput,
-              P50, P95, P99, TenantJson.c_str());
+              P50, P95, P99,
+              static_cast<unsigned long long>(Lat.clamped()),
+              TenantJson.c_str());
   // Missing responses (beyond sheds and send failures) mean the daemon
   // broke its contract; make scripts notice.
   return Responses + SendFailures >= N ? 0 : 1;

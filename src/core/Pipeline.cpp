@@ -26,6 +26,7 @@ const std::vector<Compiler::PhaseDef> &Compiler::staticPhaseRegistry() {
       {"multiplicity", &Compiler::phaseMultiplicity},
       {"kinds", &Compiler::phaseKinds},
       {"drops", &Compiler::phaseDrops},
+      {"captures", &Compiler::phaseCaptures},
       {"flatten", &Compiler::phaseFlatten},
   };
   return Registry;
@@ -109,13 +110,19 @@ bool Compiler::phaseDrops(std::string_view, CompiledUnit &Unit) {
   return true;
 }
 
+bool Compiler::phaseCaptures(std::string_view, CompiledUnit &Unit) {
+  Unit.Captures = analyzeCaptures(Unit.Inferred.Prog);
+  return true;
+}
+
 bool Compiler::phaseFlatten(std::string_view, CompiledUnit &Unit) {
   // The last static phase: every analysis the runtime consults is
-  // resolved into the self-contained flat form the caches persist.
-  Unit.Flat = std::make_shared<flat::FlatUnit>(
-      flat::flattenProgram(Unit.Inferred.Prog, Unit.Inferred.RootMu,
-                           Unit.Mult, Unit.Kinds, Unit.Drops, Names,
-                           Unit.Options.Strat));
+  // resolved into the self-contained flat form the caches persist —
+  // including, when the captures phase ran, its per-closure table.
+  Unit.Flat = std::make_shared<flat::FlatUnit>(flat::flattenProgram(
+      Unit.Inferred.Prog, Unit.Inferred.RootMu, Unit.Mult, Unit.Kinds,
+      Unit.Drops, Names, Unit.Options.Strat,
+      Unit.Captures ? &*Unit.Captures : nullptr));
   return true;
 }
 
@@ -134,9 +141,10 @@ std::unique_ptr<CompiledUnit> Compiler::compile(std::string_view Source,
   for (const PhaseDef &PD : staticPhaseRegistry()) {
     size_t NodesBefore = arenaFootprint().total();
     size_t DiagsBefore = Diags.all().size();
-    // The checker is the one optional phase; it stays in the profile
-    // list (the phase shape is stable across options) marked Skipped.
-    bool Skip = PD.Run == &Compiler::phaseCheck && !Opts.Check;
+    // Optional phases stay in the profile list (the phase shape is
+    // stable across options) marked Skipped.
+    bool Skip = (PD.Run == &Compiler::phaseCheck && !Opts.Check) ||
+                (PD.Run == &Compiler::phaseCaptures && !Opts.Captures);
     bool Ok = true;
     {
       PhaseTimer Timer(PD.Name, Sink);
@@ -269,6 +277,13 @@ std::string Compiler::schemeOf(const CompiledUnit &Unit,
   if (!Fun)
     return "";
   return printScheme(Fun->Sigma);
+}
+
+std::string Compiler::captureReport(const CompiledUnit &Unit) const {
+  if (!Unit.Captures)
+    return "";
+  return renderCaptureReport(Unit.Options.Strat,
+                             captureReportRows(*Unit.Captures, Names));
 }
 
 std::vector<std::pair<std::string, std::string>>

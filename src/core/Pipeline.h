@@ -33,6 +33,7 @@
 #include "flat/Flat.h"
 #include "rcheck/Check.h"
 #include "region/RExpr.h"
+#include "rinfer/Captures.h"
 #include "rinfer/DropRegions.h"
 #include "rinfer/Infer.h"
 #include "rinfer/Multiplicity.h"
@@ -84,6 +85,11 @@ struct CompileOptions {
   /// Validate the region-annotated program with the Figure 4 checker
   /// (GC-safety conditions enabled iff the strategy is rg).
   bool Check = true;
+  /// Run the capture-tracking analysis (rinfer/Captures.h): per-closure
+  /// captured-region sets, rendered by Compiler::captureReport and
+  /// persisted through the caches. Off by default — the phase stays in
+  /// the profile list marked Skipped, like an unchecked "check".
+  bool Captures = false;
 };
 
 /// Everything produced by a successful compilation.
@@ -96,6 +102,11 @@ struct CompiledUnit {
   MultiplicityInfo Mult;
   RegionKindInfo Kinds;
   DropInfo Drops;
+  /// Per-closure captured-region table (the "captures" phase); only set
+  /// when Options.Captures. Closure order matches Flat->Fns, and the
+  /// flatten phase embeds the same table in the flat unit so the report
+  /// survives serialisation.
+  std::optional<CaptureInfo> Captures;
   /// The flat, offset-based form of the program (built by the "flatten"
   /// phase): directly executable (Compiler::runFlat / rt::runFlatUnit)
   /// and what the disk cache persists to make warm restarts runnable.
@@ -107,8 +118,9 @@ struct CompiledUnit {
   std::optional<CheckResult> Checked;
   /// One profile per static phase, in registry order (see
   /// Compiler::staticPhaseNames()); the "check" entry is marked Skipped
-  /// when Options.Check is off. The runtime phase is not here — each
-  /// run() returns its own profile in rt::RunResult::Phase.
+  /// when Options.Check is off and "captures" when Options.Captures is
+  /// off. The runtime phase is not here — each run() returns its own
+  /// profile in rt::RunResult::Phase.
   std::vector<PhaseProfile> Profiles;
 
   const RProgram &program() const { return Inferred.Prog; }
@@ -237,6 +249,13 @@ public:
   std::vector<std::pair<std::string, std::string>>
   topLevelSchemes(const CompiledUnit &Unit) const;
 
+  /// The rendered capture report (rinfer/Captures.h) of a unit compiled
+  /// with Options.Captures; empty otherwise. Purely const, and
+  /// byte-identical to flat::renderCaptureReport over the unit's flat
+  /// form — the property the differential suites pin across cache
+  /// tiers and process restarts.
+  std::string captureReport(const CompiledUnit &Unit) const;
+
   DiagnosticEngine &diagnostics() { return Diags; }
   Interner &names() { return Names; }
   const Interner &names() const { return Names; }
@@ -275,6 +294,7 @@ private:
   bool phaseMultiplicity(std::string_view Source, CompiledUnit &Unit);
   bool phaseKinds(std::string_view Source, CompiledUnit &Unit);
   bool phaseDrops(std::string_view Source, CompiledUnit &Unit);
+  bool phaseCaptures(std::string_view Source, CompiledUnit &Unit);
   bool phaseFlatten(std::string_view Source, CompiledUnit &Unit);
 
   Interner Names;

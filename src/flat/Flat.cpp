@@ -202,7 +202,8 @@ public:
             const RegionKindInfo &Kinds, const Interner &Names)
       : FP(FP), Mult(Mult), Kinds(Kinds), Names(Names) {}
 
-  FlatUnit take(const RProgram &P, const Mu *RootMu, Strategy Strat) {
+  FlatUnit take(const RProgram &P, const Mu *RootMu, Strategy Strat,
+                const CaptureInfo *Caps) {
     U.Strat = static_cast<uint8_t>(Strat);
     RegionIds.insert(0); // the global region always has an entry
     U.Root = flatten(P.Root);
@@ -223,6 +224,25 @@ public:
       for (uint32_t R : F.FreeRegions)
         U.Aux.push_back(R);
       U.Fns.push_back(FF);
+    }
+    // Capture table: the analysis enumerates closures in this pass's
+    // own pre-order, so entry i annotates Fns[i]. A mismatched table
+    // (impossible through the pipeline; conceivable for hand-built
+    // inputs) is dropped rather than misattributed.
+    if (Caps && Caps->Closures.size() == U.Fns.size()) {
+      U.HasCaptures = 1;
+      for (const ClosureCapture &C : Caps->Closures) {
+        FlatCapture FC;
+        FC.ValueBegin = static_cast<uint32_t>(U.Aux.size());
+        FC.ValueCount = static_cast<uint32_t>(C.ViaValue.size());
+        for (uint32_t R : C.ViaValue)
+          U.Aux.push_back(R);
+        FC.EffectBegin = static_cast<uint32_t>(U.Aux.size());
+        FC.EffectCount = static_cast<uint32_t>(C.ViaEffect.size());
+        for (uint32_t R : C.ViaEffect)
+          U.Aux.push_back(R);
+        U.Caps.push_back(FC);
+      }
     }
     // Region facts, ascending by id (regionInfo binary-searches).
     for (uint32_t Id : RegionIds) {
@@ -442,11 +462,35 @@ FlatUnit rml::flat::flattenProgram(const RProgram &P, const Mu *RootMu,
                                    const MultiplicityInfo &Mult,
                                    const RegionKindInfo &Kinds,
                                    const DropInfo &Drops,
-                                   const Interner &Names, Strategy Strat) {
+                                   const Interner &Names, Strategy Strat,
+                                   const CaptureInfo *Caps) {
   FnPass FP(Drops);
   FP.run(P);
   Flattener F(FP, Mult, Kinds, Names);
-  return F.take(P, RootMu, Strat);
+  return F.take(P, RootMu, Strat, Caps);
+}
+
+std::string rml::flat::renderCaptureReport(const FlatUnit &U) {
+  if (!U.HasCaptures)
+    return "";
+  std::vector<CaptureReportRow> Rows;
+  Rows.reserve(U.Caps.size());
+  for (size_t I = 0; I < U.Caps.size(); ++I) {
+    const FlatFn &F = U.Fns[I];
+    const FlatCapture &C = U.Caps[I];
+    CaptureReportRow R;
+    R.IsFun = F.Self != NoIndex;
+    if (F.Self != NoIndex)
+      R.Self = std::string(U.str(F.Self));
+    if (F.Param != NoIndex)
+      R.Param = std::string(U.str(F.Param));
+    R.ViaValue.assign(U.Aux.begin() + C.ValueBegin,
+                      U.Aux.begin() + C.ValueBegin + C.ValueCount);
+    R.ViaEffect.assign(U.Aux.begin() + C.EffectBegin,
+                       U.Aux.begin() + C.EffectBegin + C.EffectCount);
+    Rows.push_back(std::move(R));
+  }
+  return rml::renderCaptureReport(static_cast<Strategy>(U.Strat), Rows);
 }
 
 //===----------------------------------------------------------------------===//
@@ -456,7 +500,9 @@ FlatUnit rml::flat::flattenProgram(const RProgram &P, const Mu *RootMu,
 namespace {
 
 constexpr char Magic[8] = {'R', 'M', 'L', 'F', 'L', 'A', 'T', '1'};
-constexpr uint32_t FlatVersion = 1;
+/// v2 added the HasCaptures flag and the Caps table; v1 bytes are
+/// version-rejected (the disk cache degrades that to a counted miss).
+constexpr uint32_t FlatVersion = 2;
 
 uint64_t fnv1a(std::string_view Bytes) {
   uint64_t H = 0xcbf29ce484222325ull;
@@ -571,6 +617,7 @@ FlatNode decodeNode(Reader &R) {
 }
 
 constexpr size_t FnBytes = 7 * 4;
+constexpr size_t CapBytes = 4 * 4;
 constexpr size_t MuBytes = 1 + 4;
 constexpr size_t TauBytes = 1 + 2 * 4;
 constexpr size_t RegionBytes = 4 + 1 + 1 + 4;
@@ -595,6 +642,12 @@ bool nodeRefOk(uint32_t Id, const FlatUnit &U) {
 /// table, so the interpreter can index without bounds checks.
 bool validate(const FlatUnit &U) {
   if (U.Strat > static_cast<uint8_t>(Strategy::R))
+    return false;
+  if (U.HasCaptures > 1)
+    return false;
+  // The capture table is all-or-nothing: parallel to Fns when the flag
+  // is set, absent when it is not.
+  if (U.Caps.size() != (U.HasCaptures ? U.Fns.size() : 0))
     return false;
   if (U.Root >= U.Nodes.size())
     return false;
@@ -656,6 +709,11 @@ bool validate(const FlatUnit &U) {
         return false;
   }
 
+  for (const FlatCapture &C : U.Caps)
+    if (!spanOk(C.ValueBegin, C.ValueCount, U.Aux.size()) ||
+        !spanOk(C.EffectBegin, C.EffectCount, U.Aux.size()))
+      return false;
+
   for (const FlatMu &M : U.Mus) {
     if (M.Kind > static_cast<uint8_t>(Mu::Kind::Boxed))
       return false;
@@ -692,6 +750,7 @@ bool validate(const FlatUnit &U) {
 std::string rml::flat::encodeFlat(const FlatUnit &U) {
   std::string Body;
   putU8(Body, U.Strat);
+  putU8(Body, U.HasCaptures);
   putU32(Body, U.Root);
   putU32(Body, U.RootMu);
   putU64(Body, U.Nodes.size());
@@ -706,6 +765,13 @@ std::string rml::flat::encodeFlat(const FlatUnit &U) {
     putU32(Body, F.CapturesCount);
     putU32(Body, F.FreeRegionsBegin);
     putU32(Body, F.FreeRegionsCount);
+  }
+  putU64(Body, U.Caps.size());
+  for (const FlatCapture &C : U.Caps) {
+    putU32(Body, C.ValueBegin);
+    putU32(Body, C.ValueCount);
+    putU32(Body, C.EffectBegin);
+    putU32(Body, C.EffectCount);
   }
   putU64(Body, U.Aux.size());
   for (uint32_t V : U.Aux)
@@ -769,6 +835,7 @@ std::shared_ptr<const FlatUnit> rml::flat::decodeFlat(std::string_view Bytes) {
   Reader R{BodyBytes};
   auto U = std::make_shared<FlatUnit>();
   U->Strat = R.u8();
+  U->HasCaptures = R.u8();
   U->Root = R.u32();
   U->RootMu = R.u32();
 
@@ -793,6 +860,19 @@ std::shared_ptr<const FlatUnit> rml::flat::decodeFlat(std::string_view Bytes) {
     F.FreeRegionsBegin = R.u32();
     F.FreeRegionsCount = R.u32();
     U->Fns.push_back(F);
+  }
+
+  uint64_t NumCaps = R.u64();
+  if (!R.fits(NumCaps, CapBytes))
+    return nullptr;
+  U->Caps.reserve(NumCaps);
+  for (uint64_t I = 0; I < NumCaps && R.Ok; ++I) {
+    FlatCapture C;
+    C.ValueBegin = R.u32();
+    C.ValueCount = R.u32();
+    C.EffectBegin = R.u32();
+    C.EffectCount = R.u32();
+    U->Caps.push_back(C);
   }
 
   uint64_t NumAux = R.u64();

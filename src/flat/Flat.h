@@ -52,6 +52,7 @@
 #define RML_FLAT_FLAT_H
 
 #include "region/RExpr.h"
+#include "rinfer/Captures.h"
 #include "rinfer/DropRegions.h"
 #include "rinfer/Multiplicity.h"
 #include "rinfer/RegionKinds.h"
@@ -97,6 +98,14 @@ struct FlatNode {
   uint32_t Fn = NoIndex;       ///< Lam/FunBind: FlatUnit::Fns index
 };
 
+/// One closure's captured-region sets (rinfer/Captures.h), spans into
+/// Aux holding ascending static region ids. Present (Caps parallel to
+/// Fns) only when the unit was compiled with the captures analysis.
+struct FlatCapture {
+  uint32_t ValueBegin = 0, ValueCount = 0;   ///< captured via value
+  uint32_t EffectBegin = 0, EffectCount = 0; ///< in the latent effect
+};
+
 /// One compiled lambda / fun binding — the flat twin of the tree
 /// evaluator's per-function record, with the drop analysis already
 /// applied to the free-region set.
@@ -136,10 +145,15 @@ struct FlatUnit {
   /// Strategy the unit was compiled under (Strategy::R disables GC at
   /// run time, mirroring Compiler::run).
   uint8_t Strat = 0;
+  /// 1 when the unit carries the capture-tracking table (then Caps is
+  /// parallel to Fns — even when both are empty, so a closure-free
+  /// program still renders a report).
+  uint8_t HasCaptures = 0;
   uint32_t Root = NoIndex;   ///< program root node
   uint32_t RootMu = NoIndex; ///< result type (Mus index; NoIndex = none)
   std::vector<FlatNode> Nodes;
   std::vector<FlatFn> Fns;
+  std::vector<FlatCapture> Caps; ///< empty, or one entry per Fns entry
   std::vector<uint32_t> Aux;
   std::vector<FlatMu> Mus;
   std::vector<FlatTau> Taus;
@@ -164,10 +178,20 @@ struct FlatUnit {
 /// Flattens a compiled program. Deterministic: the node, function and
 /// string tables are filled in one fixed pre-order walk, so identical
 /// inputs yield identical (and identically serialisable) units.
+/// \p Caps, when non-null, is the capture-tracking table for \p P in
+/// the same closure pre-order this pass discovers functions in; it is
+/// embedded as the Caps/Aux sections so the report survives
+/// serialisation.
 FlatUnit flattenProgram(const RProgram &P, const Mu *RootMu,
                         const MultiplicityInfo &Mult,
                         const RegionKindInfo &Kinds, const DropInfo &Drops,
-                        const Interner &Names, Strategy Strat);
+                        const Interner &Names, Strategy Strat,
+                        const CaptureInfo *Caps = nullptr);
+
+/// Renders the capture report from a flat unit's embedded table —
+/// byte-identical to Compiler::captureReport on the tree side (same
+/// formatter, same data). Empty when the unit carries no table.
+std::string renderCaptureReport(const FlatUnit &U);
 
 /// Serialises \p U: magic + version + body checksum + the tables in
 /// fixed order, explicit little-endian widths. Bit-deterministic, and

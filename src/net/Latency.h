@@ -1,0 +1,83 @@
+//===- net/Latency.h - Open-loop latency accounting -------------*- C++ -*-===//
+//
+// Part of RegionML, a reproduction of "Garbage-Collection Safety for
+// Region-Based Type-Polymorphic Programs" (Elsman, PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Latency bookkeeping for open-loop load drivers (bench_traffic). In an
+/// open-loop bench a request's latency is measured from its *scheduled*
+/// arrival time, not from the instant the sender finally got it onto
+/// the wire: when the sender falls behind its own clock (oversleep, a
+/// blocking send), that lag is queueing delay the target caused and
+/// must be charged to it — measuring from the actual send instead
+/// silently forgives it (the classic coordinated-omission mistake).
+///
+/// The scheduled basis has one sharp edge: a timestamp pair can come
+/// out negative (a response stamped against a scheduled time by a
+/// different clock read, coarse clocks, or plain bookkeeping bugs in a
+/// driver). A naive unsigned subtraction turns that into a ~2^64 ns
+/// "sample" that lands in the max bucket and wrecks every percentile
+/// above it; silently dropping the sample skews the distribution the
+/// other way. LatencyAccumulator does neither: it clamps the sample to
+/// zero, keeps it in the population, and counts the clamp so the
+/// summary can say how often it happened.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RML_NET_LATENCY_H
+#define RML_NET_LATENCY_H
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace rml::net {
+
+/// Collects latency samples on the scheduled-arrival basis, clamping
+/// (and counting) negative pairs instead of dropping or wrapping them.
+class LatencyAccumulator {
+public:
+  /// Records the latency of one response: \p RecvNanos minus
+  /// \p ScheduledNanos, clamped to zero when the pair is inverted.
+  /// \returns the recorded (clamped) sample.
+  uint64_t record(uint64_t ScheduledNanos, uint64_t RecvNanos) {
+    uint64_t Lat = 0;
+    if (RecvNanos >= ScheduledNanos)
+      Lat = RecvNanos - ScheduledNanos;
+    else
+      ++ClampedCount;
+    Samples.push_back(Lat);
+    return Lat;
+  }
+
+  size_t count() const { return Samples.size(); }
+  uint64_t clamped() const { return ClampedCount; }
+
+  /// Sorts the samples in place and returns them (call once, after the
+  /// last record; percentile() assumes this ran).
+  const std::vector<uint64_t> &finalize() {
+    std::sort(Samples.begin(), Samples.end());
+    return Samples;
+  }
+
+  /// The \p P-quantile (0..1) of the finalized samples, in
+  /// milliseconds; 0 when empty.
+  double percentileMs(double P) const {
+    if (Samples.empty())
+      return 0.0;
+    size_t Idx = static_cast<size_t>(P * static_cast<double>(Samples.size()));
+    if (Idx >= Samples.size())
+      Idx = Samples.size() - 1;
+    return static_cast<double>(Samples[Idx]) / 1e6;
+  }
+
+private:
+  std::vector<uint64_t> Samples;
+  uint64_t ClampedCount = 0;
+};
+
+} // namespace rml::net
+
+#endif // RML_NET_LATENCY_H

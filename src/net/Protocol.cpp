@@ -171,7 +171,7 @@ Decode rml::net::decodeRequest(std::string_view Buf, size_t &Consumed,
   uint16_t NSchemes = 0;
   if (!R.u64(Req.Id) || !R.u8(Kind) || !R.u8(Flags) || !R.u32(SrcLen))
     return bad(Err, "truncated request header");
-  if (Kind > static_cast<uint8_t>(MsgKind::SchemeQuery))
+  if (Kind > static_cast<uint8_t>(MsgKind::CaptureQuery))
     return bad(Err, "unknown request kind " + std::to_string(Kind));
   if (Flags & ~(ReqFlagTenant | ReqFlagDeadline))
     return bad(Err, "unknown request flag bits");

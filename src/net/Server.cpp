@@ -44,7 +44,9 @@ WireResponse toWire(uint64_t Id, const service::Response &R) {
   W.CacheHit = R.CacheHit;
   W.Ran = R.Ran;
   W.Schemes = R.Schemes;
-  W.Result = R.ResultText;
+  // A capture query never runs, so ResultText is empty and the report
+  // rides in the result slot; for every other kind the report is empty.
+  W.Result = !R.CaptureReport.empty() ? R.CaptureReport : R.ResultText;
   W.Error = !R.Diagnostics.empty() ? R.Diagnostics : R.Error;
   return W;
 }
@@ -257,6 +259,10 @@ void Server::onRequest(Connection &C, WireRequest Req) {
   case MsgKind::SchemeQuery:
     SR.Run = false;
     SR.SchemeNames = std::move(Req.SchemeNames);
+    break;
+  case MsgKind::CaptureQuery:
+    SR.Run = false;
+    SR.Opts.Captures = true;
     break;
   }
   uint64_t Id = Req.Id;

@@ -1,0 +1,105 @@
+//===- rinfer/Captures.h - Per-closure captured-region analysis -*- C++ -*-===//
+//
+// Part of RegionML, a reproduction of "Garbage-Collection Safety for
+// Region-Based Type-Polymorphic Programs" (Elsman, PLDI 2023).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The capture-tracking analysis: for every lambda / fun binding in a
+/// region-annotated program, which region variables does the closure
+/// capture? Following "Tracking Captured Variables in Types", the set is
+/// split two ways, because the split is exactly where the paper's
+/// GC-safety argument lives:
+///
+///   * **via value** — the free region variables of the types of the
+///     program variables the closure captures (fpv of Section 3.6).
+///     These regions are reachable from the closure record itself, so
+///     the collector will trace into them.
+///   * **via latent effect** — the free region variables of the
+///     closure's latent arrow effect (a lambda's recorded nu; a fun
+///     binding's scheme-body nu minus the scheme's bound variables).
+///     These are the regions the *type system* promises to keep alive
+///     while the closure may still be applied.
+///
+/// The per-closure `value \ latent` residue — the *escaped* set — is
+/// where the two views disagree: regions the closure record holds that
+/// the effect system never mentions. Their liveness is exactly what the
+/// paper's GC-safety side conditions exist for: under rg, region
+/// containment pins each such region's letregion outside the closure's
+/// lifetime, so the collector can trace into it; under rg- that
+/// protection is weaker and the escaped set is the candidate dangling
+/// window — on the paper's Figure 1 the report flags precisely r-box,
+/// the region the rg- run dies tracing into. The pass is a separate
+/// reconstruction over the finished inference output — "Algebraic
+/// Reconstruction of Types and Effects" style — never a change to
+/// inference itself.
+///
+/// Closures are enumerated in the same fixed pre-order the flattener's
+/// function pass uses, so index i here is index i in FlatUnit::Fns and
+/// the flat form can persist (and re-render) the table byte-identically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RML_RINFER_CAPTURES_H
+#define RML_RINFER_CAPTURES_H
+
+#include "region/RExpr.h"
+#include "rinfer/Strategy.h"
+#include "support/Interner.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rml {
+
+/// One closure's capture sets. Region ids are strictly ascending and
+/// never include the global region (id 0) — it is always live, so
+/// listing it would only blur every diff.
+struct ClosureCapture {
+  bool IsFun = false; ///< FunBind (letrec) vs plain lambda
+  Symbol Self;        ///< FunBind name; invalid for lambdas
+  Symbol Param;
+  std::vector<uint32_t> ViaValue;  ///< regions of captured variables' types
+  std::vector<uint32_t> ViaEffect; ///< regions of the latent arrow effect
+};
+
+/// The whole program's capture table, closures in flatten order.
+struct CaptureInfo {
+  std::vector<ClosureCapture> Closures;
+};
+
+/// Runs the analysis over a finished region inference result. Pure and
+/// deterministic: identical programs produce identical tables.
+CaptureInfo analyzeCaptures(const RProgram &P);
+
+/// One rendered row of the capture report — plain strings, so the tree
+/// side (CaptureInfo + Interner) and the flat side (FlatUnit string
+/// table) can feed the same formatter and stay byte-identical.
+struct CaptureReportRow {
+  bool IsFun = false;
+  std::string Self;  ///< empty for lambdas
+  std::string Param; ///< empty renders as "_"
+  std::vector<uint32_t> ViaValue;
+  std::vector<uint32_t> ViaEffect;
+};
+
+/// Renders the deterministic capture report: a `captures v1` header,
+/// one line per closure (value / latent region sets, plus the
+/// `value\latent` residue when it is nonempty), and a totals line with
+/// the Figure-9-style counts (closures, distinct captured regions, and
+/// the number of (closure, region) pairs escaping the latent effect —
+/// the pairs whose liveness rests on the strategy's containment side
+/// conditions rather than on the effect system).
+std::string renderCaptureReport(Strategy Strat,
+                                const std::vector<CaptureReportRow> &Rows);
+
+/// Convenience: rows from an analysis result plus the interner that
+/// owns its symbols.
+std::vector<CaptureReportRow> captureReportRows(const CaptureInfo &Info,
+                                                const Interner &Names);
+
+} // namespace rml
+
+#endif // RML_RINFER_CAPTURES_H

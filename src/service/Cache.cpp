@@ -24,6 +24,7 @@ CachedCompileRef rml::service::compileShared(std::string_view Source,
   if (CC->Unit) {
     CC->Printed = CC->Owner->printProgram(*CC->Unit);
     CC->Schemes = CC->Owner->topLevelSchemes(*CC->Unit);
+    CC->CaptureReport = CC->Owner->captureReport(*CC->Unit);
     // Alias the unit's flat form: run() prefers it, and the disk tier
     // persists it so warm restarts are runnable without recompiling.
     CC->Flat = CC->Unit->Flat;

@@ -87,6 +87,11 @@ struct CachedCompile {
   std::string Diagnostics;
   /// printProgram() output, rendered once at compile time.
   std::string Printed;
+  /// The capture-tracking report (rinfer/Captures.h), rendered once at
+  /// compile time when the unit was compiled with Options.Captures.
+  /// Persisted by the disk tier, so capture queries are byte-identical
+  /// across tiers and restarts. Empty when the phase did not run.
+  std::string CaptureReport;
   /// Every top-level binding's rendered scheme, outermost first (the
   /// lookup order of Compiler::schemeOf). Persisted by the disk tier,
   /// so scheme queries are byte-identical across tiers and restarts.

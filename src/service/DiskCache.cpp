@@ -126,11 +126,13 @@ void DiskCache::store(const CacheKey &K, const CachedCompile &V) const {
   Buf.push_back(static_cast<char>(K.Strat));
   Buf.push_back(static_cast<char>(K.Spurious));
   Buf.push_back(K.Check ? 1 : 0);
+  Buf.push_back(K.Captures ? 1 : 0);
   Buf.push_back(V.Ok ? 1 : 0);
   putU64(Buf, K.Hash);
   putStr(Buf, K.Source);
   putStr(Buf, V.Diagnostics);
   putStr(Buf, V.Printed);
+  putStr(Buf, V.CaptureReport);
   putU64(Buf, V.Schemes.size());
   for (const auto &[Name, Scheme] : V.Schemes) {
     putStr(Buf, Name);
@@ -192,7 +194,8 @@ CachedCompileRef DiskCache::load(const CacheKey &K) const {
     MagicOk = std::memcmp(FileMagic, Magic, sizeof(Magic)) == 0;
   }
   uint32_t Version = R.u32();
-  uint8_t Strat = R.u8(), Spurious = R.u8(), Check = R.u8(), Ok = R.u8();
+  uint8_t Strat = R.u8(), Spurious = R.u8(), Check = R.u8();
+  uint8_t Captures = R.u8(), Ok = R.u8();
   uint64_t Hash = R.u64();
   std::string Source = R.str();
   auto CC = std::make_shared<CachedCompile>();
@@ -200,6 +203,7 @@ CachedCompileRef DiskCache::load(const CacheKey &K) const {
   CC->Ok = Ok != 0;
   CC->Diagnostics = R.str();
   CC->Printed = R.str();
+  CC->CaptureReport = R.str();
   uint64_t NumSchemes = R.u64();
   for (uint64_t I = 0; R.Ok && I < NumSchemes; ++I) {
     std::string Name = R.str();
@@ -227,7 +231,7 @@ CachedCompileRef DiskCache::load(const CacheKey &K) const {
       HasFlat > 1 || Hash != K.Hash || Source != K.Source ||
       Strat != static_cast<uint8_t>(K.Strat) ||
       Spurious != static_cast<uint8_t>(K.Spurious) ||
-      Check != (K.Check ? 1 : 0)) {
+      Check != (K.Check ? 1 : 0) || Captures != (K.Captures ? 1 : 0)) {
     ++LoadRejects;
     return nullptr;
   }

@@ -152,8 +152,10 @@ public:
 
   /// Current serialisation version; bumped on any format change so old
   /// files fail closed to a miss instead of being misparsed. Version 2
-  /// appended the embedded flat unit; v1 files are version-rejected.
-  static constexpr uint32_t FormatVersion = 2;
+  /// appended the embedded flat unit; version 3 added the Captures
+  /// option byte and the persisted capture report; v1/v2 files are
+  /// version-rejected.
+  static constexpr uint32_t FormatVersion = 3;
   /// First bytes of every entry file.
   static constexpr char Magic[8] = {'R', 'M', 'L', 'D', 'C', 'A', 'C', 'H'};
 

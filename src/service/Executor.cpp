@@ -156,6 +156,7 @@ Response Executor::processImpl(const Request &Req) const {
   }
 
   Resp.Printed = CC->Printed;
+  Resp.CaptureReport = CC->CaptureReport;
   Resp.Schemes.reserve(Req.SchemeNames.size());
   for (const std::string &Name : Req.SchemeNames)
     Resp.Schemes.emplace_back(Name, CC->schemeOf(Name));

@@ -11,8 +11,8 @@
 /// yields the same region-annotated program, schemes and analyses — so a
 /// compilation is fully identified by hashing exactly the inputs the
 /// pipeline reads: the source text plus the Strategy / SpuriousMode /
-/// Check knobs. EvalOptions deliberately do NOT enter the key; they only
-/// affect run(), which is recomputed per request.
+/// Check / Captures knobs. EvalOptions deliberately do NOT enter the
+/// key; they only affect run(), which is recomputed per request.
 ///
 /// The hash is 64-bit FNV-1a: no dependencies, stable across platforms,
 /// and cheap enough to be negligible next to a parse. Collisions are
@@ -64,6 +64,7 @@ inline uint64_t hashCompileInputs(std::string_view Source,
       .byte(static_cast<uint8_t>(Opts.Strat))
       .byte(static_cast<uint8_t>(Opts.Spurious))
       .byte(Opts.Check ? 1 : 0)
+      .byte(Opts.Captures ? 1 : 0)
       .value();
 }
 
@@ -75,6 +76,7 @@ struct CacheKey {
   Strategy Strat = Strategy::Rg;
   SpuriousMode Spurious = SpuriousMode::FreshSecondary;
   bool Check = true;
+  bool Captures = false;
 
   static CacheKey of(std::string_view Source, const CompileOptions &Opts) {
     CacheKey K;
@@ -83,13 +85,14 @@ struct CacheKey {
     K.Strat = Opts.Strat;
     K.Spurious = Opts.Spurious;
     K.Check = Opts.Check;
+    K.Captures = Opts.Captures;
     return K;
   }
 
   friend bool operator==(const CacheKey &A, const CacheKey &B) {
     return A.Hash == B.Hash && A.Strat == B.Strat &&
            A.Spurious == B.Spurious && A.Check == B.Check &&
-           A.Source == B.Source;
+           A.Captures == B.Captures && A.Source == B.Source;
   }
   friend bool operator!=(const CacheKey &A, const CacheKey &B) {
     return !(A == B);

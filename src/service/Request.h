@@ -89,6 +89,11 @@ struct Response {
   std::string Printed;
   /// (name, rendered scheme) for every requested SchemeName, in order.
   std::vector<std::pair<std::string, std::string>> Schemes;
+  /// The capture-tracking report (rinfer/Captures.h), non-empty exactly
+  /// when the request was compiled with Opts.Captures and the compile
+  /// succeeded. Byte-identical whether the compile was fresh, a memory
+  /// hit, or a disk-tier hit.
+  std::string CaptureReport;
   /// True when the program was executed (CompileOk && Request.Run).
   bool Ran = false;
   rt::RunOutcome Outcome = rt::RunOutcome::Ok;

@@ -349,6 +349,60 @@ TEST(DiskServiceTest, WarmRestartServesByteIdenticalAnswersFromDisk) {
   }
 }
 
+TEST(DiskServiceTest, SchemeQueriesFromDiskHandleShadowedAndUnknownNames) {
+  ScratchDir Dir("schemes");
+
+  // `pick` is bound twice at top level. Compiler::schemeOf answers for
+  // the outermost binding (later rebindings dropped), and the persisted
+  // table must encode the same rule — a disk entry that kept both rows,
+  // or the wrong one, would flip the answer on a warm restart.
+  const char *Shadowed = R"(
+fun pick x = x
+fun pick p = #1 p
+;pick (1, 2)
+)";
+
+  // Ground truth from a fresh compile, no caches anywhere.
+  std::string FreshScheme;
+  {
+    Compiler C;
+    auto Unit = C.compile(Shadowed);
+    ASSERT_NE(Unit, nullptr);
+    FreshScheme = C.schemeOf(*Unit, "pick");
+    ASSERT_FALSE(FreshScheme.empty()) << "outermost pick is polymorphic";
+    EXPECT_EQ(C.schemeOf(*Unit, "nosuch"), "");
+  }
+
+  Request Req;
+  Req.Source = Shadowed;
+  Req.Run = false;
+  Req.SchemeNames = {"pick", "nosuch"};
+
+  Response Cold;
+  {
+    Service Svc(diskServiceConfig(Dir.str(), 1));
+    Cold = Svc.submit(Req).get();
+    ASSERT_EQ(Cold.Status, RequestOutcome::Ok) << Cold.Diagnostics;
+    ASSERT_EQ(Cold.Schemes.size(), 2u);
+    EXPECT_EQ(Cold.Schemes[0].second, FreshScheme);
+    EXPECT_EQ(Cold.Schemes[1].second, "");
+  }
+
+  // Warm restart: the table-based answers from the disk entry are the
+  // bytes the fresh compile produced — shadowed and unknown alike.
+  {
+    Service Svc(diskServiceConfig(Dir.str(), 1));
+    Response Warm = Svc.submit(Req).get();
+    ASSERT_EQ(Warm.Status, RequestOutcome::Ok) << Warm.Diagnostics;
+    EXPECT_TRUE(Warm.CacheHit);
+    EXPECT_EQ(Svc.stats().DiskHits, 1u);
+    ASSERT_EQ(Warm.Schemes.size(), 2u);
+    EXPECT_EQ(Warm.Schemes[0].second, FreshScheme);
+    EXPECT_EQ(Warm.Schemes[1].second, "");
+    EXPECT_EQ(Warm.Schemes, Cold.Schemes);
+  }
+}
+
 TEST(DiskServiceTest, RunRequestExecutesStraightFromADiskEntry) {
   ScratchDir Dir("hydrate");
 

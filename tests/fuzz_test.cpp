@@ -360,6 +360,27 @@ TEST_P(FuzzTest, PipelineAgreementAndGcSafety) {
       EXPECT_EQ(FR.Steps, Ref.Steps) << Src;
     }
 
+    // The capture-tracking table rides the same flat container: on
+    // every generated program the report the compiler renders survives
+    // encode -> decode byte-identically (what a disk-tier process
+    // re-renders after a warm restart), and the fail-closed decoder
+    // accepts everything the flattener emits.
+    {
+      Compiler CapC;
+      CompileOptions CapOpts;
+      CapOpts.Captures = true;
+      auto CapUnit = CapC.compile(Src, CapOpts);
+      ASSERT_NE(CapUnit, nullptr)
+          << "captures compile failed:\n" << CapC.diagnostics().str() << Src;
+      std::string Report = CapC.captureReport(*CapUnit);
+      ASSERT_NE(CapUnit->Flat, nullptr) << Src;
+      EXPECT_EQ(CapUnit->Flat->HasCaptures, 1u) << Src;
+      EXPECT_EQ(flat::renderCaptureReport(*CapUnit->Flat), Report) << Src;
+      auto CapBack = flat::decodeFlat(flat::encodeFlat(*CapUnit->Flat));
+      ASSERT_NE(CapBack, nullptr) << Src;
+      EXPECT_EQ(flat::renderCaptureReport(*CapBack), Report) << Src;
+    }
+
     // Every other configuration computes the same value.
     struct Config {
       const char *Name;

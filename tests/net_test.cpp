@@ -12,6 +12,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "net/Http.h"
+#include "net/Latency.h"
 #include "net/Protocol.h"
 #include "net/Server.h"
 
@@ -205,7 +206,7 @@ TEST(NetProtocol, UnknownKindStatusAndFlagBitsAreRejected) {
   WireRequest Req = sampleRequest();
   std::string Wire;
   encodeRequest(Req, Wire);
-  Wire[4 + 8] = '\x03'; // kind byte: 3 is out of range
+  Wire[4 + 8] = '\x04'; // kind byte: 4 (past CaptureQuery) is out of range
   WireRequest Out;
   std::string Err;
   size_t Consumed = 0;
@@ -317,6 +318,61 @@ TEST(NetProtocol, FuzzNeverCrashesNeverOverConsumes) {
       EXPECT_EQ(Consumed, 0u);
     }
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Open-loop latency accounting (bench_traffic's accumulator).
+//===----------------------------------------------------------------------===//
+
+TEST(NetLatency, RecordsFromTheScheduledArrival) {
+  LatencyAccumulator L;
+  // 100ns scheduled, 350ns received: 250ns of latency — including any
+  // sender lag between the scheduled and actual send.
+  EXPECT_EQ(L.record(/*ScheduledNanos=*/100, /*RecvNanos=*/350), 250u);
+  EXPECT_EQ(L.count(), 1u);
+  EXPECT_EQ(L.clamped(), 0u);
+}
+
+TEST(NetLatency, InvertedPairsClampToZeroAndAreCounted) {
+  // The regression this type exists for: an inverted timestamp pair
+  // must clamp to a zero sample — not wrap to ~2^64 ns (which would
+  // wreck every percentile above it) and not vanish from the
+  // population (which would skew the distribution the other way).
+  LatencyAccumulator L;
+  EXPECT_EQ(L.record(/*ScheduledNanos=*/500, /*RecvNanos=*/200), 0u);
+  EXPECT_EQ(L.record(1'000'000, 999'999), 0u);
+  EXPECT_EQ(L.record(100, 100), 0u); // equal is fine, not a clamp
+  EXPECT_EQ(L.count(), 3u);
+  EXPECT_EQ(L.clamped(), 2u);
+
+  // The clamped samples stay in the population: with one real 8ms
+  // sample among them, the median is a clamp, not 8ms.
+  L.record(0, 8'000'000);
+  L.finalize();
+  EXPECT_EQ(L.percentileMs(0.50), 0.0);
+  EXPECT_EQ(L.percentileMs(0.99), 8.0);
+}
+
+TEST(NetLatency, PercentilesOverASortedPopulation) {
+  LatencyAccumulator L;
+  // 1ms..100ms inserted in reverse order; finalize() sorts.
+  for (uint64_t I = 100; I >= 1; --I)
+    L.record(0, I * 1'000'000);
+  EXPECT_EQ(L.finalize().front(), 1'000'000u);
+  EXPECT_EQ(L.count(), 100u);
+  EXPECT_EQ(L.clamped(), 0u);
+  EXPECT_DOUBLE_EQ(L.percentileMs(0.50), 51.0);
+  EXPECT_DOUBLE_EQ(L.percentileMs(0.95), 96.0);
+  EXPECT_DOUBLE_EQ(L.percentileMs(0.99), 100.0);
+  EXPECT_DOUBLE_EQ(L.percentileMs(1.0), 100.0); // clamped to the max
+}
+
+TEST(NetLatency, EmptyAccumulatorReportsZeroes) {
+  LatencyAccumulator L;
+  EXPECT_EQ(L.count(), 0u);
+  EXPECT_EQ(L.clamped(), 0u);
+  EXPECT_TRUE(L.finalize().empty());
+  EXPECT_EQ(L.percentileMs(0.99), 0.0);
 }
 
 //===----------------------------------------------------------------------===//
@@ -697,6 +753,32 @@ TEST(NetServer, Http10ClosesUnlessAskedToKeep) {
     C.send("GET /healthz HTTP/1.0\r\nConnection: close\r\n\r\n");
     EXPECT_NE(C.recvAll().find("200 OK"), std::string::npos);
   }
+}
+
+TEST(NetServer, HttpKeepAliveCapClosesOnTheFinalSequentialResponse) {
+  ServerFixture F;
+  TestClient C(F.Srv.port());
+  // One request at a time (no pipelining): every response up to the
+  // per-connection cap keeps the connection alive, the cap-th response
+  // itself carries Connection: close — the client learns about the cap
+  // from the response that exhausts it, never from a surprise EOF on
+  // its next request.
+  for (uint32_t I = 1; I <= MaxHttpRequestsPerConn; ++I) {
+    C.send("GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+    std::string R =
+        I < MaxHttpRequestsPerConn ? C.recvHttpResponse() : C.recvAll();
+    ASSERT_NE(R.find("200 OK"), std::string::npos) << "request " << I;
+    if (I < MaxHttpRequestsPerConn)
+      EXPECT_NE(R.find("Connection: keep-alive"), std::string::npos)
+          << "request " << I << " of " << MaxHttpRequestsPerConn << ": " << R;
+    else
+      EXPECT_NE(R.find("Connection: close"), std::string::npos)
+          << "final request did not announce the close: " << R;
+  }
+  EXPECT_TRUE(C.atEof());
+  F.drain();
+  EXPECT_EQ(F.Srv.stats().HttpRequests, uint64_t(MaxHttpRequestsPerConn));
+  EXPECT_EQ(F.Srv.stats().Accepted, 1u);
 }
 
 TEST(NetServer, HttpKeepAlivePipelineCapForcesClose) {

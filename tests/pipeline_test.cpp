@@ -221,7 +221,7 @@ TEST_F(PipelineTest, CheckerValidatesAllStrategies) {
 TEST_F(PipelineTest, PhasesRunInRegistryOrder) {
   const std::vector<std::string> Expected = {
       "parse", "typecheck", "spurious", "infer", "check",
-      "multiplicity", "kinds", "drops", "flatten"};
+      "multiplicity", "kinds", "drops", "captures", "flatten"};
   EXPECT_EQ(Compiler::staticPhaseNames(), Expected);
 
   Compiler C;
@@ -230,7 +230,9 @@ TEST_F(PipelineTest, PhasesRunInRegistryOrder) {
   ASSERT_EQ(Unit->Profiles.size(), Expected.size());
   for (size_t I = 0; I < Expected.size(); ++I) {
     EXPECT_EQ(Unit->Profiles[I].Name, Expected[I]);
-    EXPECT_FALSE(Unit->Profiles[I].Skipped);
+    // Captures is opt-in (CompileOptions::Captures, default off), so
+    // its slot is present but Skipped; every other phase ran.
+    EXPECT_EQ(Unit->Profiles[I].Skipped, Expected[I] == "captures");
   }
   // Profiles are also reachable without the unit (failed compiles).
   EXPECT_EQ(C.lastPhaseProfiles().size(), Expected.size());
@@ -261,7 +263,7 @@ TEST_F(PipelineTest, DisabledCheckerIsRecordedAsSkipped) {
       SawCheck = true;
       EXPECT_TRUE(P.Skipped); // shape is stable, the work was not done
       EXPECT_EQ(P.WallNanos, 0u);
-    } else {
+    } else if (P.Name != "captures") { // captures is opt-in, skipped too
       EXPECT_FALSE(P.Skipped);
     }
   EXPECT_TRUE(SawCheck);

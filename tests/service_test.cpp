@@ -931,9 +931,10 @@ TEST(ServiceTest, ProfilesReportSkippedStaticPhasesOnCacheHit) {
     EXPECT_EQ(Miss.Profiles[I].Name, Expected[I]);
     EXPECT_EQ(Hit.Profiles[I].Name, Expected[I]);
   }
-  // The miss paid every phase for real.
+  // The miss paid every phase for real (captures is opt-in and the
+  // request did not ask for it, so its slot alone is Skipped).
   for (const PhaseProfile &P : Miss.Profiles)
-    EXPECT_FALSE(P.Skipped) << P.Name;
+    EXPECT_EQ(P.Skipped, P.Name == "captures") << P.Name;
   // The hit reused the static work (Skipped, zero nanos) but paid a
   // fresh runtime phase.
   for (size_t I = 0; I + 1 < Hit.Profiles.size(); ++I) {
@@ -946,12 +947,15 @@ TEST(ServiceTest, ProfilesReportSkippedStaticPhasesOnCacheHit) {
   EXPECT_EQ(HitRun.AllocWords, Hit.Heap.AllocWords);
 
   // The service-level aggregates saw exactly one instance of each
-  // static phase (the miss) and two runs.
+  // executed static phase (the miss; the skipped opt-in captures phase
+  // contributes nothing) and two runs.
   ServiceStats S = Svc.stats();
   ASSERT_EQ(S.Phases.size(), Expected.size());
   for (const ServiceStats::PhaseAggregate &A : S.Phases) {
-    EXPECT_EQ(A.Count, A.Name == Compiler::RunPhaseName ? 2u : 1u)
-        << A.Name;
+    uint64_t Want = A.Name == Compiler::RunPhaseName ? 2u
+                    : A.Name == "captures"           ? 0u
+                                                     : 1u;
+    EXPECT_EQ(A.Count, Want) << A.Name;
     EXPECT_GE(A.SumNanos, A.MaxNanos) << A.Name;
   }
 }

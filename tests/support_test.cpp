@@ -295,6 +295,27 @@ TEST(Trace, JsonFixedClampsNonFiniteAndHugeValues) {
   EXPECT_EQ(jsonFixed(-1e300), "-1000000000000.000000");
 }
 
+TEST(Stats, TenantKeysRenderSortedAndEscaped) {
+  // The per-tenant block must render in sorted key order — Tenants is a
+  // std::map precisely so two snapshots of the same state are the same
+  // bytes, regardless of tenant arrival order — and tenant names are
+  // user input, so they go through jsonEscaped like every other string.
+  service::ServiceStats S;
+  S.Tenants["zeta"] = {/*Admitted=*/3, /*Completed=*/2, /*Shed=*/1};
+  S.Tenants["alpha"] = {/*Admitted=*/5, /*Completed=*/5, /*Shed=*/0};
+  S.Tenants[""] = {/*Admitted=*/1, /*Completed=*/1, /*Shed=*/0};
+  S.Tenants["with\"quote"] = {/*Admitted=*/1, /*Completed=*/0, /*Shed=*/0};
+  std::string J = S.json();
+  EXPECT_NE(
+      J.find("\"tenants\":{"
+             "\"\":{\"admitted\":1,\"completed\":1,\"shed\":0},"
+             "\"alpha\":{\"admitted\":5,\"completed\":5,\"shed\":0},"
+             "\"with\\\"quote\":{\"admitted\":1,\"completed\":0,\"shed\":0},"
+             "\"zeta\":{\"admitted\":3,\"completed\":2,\"shed\":1}}"),
+      std::string::npos)
+      << J;
+}
+
 TEST(Stats, SaturationGaugesRenderInJson) {
   // The live gauges an operator polls from rmld's /stats endpoint:
   // queue depth, requests mid-worker, and uptime in whole seconds

@@ -14,8 +14,11 @@
 #      the flat runnable IR (round-trip/corruption fuzz plus the
 #      warm-restart execute-from-disk service tests), the learned
 #      cost model (prediction/EWMA/budget units plus a multi-threaded
-#      coherence check), and the memory system (GcPolicy units plus
-#      the adaptive-vs-static and tree-vs-flat differentials).
+#      coherence check), the memory system (GcPolicy units plus
+#      the adaptive-vs-static and tree-vs-flat differentials), and the
+#      capture-tracking analysis (report byte-identity across cache
+#      tiers and process restarts, the CaptureQuery wire kind, and the
+#      disk-format version gate).
 #
 # Usage: tools/check.sh            # from anywhere inside the repo
 #
@@ -31,9 +34,9 @@ cmake -B "$ROOT/build" -S "$ROOT"
 cmake --build "$ROOT/build" -j "$JOBS"
 ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS"
 
-echo "== tsan: service + pool + sched + disk + net + flat + cost + mem labels =="
+echo "== tsan: service + pool + sched + disk + net + flat + cost + mem + capture labels =="
 cmake -B "$ROOT/build-tsan" -S "$ROOT" -DRML_SANITIZE=thread
 cmake --build "$ROOT/build-tsan" -j "$JOBS"
-ctest --test-dir "$ROOT/build-tsan" -L 'service|pool|sched|disk|net|flat|cost|mem' --output-on-failure
+ctest --test-dir "$ROOT/build-tsan" -L 'service|pool|sched|disk|net|flat|cost|mem|capture' --output-on-failure
 
 echo "== check.sh: all green =="

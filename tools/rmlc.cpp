@@ -6,6 +6,7 @@
 //   rmlc --strategy rg-|r prog.mml     the paper's other strategies
 //   rmlc --print-program prog.mml      show the region-annotated program
 //   rmlc --print-scheme f prog.mml     show f's region type scheme
+//   rmlc --captures prog.mml           per-closure captured-region report
 //   rmlc --stats prog.mml              heap/GC statistics after the run
 //   rmlc --no-run prog.mml             static pipeline only
 //   rmlc --spurious identify           scheme (3) instead of scheme (2)
@@ -49,6 +50,11 @@ void usage() {
       "                         type variables (default fresh)\n"
       "  --print-program        print the region-annotated program\n"
       "  --print-scheme NAME    print NAME's region type scheme\n"
+      "  --captures             print the per-closure captured-region\n"
+      "                         report (value vs latent-effect capture;\n"
+      "                         the escaped residue marks regions only\n"
+      "                         containment keeps alive — the rg-\n"
+      "                         dangling-pointer window)\n"
       "  --stats                print heap/GC statistics\n"
       "  --profile              print region-representation decisions\n"
       "  --no-run               stop after the static pipeline\n"
@@ -377,6 +383,8 @@ int main(int Argc, char **Argv) {
       PrintProgram = true;
     } else if (!std::strcmp(A, "--print-scheme")) {
       SchemeName = Next();
+    } else if (!std::strcmp(A, "--captures")) {
+      Opts.Captures = true;
     } else if (!std::strcmp(A, "--stats")) {
       Stats = true;
     } else if (!std::strcmp(A, "--profile")) {
@@ -496,6 +504,8 @@ int main(int Argc, char **Argv) {
   }
   if (PrintProgram)
     std::printf("%s\n", C.printProgram(*Unit).c_str());
+  if (Opts.Captures)
+    std::fputs(C.captureReport(*Unit).c_str(), stdout);
   if (Profile) {
     std::printf("strategy %s: %u schemes, %u letregions, %u finite "
                 "regions, %u tag-free regions, %u/%u dropped formals, "
